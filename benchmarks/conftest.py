@@ -1,0 +1,38 @@
+"""Shared benchmark helpers.
+
+Every benchmark runs its experiment exactly once (``pedantic``), prints
+the paper-style report, and archives it under ``results/`` so that
+EXPERIMENTS.md can quote the measured numbers.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.abspath(RESULTS_DIR)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Callable: archive(name, text) -> prints and saves the report."""
+
+    def _archive(name: str, text: str) -> None:
+        print()
+        print(text)
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as fh:
+            fh.write(text + "\n")
+
+    return _archive
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,193 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but quantifications of its design claims:
+
+* locality-aware placement vs random placement,
+* peer-transfer concurrency throttling,
+* reduction-arity sweep (how k affects cache pressure and runtime),
+* staging from the XRootD wide-area federation vs the local datastore
+  (Section III.A's justification for procuring local storage).
+"""
+
+from dataclasses import replace
+
+from repro.bench import calibration as cal
+from repro.bench.report import format_table
+from repro.bench.runners import build_environment, run_scheduler
+from repro.bench.workloads import build_workflow
+from repro.hep.datasets import TABLE2
+from repro.sim.storage import GB, MB, StorageProfile
+
+from .conftest import run_once
+
+#: WAN federation modelled as a storage tier (Section III.A): high
+#: round-trip latency, modest per-stream WAN throughput.
+XROOTD_PROFILE = StorageProfile(
+    name="xrootd-wan", metadata_latency=0.160,
+    per_stream_bw=25 * MB, aggregate_bw=2.5 * GB, capacity=1e18)
+
+
+def _run_medium(locality=True, peer=True, transfer_slots=3,
+                storage=None, arity=cal.REDUCTION_ARITY, seed=11):
+    spec = TABLE2["DV3-Medium"]
+    config = replace(cal.TASKVINE_FUNCTIONS_CONFIG,
+                     locality_scheduling=locality,
+                     peer_transfers=peer,
+                     transfer_slots=transfer_slots)
+    env = build_environment(50, node=cal.campus_node(), seed=seed,
+                            storage_profile=storage
+                            or __import__("repro.sim.storage",
+                                          fromlist=["VAST_PROFILE"]
+                                          ).VAST_PROFILE)
+    workflow = build_workflow(spec, arity=arity, seed=seed)
+    result = run_scheduler(env, workflow, "taskvine", config)
+    peer_bytes = sum(t.nbytes for t in env.trace.transfers
+                     if t.kind == "peer")
+    return result, peer_bytes
+
+
+def test_ablation_locality_placement(benchmark, archive):
+    """Locality placement cuts peer traffic for the reduction phase."""
+
+    def run():
+        with_locality = _run_medium(locality=True)
+        without = _run_medium(locality=False)
+        return with_locality, without
+
+    (res_loc, peer_loc), (res_rand, peer_rand) = run_once(benchmark, run)
+    text = format_table(
+        ["Placement", "Makespan (s)", "Peer traffic (GB)"],
+        [("locality-aware", round(res_loc.makespan, 1),
+          round(peer_loc / GB, 1)),
+         ("random/round-robin", round(res_rand.makespan, 1),
+          round(peer_rand / GB, 1))],
+        title="ABLATION: locality-aware placement (DV3-Medium, "
+              "50 workers)")
+    archive("ablation_locality", text)
+    assert res_loc.completed and res_rand.completed
+    # scheduling tasks where data lives moves fewer bytes
+    assert peer_loc < peer_rand
+    assert res_loc.makespan <= res_rand.makespan * 1.1
+
+
+def test_ablation_transfer_throttle(benchmark, archive):
+    """Unbounded concurrent peer transfers create contention; one slot
+    serialises staging.  The default (3) sits in between."""
+
+    def run():
+        return {slots: _run_medium(transfer_slots=slots)
+                for slots in (1, 3, 16)}
+
+    results = run_once(benchmark, run)
+    text = format_table(
+        ["Transfer slots", "Makespan (s)"],
+        [(slots, round(res.makespan, 1))
+         for slots, (res, _) in sorted(results.items())],
+        title="ABLATION: per-worker transfer concurrency")
+    archive("ablation_transfer_throttle", text)
+    for res, _ in results.values():
+        assert res.completed
+    # a single slot serialises staging and cannot be fastest
+    assert (results[3][0].makespan
+            <= results[1][0].makespan * 1.05)
+
+
+def test_ablation_reduction_arity(benchmark, archive):
+    """Arity sweep: flat reductions concentrate storage, small arities
+    deepen the tree; the paper's k=8 sits in the sweet spot."""
+    spec = TABLE2["RS-TriPhoton"]
+
+    def run():
+        out = {}
+        for arity in (None, 2, 4, 8, 16):
+            env = build_environment(
+                20, node=cal.campus_node(disk=spec.worker_disk,
+                                         ram=spec.worker_ram), seed=11)
+            workflow = build_workflow(spec, arity=arity, n_datasets=20,
+                                      seed=11)
+            result = run_scheduler(env, workflow, "taskvine",
+                                   cal.TASKVINE_FUNCTIONS_CONFIG)
+            peaks = env.trace.peak_cache()
+            out[arity] = (result,
+                          max(peaks.values()) if peaks else 0.0,
+                          len(env.trace.failures()))
+        return out
+
+    results = run_once(benchmark, run)
+    text = format_table(
+        ["Arity", "Makespan (s)", "Peak cache (GB)", "Worker failures"],
+        [("flat" if arity is None else arity,
+          round(res.makespan, 1), round(peak / GB, 1), failures)
+         for arity, (res, peak, failures) in results.items()],
+        title="ABLATION: reduction arity (RS-TriPhoton, 20 datasets)")
+    archive("ablation_reduction_arity", text)
+    flat_res, flat_peak, flat_failures = results[None]
+    for arity in (2, 4, 8, 16):
+        res, peak, failures = results[arity]
+        assert res.completed
+        assert peak < flat_peak
+    # the paper's k=8 beats the flat reduction outright
+    assert results[8][0].makespan < flat_res.makespan
+
+
+def test_ablation_replication(benchmark, archive):
+    """min_replicas=2 trades peer bandwidth for resilience: under heavy
+    preemption, recomputation drops."""
+    spec = TABLE2["DV3-Medium"]
+
+    def run():
+        out = {}
+        for min_replicas in (1, 2):
+            config = replace(cal.TASKVINE_FUNCTIONS_CONFIG,
+                             min_replicas=min_replicas)
+            env = build_environment(50, node=cal.campus_node(),
+                                    seed=11, preemption_rate=2e-4)
+            workflow = build_workflow(spec,
+                                      arity=cal.REDUCTION_ARITY,
+                                      seed=11)
+            result = run_scheduler(env, workflow, "taskvine", config)
+            ok_proc_runs = len([r for r in env.trace.tasks
+                                if r.category == "proc" and r.ok])
+            replica_gb = sum(t.nbytes for t in env.trace.transfers
+                             if t.kind == "replica") / GB
+            out[min_replicas] = (result, ok_proc_runs, replica_gb,
+                                 len(env.trace.failures()))
+        return out
+
+    results = run_once(benchmark, run)
+    text = format_table(
+        ["min_replicas", "Makespan (s)", "Proc executions",
+         "Replica traffic (GB)", "Preemptions"],
+        [(k, round(res.makespan, 1), runs, round(gb, 1), preempts)
+         for k, (res, runs, gb, preempts) in sorted(results.items())],
+        title="ABLATION: intermediate replication under preemption "
+              "(DV3-Medium, 50 workers)")
+    archive("ablation_replication", text)
+    base_res, base_runs, base_gb, _ = results[1]
+    repl_res, repl_runs, repl_gb, _ = results[2]
+    assert base_res.completed and repl_res.completed
+    assert base_gb == 0.0
+    assert repl_gb > 0.0
+    # replication never increases recomputation
+    assert repl_runs <= base_runs
+
+
+def test_ablation_xrootd_vs_local_datastore(benchmark, archive):
+    """Section III.A: staging repeatedly over the WAN federation is
+    impractical next to a local datastore."""
+
+    def run():
+        local = _run_medium()
+        remote = _run_medium(storage=XROOTD_PROFILE)
+        return local, remote
+
+    (res_local, _), (res_remote, _) = run_once(benchmark, run)
+    text = format_table(
+        ["Data source", "Makespan (s)"],
+        [("local datastore (VAST)", round(res_local.makespan, 1)),
+         ("XRootD WAN federation", round(res_remote.makespan, 1))],
+        title="ABLATION: dataset staging source (DV3-Medium)")
+    archive("ablation_xrootd", text)
+    assert res_local.completed and res_remote.completed
+    # the WAN federation is several times slower end to end
+    assert res_remote.makespan > 2.0 * res_local.makespan

@@ -1,0 +1,47 @@
+"""Fig 10: import hoisting, 15 000 function calls, 16 x 32-core workers.
+
+Paper: hoisting ``import numpy`` into the library preamble gives a
+significant speedup for short fine-grained tasks that fades as task
+runtime grows; TaskVine local storage slightly outperforms the VAST
+shared filesystem because import metadata lookups stay on local disk.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.report import format_table
+
+from .conftest import run_once
+
+
+def test_fig10_import_hoisting(benchmark, archive):
+    rows = run_once(benchmark, ex.fig10)
+    text = format_table(
+        ["Complexity", "Task (s)", "local hoisted", "local unhoisted",
+         "VAST hoisted", "VAST unhoisted", "Speedup local",
+         "Speedup VAST"],
+        [(r["complexity"], round(r["task_seconds"], 2),
+          round(r["local-hoisted"], 1), round(r["local-unhoisted"], 1),
+          round(r["vast-hoisted"], 1), round(r["vast-unhoisted"], 1),
+          f"{r['speedup_local']:.2f}x", f"{r['speedup_vast']:.2f}x")
+         for r in rows],
+        title="FIG 10: Import hoisting (15k function calls, "
+              "16 x 32-core workers)")
+    archive("fig10_import_hoisting", text)
+
+    finest = rows[0]
+    coarsest = rows[-1]
+    # complexity range maps to ~0.1 s .. ~35 s as in the paper
+    assert finest["task_seconds"] < 0.2
+    assert 30.0 < coarsest["task_seconds"] < 40.0
+    # significant speedup for fine-grained tasks...
+    assert finest["speedup_local"] > 1.5
+    assert finest["speedup_vast"] > 1.5
+    # ...fading for long tasks
+    assert coarsest["speedup_local"] < 1.1
+    assert coarsest["speedup_vast"] < 1.1
+    # speedup decreases monotonically-ish across the sweep
+    assert max(r["speedup_local"] for r in rows[-3:]) \
+        < max(r["speedup_local"] for r in rows[:4])
+    # local storage slightly outperforms the shared filesystem in the
+    # unhoisted (per-call import) configurations
+    for r in rows:
+        assert r["local-unhoisted"] <= r["vast-unhoisted"] + 1e-6

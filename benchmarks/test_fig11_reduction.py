@@ -1,0 +1,45 @@
+"""Fig 11: flat single-task reduction vs hierarchical tree reduction.
+
+Paper (RS-TriPhoton, 20 datasets): with a single-task reduction per
+dataset, worker caches spike to 700 GB+, workers fail and are preempted,
+and the workflow is delayed.  Reducing as a tree keeps cache consumption
+lower and more uniform and the run completes faster.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.report import format_table
+
+from .conftest import run_once
+
+
+def test_fig11_reduction_shapes(benchmark, archive):
+    data = run_once(benchmark, ex.fig11)
+    flat = data["flat"]
+    tree = data["tree"]
+    text = format_table(
+        ["Reduction", "Makespan (s)", "Completed", "Worker failures",
+         "Peak cache max (GB)", "Peak cache mean (GB)"],
+        [("flat (Fig 11a)", round(flat["makespan"]), flat["completed"],
+          flat["worker_failures"], round(flat["peak_cache_gb_max"]),
+          round(flat["peak_cache_gb_mean"])),
+         ("tree (Fig 11b)", round(tree["makespan"]), tree["completed"],
+          tree["worker_failures"], round(tree["peak_cache_gb_max"]),
+          round(tree["peak_cache_gb_mean"]))],
+        title="FIG 11: RS-TriPhoton reduction strategies "
+              "(20 datasets, 15 workers, 700 GB disks)")
+    archive("fig11_reduction", text)
+
+    # flat reduction drives at least one worker into its disk limit
+    assert flat["peak_cache_gb_max"] > 650.0
+    assert flat["worker_failures"] >= 1
+    # tree reduction keeps caches bounded and uniform, no failures
+    assert tree["worker_failures"] == 0
+    assert tree["peak_cache_gb_max"] < flat["peak_cache_gb_max"]
+    spread_tree = (tree["peak_cache_gb_max"]
+                   - tree["peak_cache_gb_mean"])
+    spread_flat = (flat["peak_cache_gb_max"]
+                   - flat["peak_cache_gb_mean"])
+    assert spread_tree < spread_flat
+    # and the workflow completes faster
+    assert tree["completed"]
+    assert tree["makespan"] < flat["makespan"]

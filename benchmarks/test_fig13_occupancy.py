@@ -1,0 +1,50 @@
+"""Fig 13: worker occupancy, Stack 3 vs Stack 4 at 20 and 200 workers.
+
+Paper: Stack 3 keeps 20 workers busy but cannot dispatch fast enough to
+exploit 200; Stack 4 is marginally faster at 20 workers and much more
+effective at 200 because function invocations dispatch and collect
+cheaply.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.report import format_table
+from repro.sim.viz import render_gantt
+
+from .conftest import run_once
+
+
+def test_fig13_worker_occupancy(benchmark, archive):
+    rows = run_once(benchmark, ex.fig13)
+    charts = []
+    for stack in (3, 4):
+        _, trace = ex.stack_run(stack, n_workers=200)
+        charts.append(render_gantt(
+            trace.gantt(), width=60, max_rows=25,
+            title=f"Stack {stack} at 200 workers: per-worker busy "
+                  f"intervals (25 sampled workers)"))
+    text = format_table(
+        ["Stack", "Workers", "Cores", "Makespan (s)",
+         "Mean concurrency", "Core utilization", "Workers used"],
+        [(r["stack"], r["workers"], r["cores"], round(r["makespan"]),
+          round(r["mean_concurrency"]), f"{r['utilization']:.2f}",
+          r["workers_used"]) for r in rows],
+        title="FIG 13: DV3-Large execution across workers")
+    archive("fig13_occupancy", text + "\n\n" + "\n\n".join(charts))
+
+    by_key = {(r["stack"], r["workers"]): r for r in rows}
+    s3_small = by_key[("Stack 3", 20)]
+    s3_large = by_key[("Stack 3", 200)]
+    s4_small = by_key[("Stack 4", 20)]
+    s4_large = by_key[("Stack 4", 200)]
+
+    # Stack 3 gains (almost) nothing from 10x more workers
+    assert s3_large["makespan"] > 0.85 * s3_small["makespan"]
+    # Stack 4 is marginally faster at 20 workers...
+    assert s4_small["makespan"] < s3_small["makespan"]
+    assert s4_small["makespan"] > 0.7 * s3_small["makespan"]
+    # ...and much more effective at 200
+    assert s4_large["makespan"] < 0.5 * s3_large["makespan"]
+    assert (s4_large["mean_concurrency"]
+            > 2 * s3_large["mean_concurrency"])
+    # work spreads across (nearly) all workers in every configuration
+    assert s4_large["workers_used"] >= 195

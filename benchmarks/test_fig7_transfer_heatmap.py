@@ -1,0 +1,56 @@
+"""Fig 7: data transfer heatmap, Work Queue vs TaskVine peer transfers.
+
+Paper: under Work Queue all traffic flows through the manager (node 0),
+upwards of 40 GB to each worker; under TaskVine peer transfers the
+maximum moved between any two nodes tops out around 4 GB.
+"""
+
+import numpy as np
+
+from repro.bench import experiments as ex
+from repro.bench.report import format_table
+from repro.sim.viz import render_heatmap
+
+from .conftest import run_once
+
+
+def test_fig7_transfer_heatmap(benchmark, archive):
+    data = run_once(benchmark, ex.fig7)
+    wq = data["workqueue"]
+    tv = data["taskvine"]
+    pictures = "\n\n".join([
+        render_heatmap(wq["matrix_gb"], max_cells=40,
+                       title="Work Queue: bytes between node pairs "
+                             "(node 0 = manager)"),
+        render_heatmap(tv["matrix_gb"], max_cells=40,
+                       title="TaskVine: bytes between node pairs"),
+    ])
+    text = format_table(
+        ["Scheduler", "Mgr->worker max (GB)", "Mgr->worker mean (GB)",
+         "Mgr total (GB)", "Peer max pair (GB)", "Peer total (GB)"],
+        [("Work Queue",
+          wq["manager_out_per_worker_gb"]["max"],
+          wq["manager_out_per_worker_gb"]["mean"],
+          wq["manager_total_gb"], wq["peer_max_pair_gb"],
+          wq["peer_total_gb"]),
+         ("TaskVine",
+          tv["manager_out_per_worker_gb"]["max"],
+          tv["manager_out_per_worker_gb"]["mean"],
+          tv["manager_total_gb"], tv["peer_max_pair_gb"],
+          tv["peer_total_gb"])],
+        title="FIG 7: Transfer heatmap summary (DV3-Large, 200 workers)")
+    archive("fig7_transfer_heatmap", text + "\n\n" + pictures)
+
+    # Work Queue: manager-centric, tens of GB to each worker
+    assert wq["manager_out_per_worker_gb"]["mean"] > 20.0
+    assert wq["manager_out_per_worker_gb"]["max"] > 35.0
+    assert wq["peer_total_gb"] < 0.05 * wq["manager_total_gb"]
+    # TaskVine: manager nearly idle, peer pairs bounded at a few GB
+    assert tv["manager_total_gb"] < 0.01 * wq["manager_total_gb"]
+    assert 0.5 < tv["peer_max_pair_gb"] < 10.0
+    assert tv["peer_total_gb"] > 100.0  # intermediates really moved
+    # heatmap shapes: WQ has an empty worker-worker block
+    wq_peer_block = wq["matrix_gb"][1:, 1:]
+    assert wq_peer_block.max() < 1.0
+    tv_manager_row = data["taskvine"]["matrix_gb"][0, 1:]
+    assert tv_manager_row.max() < 1.0

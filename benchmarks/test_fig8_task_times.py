@@ -1,0 +1,45 @@
+"""Fig 8: task execution time distribution, tasks vs function calls.
+
+Paper: the majority of DV3-Large tasks execute in 1-10 s (with outliers
+on both sides); serverless function calls shift the distribution left
+because they shed interpreter startup and per-task imports.
+"""
+
+import numpy as np
+
+from repro.bench import experiments as ex
+from repro.bench.report import format_histogram, format_table
+
+from .conftest import run_once
+
+
+def test_fig8_task_time_distribution(benchmark, archive):
+    data = run_once(benchmark, ex.fig8)
+    bins = data["bins"]
+    parts = []
+    for label in ("standard_tasks", "function_calls"):
+        parts.append(format_histogram(
+            f"FIG 8: {label} execution times (s)",
+            bins, data[label]["counts"]))
+    summary = format_table(
+        ["Mode", "Median (s)", "Fraction in 1-10 s"],
+        [("Standard tasks", data["standard_tasks"]["median"],
+          data["standard_tasks"]["frac_1_to_10s"]),
+         ("Function calls", data["function_calls"]["median"],
+          data["function_calls"]["frac_1_to_10s"])])
+    archive("fig8_task_times", "\n\n".join(parts + [summary]))
+
+    tasks = data["standard_tasks"]
+    calls = data["function_calls"]
+    # the bulk sits between 1 and 10 seconds in both modes
+    assert tasks["frac_1_to_10s"] > 0.7
+    assert calls["frac_1_to_10s"] > 0.7
+    # function calls shed the ~2 s startup: median shifts left by
+    # roughly the startup + import cost
+    shift = tasks["median"] - calls["median"]
+    assert 0.8 < shift < 4.0
+    # the long-task tail exists in both modes, and the short end of
+    # the distribution belongs to function calls
+    assert (tasks["durations"] > 10).any()
+    assert (calls["durations"] > 10).any()
+    assert calls["durations"].min() < tasks["durations"].min()

@@ -1,0 +1,38 @@
+"""Table I: overall stack performance on DV3-Large.
+
+Paper: Stack 1 (HDFS + Work Queue) 3545 s -> Stack 4 (TaskVine +
+serverless) 272 s, a 13.03x speedup.  The reproduction must preserve the
+ordering and the rough magnitudes: the storage swap alone is modest, the
+scheduler swap is the big win, serverless multiplies it again.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.report import format_table
+
+from .conftest import run_once
+
+
+def test_table1_stack_performance(benchmark, archive):
+    rows = run_once(benchmark, ex.table1)
+    text = format_table(
+        ["Stack", "Change", "Runtime (s)", "Speedup",
+         "Paper (s)", "Paper speedup"],
+        [(r["stack"], r["change"], round(r["runtime_s"]),
+          f"{r['speedup']:.2f}x", round(r["paper_runtime_s"]),
+          f"{r['paper_speedup']:.2f}x") for r in rows],
+        title="TABLE I: Overall Stack Performance (DV3-Large, "
+              "200 x 12-core workers)")
+    archive("table1_stacks", text)
+
+    runtimes = {r["stack"]: r["runtime_s"] for r in rows}
+    assert all(r["completed"] for r in rows)
+    # ordering: each structural change helps (storage swap ~neutral)
+    assert runtimes["Stack 2"] <= runtimes["Stack 1"] * 1.02
+    assert runtimes["Stack 3"] < runtimes["Stack 2"] / 3.0
+    assert runtimes["Stack 4"] < runtimes["Stack 3"] / 2.0
+    # magnitudes: within ~35 % of the paper's numbers
+    for r in rows:
+        assert 0.65 < r["runtime_s"] / r["paper_runtime_s"] < 1.35, r
+    # headline: >= 10x end-to-end speedup (paper: 13.03x)
+    total = runtimes["Stack 1"] / runtimes["Stack 4"]
+    assert total > 10.0

@@ -1,0 +1,38 @@
+"""Table II: the application/workload catalog.
+
+Regenerates the configuration table and checks the built workflows
+match the paper's task counts and data volumes.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.report import format_table
+
+from .conftest import run_once
+
+
+def test_table2_workload_catalog(benchmark, archive):
+    rows = run_once(benchmark, ex.table2)
+    text = format_table(
+        ["Workload", "App", "Input (GB)", "Tasks (paper)",
+         "Tasks (built)", "Initially ready", "Intermediate (GB)",
+         "Mean task (s)"],
+        [(r["name"], r["application"], round(r["input_gb"]),
+          r["tasks_spec"], r["tasks_built"], r["initial_ready"],
+          round(r["intermediate_gb"]), r["mean_task_s"])
+         for r in rows],
+        title="TABLE II: Application configurations")
+    archive("table2_catalog", text)
+
+    by_name = {r["name"]: r for r in rows}
+    # paper sizes
+    assert by_name["DV3-Large"]["input_gb"] == 1200
+    assert by_name["RS-TriPhoton"]["input_gb"] == 500
+    # built task counts within 5 % of the paper's
+    for r in rows:
+        assert abs(r["tasks_built"] - r["tasks_spec"]) \
+            <= 0.05 * r["tasks_spec"], r
+    # DV3-Huge: ~10k initially executable tasks (Fig 15 text)
+    assert 8_000 <= by_name["DV3-Huge"]["initial_ready"] <= 12_000
+    # the other configurations are embarrassingly parallel up front
+    assert (by_name["DV3-Large"]["initial_ready"]
+            > 0.8 * by_name["DV3-Large"]["tasks_built"])

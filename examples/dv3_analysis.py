@@ -1,0 +1,87 @@
+"""DV3: the full Higgs -> jet-pair search on a synthetic dataset.
+
+Generates a dataset with an injected H -> bb signal, runs the DV3
+processor over it three ways -- iteratively, with standard tasks (a
+fresh interpreter per task), and serverless (persistent library, fork
+per invocation) -- checks they agree bin-for-bin, and reports the
+reconstructed Higgs peak plus the real startup-cost difference between
+the two distributed execution paradigms.
+
+Run:  python examples/dv3_analysis.py
+"""
+
+import tempfile
+import time
+
+from repro.apps import DV3Processor
+from repro.dag import DaskVine, build_analysis_graph
+from repro.hep import HIGGS_MASS, NanoEventsFactory, write_dataset
+from repro.hep.processor import iterative_runner
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-dv3-")
+    print("generating DV3 dataset (6 files x 4000 events, 15% signal)")
+    dataset = write_dataset(workdir, "dv3", n_files=6,
+                            events_per_file=4_000, seed=7,
+                            basket_size=1_000, signal_fraction=0.15)
+    chunks = NanoEventsFactory.from_root(dataset, chunks_per_file=4,
+                                         metadata={"dataset": "dv3"})
+    processor = DV3Processor(btag_cut=0.7)
+
+    print(f"{len(chunks)} chunks; running the reference "
+          f"iterative analysis...")
+    t0 = time.time()
+    reference = iterative_runner(processor, chunks)
+    t_iter = time.time() - t0
+
+    graph = build_analysis_graph(processor, chunks, reduction_arity=4)
+    manager = DaskVine(name="dv3", cores=4)
+
+    print("running distributed with standard tasks "
+          "(fresh interpreter per task)...")
+    t0 = time.time()
+    tasks_result = manager.compute(graph, task_mode="tasks",
+                                   lib_resources={"slots": 4},
+                                   import_modules=["numpy"])
+    t_tasks = time.time() - t0
+
+    print("running distributed serverless "
+          "(persistent library, fork per call)...")
+    t0 = time.time()
+    serverless_result = manager.compute(
+        graph, task_mode="function-calls",
+        lib_resources={"slots": 4}, import_modules=["numpy"])
+    t_serverless = time.time() - t0
+
+    assert tasks_result["dijet_mass"] == reference["dijet_mass"]
+    assert serverless_result["dijet_mass"] == reference["dijet_mass"]
+    print("\nall three execution paths agree bin-for-bin")
+
+    cutflow = reference["cutflow"]
+    print(f"\ncutflow: {cutflow['events']} events, "
+          f"{cutflow['jets_selected']} selected jets, "
+          f"{cutflow['bb_candidates']} bb candidates")
+    print(f"reconstructed Higgs peak: "
+          f"{reference['higgs_peak_gev']:.1f} GeV "
+          f"(true mass {HIGGS_MASS:.0f} GeV)")
+
+    hist = reference["dijet_mass"]
+    values = hist.values()
+    print("\nb-tagged dijet mass (60-200 GeV):")
+    edges = hist.axes[0].edges
+    for i in range(20, 67, 3):
+        block = values[i:i + 3].sum()
+        bar = "#" * int(60 * block / max(values.max() * 3, 1))
+        print(f"  [{edges[i]:5.0f}-{edges[i+3]:5.0f})  "
+              f"{block:6.0f}  {bar}")
+
+    print(f"\nwall time: iterative {t_iter:.1f}s | "
+          f"standard tasks {t_tasks:.1f}s | "
+          f"serverless {t_serverless:.1f}s")
+    print("(standard tasks pay a fresh interpreter + imports per task;"
+          " the library pays them once)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Near-interactive iteration: the paper's motivating scenario.
+
+"No custom analysis code is correct the first time: it is common to run
+an analysis many times, troubleshooting and refining the work until a
+correct outcome is obtained. Reducing the iteration time is critical."
+(Section I)
+
+This example plays a physicist's refinement loop on the DV3 search:
+three iterations that tighten the b-tag working point, each a full
+re-run of the analysis over the dataset in serverless mode, completing
+in seconds -- the "near-interactive" experience the reshaped stack
+provides at cluster scale.
+
+Run:  python examples/near_interactive.py
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.apps import DV3Processor
+from repro.dag import DaskVine, build_analysis_graph
+from repro.hep import HIGGS_MASS, NanoEventsFactory, write_dataset
+
+
+def significance(hist):
+    """Toy S/sqrt(B): peak window counts vs sidebands."""
+    values = hist.values()
+    centers = hist.axes[0].centers
+    window = values[(centers > 110) & (centers < 140)].sum()
+    sideband = values[((centers > 80) & (centers < 110))
+                      | ((centers > 140) & (centers < 170))].sum()
+    return window / np.sqrt(max(sideband, 1.0))
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-iter-")
+    print("preparing dataset (one-time cost)...")
+    dataset = write_dataset(workdir, "dv3", n_files=5,
+                            events_per_file=4_000, seed=13,
+                            basket_size=1_000, signal_fraction=0.12)
+    chunks = NanoEventsFactory.from_root(dataset, chunks_per_file=4)
+    manager = DaskVine(name="iterate", cores=4)
+
+    print(f"\n{'iteration':>9} {'b-tag cut':>10} {'candidates':>11} "
+          f"{'peak (GeV)':>11} {'S/sqrt(B)':>10} {'wall (s)':>9}")
+    for iteration, btag_cut in enumerate((0.5, 0.7, 0.85), start=1):
+        processor = DV3Processor(btag_cut=btag_cut)
+        graph = build_analysis_graph(processor, chunks,
+                                     reduction_arity=4)
+        start = time.time()
+        result = manager.compute(graph, task_mode="function-calls",
+                                 lib_resources={"slots": 4},
+                                 import_modules=["numpy"])
+        wall = time.time() - start
+        hist = result["dijet_mass"]
+        print(f"{iteration:>9} {btag_cut:>10.2f} "
+              f"{result['cutflow']['bb_candidates']:>11} "
+              f"{result.get('higgs_peak_gev', float('nan')):>11.1f} "
+              f"{significance(hist):>10.2f} {wall:>9.2f}")
+
+    print(f"\ntrue Higgs mass: {HIGGS_MASS:.0f} GeV.  Tightening the "
+          f"working point trades candidates for purity;")
+    print("each what-if is a full re-run of the analysis, and each "
+          "completes in seconds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Stack evolution: Table I at laptop scale, in seconds of wall time.
+
+Replays the paper's four application stacks (HDFS+WorkQueue ->
+VAST+WorkQueue -> TaskVine tasks -> TaskVine serverless) on a scaled
+DV3 workload (1/10 of DV3-Large on 20 workers) and prints the speedup
+ladder plus where the bytes flowed in each configuration.
+
+Run:  python examples/stack_evolution.py
+"""
+
+import dataclasses
+
+from repro.bench.stacks import STACKS, run_stack
+from repro.core.manager import MANAGER_NODE
+from repro.hep.datasets import TABLE2
+
+
+def main():
+    spec = dataclasses.replace(
+        TABLE2["DV3-Large"], name="DV3-Demo",
+        n_tasks=1_700, input_bytes=120e9)
+    print("workload: 1700 tasks, 120 GB input, 20 x 12-core workers\n")
+    print(f"{'stack':8s} {'change':28s} {'runtime':>9s} "
+          f"{'speedup':>8s} {'via manager':>12s} {'via peers':>10s}")
+
+    baseline = None
+    for number in (1, 2, 3, 4):
+        result = run_stack(number, spec=spec, n_workers=20, seed=11)
+        trace = result.trace
+        manager_bytes = sum(
+            t.nbytes for t in trace.transfers
+            if MANAGER_NODE in (t.src, t.dst) and t.kind != "result")
+        peer_bytes = sum(t.nbytes for t in trace.transfers
+                         if t.kind == "peer")
+        if baseline is None:
+            baseline = result.makespan
+        definition = STACKS[number]
+        print(f"{definition.name:8s} {definition.change:28s} "
+              f"{result.makespan:8.1f}s "
+              f"{baseline / result.makespan:7.2f}x "
+              f"{manager_bytes / 1e9:10.1f}GB "
+              f"{peer_bytes / 1e9:8.1f}GB")
+
+    print("\nthe pattern of Table I: new storage hardware alone is "
+          "modest; moving data")
+    print("management into the cluster (TaskVine) and shedding "
+          "per-task startup")
+    print("(serverless) deliver the order-of-magnitude reduction.")
+
+
+if __name__ == "__main__":
+    main()

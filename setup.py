@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+`pip install -e .` requires the `wheel` package (PEP 660 editable
+builds); on offline machines without it, install with::
+
+    python setup.py develop
+
+which achieves the same editable layout using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

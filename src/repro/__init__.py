@@ -1,0 +1,29 @@
+"""repro: reproduction of "Reshaping High Energy Physics Applications
+for Near-Interactive Execution Using TaskVine" (SC 2024).
+
+Subpackages
+-----------
+``repro.sim``
+    Discrete-event simulation substrate (kernel, network, storage,
+    cluster).
+``repro.core``
+    The TaskVine scheduler model: data retention, locality placement,
+    peer transfers, serverless execution, recovery.
+``repro.workqueue`` / ``repro.daskdist``
+    The Work Queue and Dask.Distributed baselines.
+``repro.dag``
+    DAG manager: task graphs, delayed API, tree-reduction rewrite,
+    DaskVine facade.
+``repro.hep``
+    Mini-Coffea HEP stack: jagged arrays, histograms, ROOT-style files,
+    NanoEvents, synthetic datasets.
+``repro.apps``
+    The DV3 and RS-TriPhoton analyses.
+``repro.engine``
+    Real local execution: persistent serverless libraries (fork per
+    invocation), standard-task pools.
+``repro.bench``
+    Experiment drivers regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,6 @@
+"""The paper's analysis applications: DV3 and RS-TriPhoton."""
+
+from .dv3 import DV3Processor
+from .triphoton import TriPhotonProcessor
+
+__all__ = ["DV3Processor", "TriPhotonProcessor"]

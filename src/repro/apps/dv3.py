@@ -1,0 +1,118 @@
+"""DV3: search for Higgs boson decays to jet pairs.
+
+DV3 "searches collision events to find particle jets that result from
+decays of the Higgs boson to two bottom quarks and to two gluons"
+(Section II.A).  The processor:
+
+1. selects well-measured central jets (pt > 30 GeV, |eta| < 2.4),
+2. forms all within-event pairs of b-tagged jets and computes their
+   invariant mass -- the Higgs appears as a peak near 125 GeV,
+3. books control histograms (jet pt, multiplicity, MET) and a cutflow.
+
+The accumulator is a plain dict of histograms + counters, merged
+associatively by :func:`repro.hep.processor.accumulate`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..hep import kinematics as kin
+from ..hep.hist import Hist
+from ..hep.nanoevents import NanoEvents
+from ..hep.processor import ProcessorABC
+from ..hep.weights import Weights
+
+__all__ = ["DV3Processor"]
+
+
+class DV3Processor(ProcessorABC):
+    """The DV3 late-stage analysis."""
+
+    def __init__(self, jet_pt_min: float = 30.0, jet_eta_max: float = 2.4,
+                 btag_cut: float = 0.7):
+        self.jet_pt_min = jet_pt_min
+        self.jet_eta_max = jet_eta_max
+        self.btag_cut = btag_cut
+
+    def make_output(self) -> Dict[str, Any]:
+        """Empty accumulator with all histograms booked."""
+        return {
+            "dijet_mass": (Hist.new
+                           .Reg(100, 0.0, 300.0, name="mass",
+                                label="m(jj) [GeV]").Double()),
+            # the H -> gg channel: both legs FAIL the b-tag
+            "dijet_mass_gg": (Hist.new
+                              .Reg(100, 0.0, 300.0, name="mass",
+                                   label="m(jj) untagged [GeV]")
+                              .Double()),
+            "jet_pt": (Hist.new
+                       .Reg(80, 0.0, 400.0, name="pt",
+                            label="jet pT [GeV]").Double()),
+            "njets": (Hist.new
+                      .Reg(12, 0.0, 12.0, name="n").Double()),
+            "met": (Hist.new
+                    .Reg(100, 0.0, 200.0, name="met",
+                         label="MET [GeV]").Double()),
+            "cutflow": {"events": 0, "jets_all": 0, "jets_selected": 0,
+                        "events_with_pair": 0, "bb_candidates": 0},
+        }
+
+    def process(self, events: NanoEvents) -> Dict[str, Any]:
+        out = self.make_output()
+        jets = events.Jet
+        out["cutflow"]["events"] += events.nevents
+        out["cutflow"]["jets_all"] += int(jets.counts.sum())
+
+        # per-event weights (generator weight; unity in the synthetic
+        # datasets, but the pipeline is exercised as in production)
+        weights = Weights(events.nevents)
+        weights.add("gen", events.genWeight)
+
+        # jet selection: central, high-pt
+        good = (jets.pt > self.jet_pt_min) & (abs(jets.eta)
+                                              < self.jet_eta_max)
+        jets = jets[good]
+        out["cutflow"]["jets_selected"] += int(jets.counts.sum())
+        out["jet_pt"].fill(pt=jets.pt)
+        out["njets"].fill(n=jets.counts.astype(float),
+                          weight=weights.weight())
+        out["met"].fill(met=events.MET.pt, weight=weights.weight())
+
+        # b-tagged dijet candidates (H -> bb)
+        bjets = jets[jets.btag > self.btag_cut]
+        event_of, first, second = bjets.pairs(
+            ["pt", "eta", "phi", "mass"])
+        mass = kin.invariant_mass_pairs(
+            first["pt"], first["eta"], first["phi"], first["mass"],
+            second["pt"], second["eta"], second["phi"], second["mass"])
+        out["dijet_mass"].fill(mass=mass)
+        out["cutflow"]["bb_candidates"] += len(mass)
+        out["cutflow"]["events_with_pair"] += int(
+            len(np.unique(event_of)))
+
+        # anti-tagged dijet candidates (H -> gg): leading untagged pair
+        # only, to tame light-jet combinatorics
+        gluon_jets = jets[jets.btag < self.btag_cut].sort_by(
+            "pt").leading(2)
+        _, g1, g2 = gluon_jets.pairs(["pt", "eta", "phi", "mass"])
+        gg_mass = kin.invariant_mass_pairs(
+            g1["pt"], g1["eta"], g1["phi"], g1["mass"],
+            g2["pt"], g2["eta"], g2["phi"], g2["mass"])
+        out["dijet_mass_gg"].fill(mass=gg_mass)
+        return out
+
+    def postprocess(self, accumulator: Dict[str, Any]) -> Dict[str, Any]:
+        """Attach the measured peak position for quick inspection."""
+        hist = accumulator["dijet_mass"]
+        values = hist.values()
+        if values.sum() > 0:
+            centers = hist.axes[0].centers
+            # restrict to the search window to avoid combinatoric bulk
+            window = (centers > 90) & (centers < 160)
+            if values[window].sum() > 0:
+                peak = centers[window][np.argmax(values[window])]
+                accumulator["higgs_peak_gev"] = float(peak)
+        return accumulator

@@ -1,0 +1,108 @@
+"""RS-TriPhoton: search for a heavy resonance in three-photon events.
+
+RS-TriPhoton "searches collision events [to] find rare signatures of
+new physics which appear in a three-photon final state, which is the
+result of a heavy new particle decaying to a photon and a light new
+particle which then decays to two photons" (Section II.A):
+``X -> gamma + a``, ``a -> gamma gamma``.
+
+The processor selects good photons, forms within-event triples for the
+X candidate mass and pairs for the ``a`` candidate mass, and fills a 2-D
+histogram of (m_3gamma, m_gammagamma) where the signal appears as a
+cluster at (m_X, m_a).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from ..hep import kinematics as kin
+from ..hep.hist import Hist
+from ..hep.nanoevents import NanoEvents
+from ..hep.processor import ProcessorABC
+
+__all__ = ["TriPhotonProcessor"]
+
+
+class TriPhotonProcessor(ProcessorABC):
+    """The RS-TriPhoton late-stage analysis."""
+
+    def __init__(self, photon_pt_min: float = 20.0,
+                 photon_eta_max: float = 2.5):
+        self.photon_pt_min = photon_pt_min
+        self.photon_eta_max = photon_eta_max
+
+    def make_output(self) -> Dict[str, Any]:
+        return {
+            "triphoton_mass": (Hist.new
+                               .Reg(150, 0.0, 1500.0, name="m3",
+                                    label="m(3g) [GeV]").Double()),
+            "diphoton_mass": (Hist.new
+                              .Reg(100, 0.0, 500.0, name="m2",
+                                   label="m(gg) [GeV]").Double()),
+            "mass_plane": (Hist.new
+                           .Reg(60, 0.0, 1500.0, name="m3")
+                           .Reg(50, 0.0, 500.0, name="m2").Double()),
+            "photon_pt": (Hist.new
+                          .Reg(100, 0.0, 1000.0, name="pt").Double()),
+            "cutflow": {"events": 0, "photons_all": 0,
+                        "photons_selected": 0, "events_3g": 0,
+                        "triples": 0},
+        }
+
+    def process(self, events: NanoEvents) -> Dict[str, Any]:
+        out = self.make_output()
+        photons = events.Photon
+        out["cutflow"]["events"] += events.nevents
+        out["cutflow"]["photons_all"] += int(photons.counts.sum())
+
+        good = ((photons.pt > self.photon_pt_min)
+                & (abs(photons.eta) < self.photon_eta_max))
+        photons = photons[good]
+        out["cutflow"]["photons_selected"] += int(photons.counts.sum())
+        out["photon_pt"].fill(pt=photons.pt)
+        out["cutflow"]["events_3g"] += int((photons.counts >= 3).sum())
+
+        # X candidates: all within-event photon triples
+        event_of3, leg1, leg2, leg3 = photons.triples(["pt", "eta", "phi"])
+        zeros = np.zeros(len(event_of3))
+        m3 = kin.invariant_mass_triples(
+            (leg1["pt"], leg2["pt"], leg3["pt"]),
+            (leg1["eta"], leg2["eta"], leg3["eta"]),
+            (leg1["phi"], leg2["phi"], leg3["phi"]),
+            (zeros, zeros, zeros))
+        out["triphoton_mass"].fill(m3=m3)
+        out["cutflow"]["triples"] += len(m3)
+
+        # a candidates: all within-event pairs
+        event_of2, first, second = photons.pairs(["pt", "eta", "phi"])
+        m2 = kin.invariant_mass_pairs(
+            first["pt"], first["eta"], first["phi"], 0.0,
+            second["pt"], second["eta"], second["phi"], 0.0)
+        out["diphoton_mass"].fill(m2=m2)
+
+        # mass plane: for each triple, pair the two softest legs as the
+        # "a" candidate (the X decay photon is the hard one by
+        # construction); use the smallest pair mass within the triple.
+        if len(m3):
+            pair_masses = np.stack([
+                kin.invariant_mass_pairs(
+                    a["pt"], a["eta"], a["phi"], 0.0,
+                    b["pt"], b["eta"], b["phi"], 0.0)
+                for a, b in ((leg1, leg2), (leg1, leg3), (leg2, leg3))])
+            best_m2 = pair_masses.min(axis=0)
+            out["mass_plane"].fill(m3=m3, m2=best_m2)
+        return out
+
+    def postprocess(self, accumulator: Dict[str, Any]) -> Dict[str, Any]:
+        hist = accumulator["triphoton_mass"]
+        values = hist.values()
+        if values.sum() > 0:
+            centers = hist.axes[0].centers
+            window = centers > 500
+            if values[window].sum() > 0:
+                peak = centers[window][np.argmax(values[window])]
+                accumulator["x_peak_gev"] = float(peak)
+        return accumulator

@@ -1,0 +1,13 @@
+"""Benchmark harness: workloads, stacks, experiment drivers, reports."""
+
+from . import calibration, experiments, report
+from .runners import SimEnvironment, build_environment, run_scheduler
+from .stacks import STACKS, StackDef, run_stack
+from .workloads import build_workflow, proc_task_count
+
+__all__ = [
+    "calibration", "experiments", "report",
+    "build_environment", "run_scheduler", "SimEnvironment",
+    "STACKS", "StackDef", "run_stack",
+    "build_workflow", "proc_task_count",
+]

@@ -1,0 +1,182 @@
+"""Command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench table1
+    python -m repro.bench fig14b --out results/
+    python -m repro.bench fig11 --seed 7
+
+Each command runs the corresponding experiment driver and prints the
+paper-style report (optionally archiving it under ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, Optional
+
+from ..sim.viz import render_heatmap, render_timeline
+from . import experiments as ex
+from .report import format_series, format_table
+
+
+def _table1(args) -> str:
+    rows = ex.table1(n_workers=args.workers, seed=args.seed)
+    return format_table(
+        ["Stack", "Change", "Runtime (s)", "Speedup", "Paper (s)"],
+        [(r["stack"], r["change"], round(r["runtime_s"]),
+          f"{r['speedup']:.2f}x", round(r["paper_runtime_s"]))
+         for r in rows],
+        title="TABLE I: Overall Stack Performance")
+
+
+def _table2(args) -> str:
+    rows = ex.table2()
+    return format_table(
+        ["Workload", "App", "Input (GB)", "Tasks", "Initially ready"],
+        [(r["name"], r["application"], round(r["input_gb"]),
+          r["tasks_built"], r["initial_ready"]) for r in rows],
+        title="TABLE II: Application configurations")
+
+
+def _fig7(args) -> str:
+    data = ex.fig7(n_workers=args.workers, seed=args.seed)
+    parts = []
+    for label in ("workqueue", "taskvine"):
+        d = data[label]
+        parts.append(render_heatmap(
+            d["matrix_gb"], max_cells=40,
+            title=f"{label}: bytes between node pairs "
+                  f"(manager out mean "
+                  f"{d['manager_out_per_worker_gb']['mean']:.1f} GB, "
+                  f"peer max pair {d['peer_max_pair_gb']:.1f} GB)"))
+    return "\n\n".join(parts)
+
+
+def _fig8(args) -> str:
+    data = ex.fig8(n_workers=args.workers, seed=args.seed)
+    return format_table(
+        ["Mode", "Median (s)", "Fraction 1-10 s"],
+        [("standard tasks", round(data["standard_tasks"]["median"], 2),
+          round(data["standard_tasks"]["frac_1_to_10s"], 2)),
+         ("function calls", round(data["function_calls"]["median"], 2),
+          round(data["function_calls"]["frac_1_to_10s"], 2))],
+        title="FIG 8: task execution time distribution")
+
+
+def _fig10(args) -> str:
+    rows = ex.fig10()
+    return format_table(
+        ["Complexity", "Task (s)", "Speedup local", "Speedup VAST"],
+        [(r["complexity"], round(r["task_seconds"], 2),
+          f"{r['speedup_local']:.2f}x", f"{r['speedup_vast']:.2f}x")
+         for r in rows],
+        title="FIG 10: import hoisting speedup")
+
+
+def _fig11(args) -> str:
+    data = ex.fig11(seed=args.seed)
+    return format_table(
+        ["Reduction", "Makespan (s)", "Worker failures",
+         "Peak cache (GB)"],
+        [(label, round(d["makespan"]), d["worker_failures"],
+          round(d["peak_cache_gb_max"])) for label, d in data.items()],
+        title="FIG 11: flat vs tree reduction")
+
+
+def _fig12(args) -> str:
+    data = ex.fig12(n_workers=args.workers, seed=args.seed)
+    parts = []
+    for stack in (1, 2, 3, 4):
+        parts.append(render_timeline(
+            data["t"], data[f"stack{stack}"]["running"], width=60,
+            height=8, title=f"Stack {stack}: running tasks "
+                            f"(first 300 s)"))
+    return "\n\n".join(parts)
+
+
+def _fig13(args) -> str:
+    rows = ex.fig13(seed=args.seed)
+    return format_table(
+        ["Stack", "Workers", "Makespan (s)", "Mean concurrency"],
+        [(r["stack"], r["workers"], round(r["makespan"]),
+          round(r["mean_concurrency"])) for r in rows],
+        title="FIG 13: worker occupancy")
+
+
+def _fig14a(args) -> str:
+    rows = ex.fig14a(seed=args.seed)
+    return format_table(
+        ["Workload", "Cores", "TaskVine (s)", "Dask (s)"],
+        [(r["workload"], r["cores"], round(r["taskvine_s"], 1),
+          round(r["dask_s"], 1) if r["dask_completed"] else "DNF")
+         for r in rows],
+        title="FIG 14a: TaskVine vs Dask.Distributed")
+
+
+def _fig14b(args) -> str:
+    rows = ex.fig14b(seed=args.seed)
+    return format_table(
+        ["Workload", "Cores", "Runtime (s)"],
+        [(r["workload"], r["cores"], round(r["runtime_s"], 1))
+         for r in rows],
+        title="FIG 14b: scaling to 2400 cores")
+
+
+def _fig15(args) -> str:
+    data = ex.fig15(seed=args.seed)
+    chart = render_timeline(data["t"], data["running"], width=70,
+                            height=10,
+                            title="FIG 15: DV3-Huge running tasks")
+    return (f"{chart}\n\nmakespan {data['makespan']:.0f} s, "
+            f"peak concurrency {data['peak_concurrency']:.0f}, "
+            f"{data['tasks']} tasks on {data['cores']} cores")
+
+
+COMMANDS: Dict[str, Callable] = {
+    "table1": _table1, "table2": _table2, "fig7": _fig7,
+    "fig8": _fig8, "fig10": _fig10, "fig11": _fig11, "fig12": _fig12,
+    "fig13": _fig13, "fig14a": _fig14a, "fig14b": _fig14b,
+    "fig15": _fig15,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("command",
+                        choices=sorted(COMMANDS) + ["list", "all"],
+                        help="which experiment to run")
+    parser.add_argument("--workers", type=int, default=200,
+                        help="workers for the stack experiments "
+                             "(default: the paper's 200)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", default=None,
+                        help="directory to archive the report into")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(COMMANDS):
+            print(name)
+        return 0
+    names = sorted(COMMANDS) if args.command == "all" else [args.command]
+    for name in names:
+        report = COMMANDS[name](args)
+        print(report)
+        print()
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            with open(os.path.join(args.out, f"{name}.txt"), "w") as fh:
+                fh.write(report + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

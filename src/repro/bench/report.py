@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+keep the output uniform and terminal-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_histogram", "banner"]
+
+
+def banner(title: str, width: int = 72) -> str:
+    bar = "=" * width
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render a two-column series (one paper figure line)."""
+    headers = [x_label, y_label]
+    rows = list(zip(xs, ys))
+    return format_table(headers, rows, title=name)
+
+
+def format_histogram(name: str, edges: Sequence[float],
+                     counts: Sequence[float], width: int = 40) -> str:
+    """Render a textual histogram with proportional bars."""
+    peak = max(max(counts), 1)
+    lines = [name]
+    for lo, hi, count in zip(edges[:-1], edges[1:], counts):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"  [{_fmt(lo):>8} - {_fmt(hi):>8}) "
+                     f"{_fmt(count):>10} {bar}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "DNF"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)

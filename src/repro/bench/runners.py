@@ -1,0 +1,96 @@
+"""Assembly helpers: build a simulated cluster + scheduler and run it.
+
+Each runner wires together the simulation substrate (kernel, network,
+storage, cluster), the workload, and one scheduler, applying the
+calibration constants.  All experiment drivers go through these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.config import SchedulerConfig
+from ..core.manager import RunResult, TaskVineManager
+from ..core.spec import SimWorkflow
+from ..daskdist.scheduler import DaskDistributedScheduler
+from ..hep.datasets import DatasetSpec
+from ..sim.cluster import Cluster, NodeSpec
+from ..sim.engine import Simulation
+from ..sim.network import Network
+from ..sim.rng import RngRegistry
+from ..sim.storage import (
+    HDFS_PROFILE,
+    VAST_PROFILE,
+    SharedFilesystem,
+    StorageProfile,
+)
+from ..sim.trace import TraceRecorder
+from ..workqueue.manager import WORK_QUEUE_CONFIG, WorkQueueManager
+from . import calibration as cal
+
+__all__ = ["SimEnvironment", "build_environment", "run_scheduler"]
+
+SCHEDULERS = {
+    "taskvine": TaskVineManager,
+    "workqueue": WorkQueueManager,
+    "dask.distributed": DaskDistributedScheduler,
+}
+
+
+@dataclass
+class SimEnvironment:
+    """One assembled simulation: cluster + storage + trace."""
+
+    sim: Simulation
+    network: Network
+    cluster: Cluster
+    storage: SharedFilesystem
+    trace: TraceRecorder
+    n_workers: int
+    cores_per_worker: int
+
+    @property
+    def total_cores(self) -> int:
+        return self.n_workers * self.cores_per_worker
+
+
+def build_environment(n_workers: int,
+                      node: Optional[NodeSpec] = None,
+                      storage_profile: StorageProfile = VAST_PROFILE,
+                      seed: int = 11,
+                      preemption_rate: float = cal.PREEMPTION_RATE,
+                      heterogeneity: float = cal.HETEROGENEITY,
+                      manager_nic_bw: float = cal.MANAGER_NIC_BW,
+                      ) -> SimEnvironment:
+    """Build the campus cluster of Section IV with ``n_workers``."""
+    node = node or cal.campus_node()
+    sim = Simulation()
+    trace = TraceRecorder()
+    network = Network(sim, trace, latency=0.0005)
+    cluster = Cluster(sim, network, trace, RngRegistry(seed),
+                      manager_nic_bw=manager_nic_bw,
+                      preemption_rate=preemption_rate,
+                      heterogeneity=heterogeneity)
+    storage = SharedFilesystem(sim, network, storage_profile,
+                               trace=trace)
+    cluster.provision(n_workers, node)
+    return SimEnvironment(sim=sim, network=network, cluster=cluster,
+                          storage=storage, trace=trace,
+                          n_workers=n_workers,
+                          cores_per_worker=node.cores)
+
+
+def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
+                  scheduler: str = "taskvine",
+                  config: Optional[SchedulerConfig] = None,
+                  limit: float = 5e5) -> RunResult:
+    """Run one scheduler over a workflow in the given environment."""
+    try:
+        scheduler_cls = SCHEDULERS[scheduler]
+    except KeyError:
+        raise ValueError(f"unknown scheduler {scheduler!r}; "
+                         f"have {sorted(SCHEDULERS)}") from None
+    manager = scheduler_cls(env.sim, env.cluster, env.storage, workflow,
+                            config=config, trace=env.trace)
+    return manager.run(limit=limit)

@@ -1,0 +1,66 @@
+"""The four application stacks of Table I.
+
+| Stack | Storage | Scheduler   | Execution        |
+|-------|---------|-------------|------------------|
+| 1     | HDFS    | Work Queue  | standard tasks   |
+| 2     | VAST    | Work Queue  | standard tasks   |
+| 3     | VAST    | TaskVine    | standard tasks   |
+| 4     | VAST    | TaskVine    | function calls   |
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.config import SchedulerConfig
+from ..core.manager import RunResult
+from ..hep.datasets import TABLE2, DatasetSpec
+from ..sim.storage import HDFS_PROFILE, VAST_PROFILE, StorageProfile
+from ..workqueue.manager import WORK_QUEUE_CONFIG
+from . import calibration as cal
+from .runners import build_environment, run_scheduler
+from .workloads import build_workflow
+
+__all__ = ["StackDef", "STACKS", "run_stack"]
+
+
+@dataclass(frozen=True)
+class StackDef:
+    """One row of Table I: a full application-stack configuration."""
+
+    number: int
+    name: str
+    change: str
+    storage: StorageProfile
+    scheduler: str
+    config: SchedulerConfig
+
+
+STACKS: Dict[int, StackDef] = {
+    1: StackDef(1, "Stack 1", "Original (HDFS + Work Queue)",
+                HDFS_PROFILE, "workqueue", WORK_QUEUE_CONFIG),
+    2: StackDef(2, "Stack 2", "HDFS -> VAST",
+                VAST_PROFILE, "workqueue", WORK_QUEUE_CONFIG),
+    3: StackDef(3, "Stack 3", "WQ -> TaskVine",
+                VAST_PROFILE, "taskvine", cal.TASKVINE_TASKS_CONFIG),
+    4: StackDef(4, "Stack 4", "Tasks -> Functions",
+                VAST_PROFILE, "taskvine", cal.TASKVINE_FUNCTIONS_CONFIG),
+}
+
+
+def run_stack(stack: int, spec: Optional[DatasetSpec] = None,
+              n_workers: int = 200, seed: int = 11,
+              arity: int = cal.REDUCTION_ARITY,
+              limit: float = 5e5) -> RunResult:
+    """Run one Table I stack on the standard DV3-Large configuration
+    (200 x 12-core workers) unless told otherwise."""
+    definition = STACKS[stack]
+    spec = spec or TABLE2["DV3-Large"]
+    env = build_environment(
+        n_workers=n_workers,
+        node=cal.campus_node(disk=spec.worker_disk, ram=spec.worker_ram),
+        storage_profile=definition.storage, seed=seed)
+    workflow = build_workflow(spec, arity=arity, seed=seed)
+    return run_scheduler(env, workflow, scheduler=definition.scheduler,
+                         config=definition.config, limit=limit)

@@ -1,0 +1,71 @@
+"""Manager-side replica tracking.
+
+The TaskVine manager "maintains a mapping of the location of each file
+within the cluster" (Section IV.B) and uses it both to schedule tasks
+where their data already is and to pick peer-transfer sources.  The
+:class:`ReplicaMap` is that mapping: file name -> set of node ids,
+where negative node ids are durable pseudo-nodes (shared filesystem,
+XRootD federation) whose copies never disappear, and the manager's own
+node (0) may also hold copies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+__all__ = ["ReplicaMap"]
+
+
+class ReplicaMap:
+    """Tracks which nodes hold a copy of each file."""
+
+    def __init__(self):
+        self._locations: Dict[str, Set[int]] = {}
+
+    def add(self, name: str, node: int) -> None:
+        self._locations.setdefault(name, set()).add(node)
+
+    def remove(self, name: str, node: int) -> None:
+        nodes = self._locations.get(name)
+        if nodes is not None:
+            nodes.discard(node)
+            if not nodes:
+                del self._locations[name]
+
+    def drop_node(self, node: int) -> List[str]:
+        """Remove every replica on ``node``; returns files that now have
+        no replica anywhere (lost data needing recovery)."""
+        lost = []
+        for name in list(self._locations):
+            nodes = self._locations[name]
+            if node in nodes:
+                nodes.discard(node)
+                if not nodes:
+                    del self._locations[name]
+                    lost.append(name)
+        return lost
+
+    def locations(self, name: str) -> Set[int]:
+        return set(self._locations.get(name, ()))
+
+    def available(self, name: str) -> bool:
+        return bool(self._locations.get(name))
+
+    def holders_among(self, name: str,
+                      nodes: Iterable[int]) -> List[int]:
+        """Which of ``nodes`` hold the file (for locality scoring)."""
+        have = self._locations.get(name, set())
+        return [n for n in nodes if n in have]
+
+    def files_on(self, node: int) -> List[str]:
+        return [name for name, nodes in self._locations.items()
+                if node in nodes]
+
+    def replica_count(self, name: str) -> int:
+        return len(self._locations.get(name, ()))
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._locations

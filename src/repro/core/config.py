@@ -1,0 +1,76 @@
+"""Scheduler cost-model configuration.
+
+Every free constant of the simulated schedulers lives here.  The values
+are calibrated once against Table I's Stack 1 baseline (see
+``repro.bench.calibration``); everything else in the reproduction is
+emergent.  Times in seconds, sizes in bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["SchedulerConfig", "TASK_MODE_TASKS", "TASK_MODE_FUNCTIONS"]
+
+TASK_MODE_TASKS = "tasks"
+TASK_MODE_FUNCTIONS = "function-calls"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs shared by all scheduler models."""
+
+    # -- execution paradigm -------------------------------------------------
+    mode: str = TASK_MODE_FUNCTIONS
+    hoisting: bool = True
+
+    # -- manager serial costs (manager is single-threaded) ----------------
+    #: CPU time the manager spends to serialise + dispatch one task.
+    dispatch_overhead: float = 0.004
+    #: CPU time to receive and process one completion message.
+    collect_overhead: float = 0.002
+
+    # -- worker-side per-task costs ---------------------------------------
+    #: fresh interpreter start + wrapper + function deserialisation
+    #: (standard tasks pay this per task).
+    task_startup: float = 1.1
+    #: loading the analysis libraries from disk/FS (per standard task;
+    #: per function call when hoisting is off; once per library task
+    #: when hoisting is on).
+    import_cost: float = 0.9
+    #: fork + IPC overhead of one serverless function invocation.
+    function_call_overhead: float = 0.030
+    #: starting a library task on a worker (interpreter + registration).
+    library_startup: float = 1.5
+
+    # -- data movement -------------------------------------------------------
+    #: concurrent incoming transfers per worker (manager-throttled).
+    transfer_slots: int = 3
+    #: concurrent transfers the manager itself serves (send + receive);
+    #: a real manager multiplexes a bounded number of connections.
+    manager_transfer_slots: int = 64
+    #: fetch intermediate inputs from peer workers instead of routing
+    #: everything through the manager / shared filesystem.
+    peer_transfers: bool = True
+    #: schedule tasks onto workers already holding their inputs.
+    locality_scheduling: bool = True
+    #: stream results back to the manager after every task (Work Queue
+    #: behaviour); TaskVine fetches only final outputs.
+    results_to_manager: bool = False
+    #: stage task inputs through the manager (Work Queue) rather than
+    #: letting workers read the shared filesystem directly.
+    inputs_via_manager: bool = False
+
+    # -- robustness ----------------------------------------------------------
+    #: maximum times a single task may fail before the run aborts.
+    max_task_retries: int = 12
+    #: desired worker-cache copies of each intermediate file.  With the
+    #: default 1 nothing is replicated; 2+ makes the manager push
+    #: best-effort extra copies to peers so preempted workers cost
+    #: re-transfers instead of recomputation (Section IV: the manager
+    #: "compensates by replicating data or re-running tasks").
+    min_replicas: int = 1
+
+    def with_mode(self, mode: str, hoisting: bool = True
+                  ) -> "SchedulerConfig":
+        return replace(self, mode=mode, hoisting=hoisting)

@@ -1,0 +1,59 @@
+"""File model and content-addressed cachenames.
+
+TaskVine keeps data consistent across worker caches by deriving a unique
+*cachename* for every file from its metadata and content/lineage
+(Section IV.B, "Retaining Data"): two references to the same logical
+data resolve to the same cachename on every node, while any change to
+the producing task or its inputs yields a fresh name.  We reproduce that
+with a recursive lineage hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = ["SimFile", "cachename", "FileKind"]
+
+
+class FileKind:
+    """Where a file's authoritative copy lives."""
+
+    INPUT = "input"               # dataset file: always on shared storage
+    INTERMEDIATE = "intermediate"  # produced by a task, lives in caches
+    OUTPUT = "output"             # final result fetched by the manager
+
+
+@dataclass(frozen=True)
+class SimFile:
+    """A logical file in a simulated workflow."""
+
+    name: str
+    size: float
+    kind: str = FileKind.INTERMEDIATE
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise ValueError(f"file {self.name!r} has negative size")
+        if self.kind not in (FileKind.INPUT, FileKind.INTERMEDIATE,
+                             FileKind.OUTPUT):
+            raise ValueError(f"unknown file kind {self.kind!r}")
+
+
+def cachename(name: str, size: float,
+              lineage: Iterable[str] = ()) -> str:
+    """Derive the content-addressed cache identity of a file.
+
+    ``lineage`` is the ordered list of cachenames the producing task
+    consumed (empty for dataset inputs, whose identity is the name and
+    size recorded in the catalog).  The result is stable across nodes
+    and runs, so caches can be shared and validated by name alone.
+    """
+    digest = hashlib.sha256()
+    digest.update(name.encode())
+    digest.update(repr(float(size)).encode())
+    for parent in lineage:
+        digest.update(b"|")
+        digest.update(parent.encode())
+    return digest.hexdigest()[:24]

@@ -1,0 +1,677 @@
+"""The TaskVine manager: task + data scheduler (the paper's contribution).
+
+A single-threaded manager coordinates workers on a simulated cluster
+(Section II.C / IV.B):
+
+* **Data retention** -- task outputs stay in worker caches, tracked by a
+  content-addressed :class:`~repro.core.cache.ReplicaMap`.
+* **Locality scheduling** -- tasks are placed on workers already holding
+  the most input bytes.
+* **Peer transfers** -- missing intermediate inputs are pulled directly
+  from peer workers (throttled per-worker), not through the manager or
+  the shared filesystem.
+* **Serverless execution** -- ``function-calls`` mode instantiates one
+  library per worker (paying startup + hoisted imports once) and then
+  runs tasks as cheap forked invocations; ``tasks`` mode pays interpreter
+  startup and imports per task.
+* **Recovery** -- preempted workers lose their cached replicas; the
+  manager re-runs producing tasks transitively (lineage recovery) and
+  retries the lost work elsewhere.
+
+The Work Queue and Dask.Distributed baselines subclass this and change
+the data-routing policies (see :mod:`repro.workqueue` and
+:mod:`repro.daskdist`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..sim.cluster import Cluster, WorkerNode
+from ..sim.engine import Event, Interrupt, Resource, Simulation
+from ..sim.storage import DiskFullError, SharedFilesystem
+from ..sim.trace import TaskRecord, TraceRecorder
+from .cache import ReplicaMap
+from .config import TASK_MODE_FUNCTIONS, TASK_MODE_TASKS, SchedulerConfig
+from .files import FileKind
+from .spec import SimTask, SimWorkflow
+from .worker import WorkerAgent
+
+__all__ = ["TaskVineManager", "RunResult", "SchedulerError"]
+
+MANAGER_NODE = 0
+
+
+class SchedulerError(Exception):
+    """The run cannot make progress (task exceeded retries, no workers)."""
+
+
+class _StagingLost(Exception):
+    """An input replica vanished between dispatch and staging."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scheduler run."""
+
+    completed: bool
+    makespan: float
+    trace: TraceRecorder
+    tasks_done: int
+    task_failures: int
+    error: Optional[str] = None
+
+    def summary(self) -> Dict[str, float]:
+        out = self.trace.summary()
+        out["completed"] = float(self.completed)
+        out["task_failures"] = float(self.task_failures)
+        return out
+
+
+class TaskVineManager:
+    """Schedules a :class:`SimWorkflow` onto a simulated cluster."""
+
+    scheduler_name = "taskvine"
+
+    def __init__(self, sim: Simulation, cluster: Cluster,
+                 storage: SharedFilesystem, workflow: SimWorkflow,
+                 config: Optional[SchedulerConfig] = None,
+                 trace: Optional[TraceRecorder] = None,
+                 policy: Optional["PlacementPolicy"] = None):
+        self.sim = sim
+        self.cluster = cluster
+        self.storage = storage
+        self.workflow = workflow
+        self.config = config or SchedulerConfig()
+        #: explicit placement policy; None uses the built-in fast path
+        #: (locality when config.locality_scheduling, else round-robin).
+        self.policy = policy
+        self.trace = trace if trace is not None else cluster.trace
+        self.replicas = ReplicaMap()
+        self.manager_cpu = Resource(sim, capacity=1)
+        self.manager_pipe = Resource(
+            sim, capacity=self.config.manager_transfer_slots)
+
+        self.agents: Dict[int, WorkerAgent] = {}
+        self.free_workers: Dict[int, None] = {}
+        for node in cluster.workers.values():
+            if node.alive:
+                self._add_agent(node)
+        cluster.on_preemption(self._on_preempt)
+        # workers provisioned (or finishing their batch-system startup)
+        # after this point join the pool dynamically
+        cluster.on_join(self._on_join)
+
+        # task state.  Two-tier ready queue: downstream tasks (consumers
+        # of intermediates) dispatch before fresh processing tasks, so
+        # accumulation keeps pace with processing and retained partials
+        # do not pile up past worker disks.
+        self.done: Set[str] = set()
+        self.running: Set[str] = set()
+        self.queue: deque = deque()
+        self.queue_high: deque = deque()
+        self.queued: Set[str] = set()
+        self.attempts: Dict[str, int] = {}
+        self.ready_time: Dict[str, float] = {}
+        self.task_procs: Dict[str, object] = {}
+        self.dependents = workflow.task_dependents()
+        self.final_files = set(workflow.final_files())
+
+        self._wake: Optional[Event] = None
+        self._finished: Event = sim.event()
+        self._error: Optional[str] = None
+        self.task_failures = 0
+
+        # dataset inputs live on shared storage from the start
+        for name, file in workflow.files.items():
+            if file.kind == FileKind.INPUT:
+                self.replicas.add(name, storage.node_id)
+
+    # -- public entry -----------------------------------------------------------
+    def run(self, limit: Optional[float] = None) -> RunResult:
+        """Execute the workflow to completion; returns the run record."""
+        if not self.agents and not self.cluster.workers:
+            raise SchedulerError("no workers provisioned")
+        for task_id in self.workflow.initial_ready():
+            self._enqueue(task_id)
+        self.sim.process(self._dispatch_loop(), name="manager-dispatch")
+        try:
+            self.sim.run_until_complete(self._finished, limit=limit)
+            completed = self._error is None
+        except Exception as exc:  # propagate as structured failure
+            completed = False
+            self._error = self._error or repr(exc)
+        return RunResult(
+            completed=completed,
+            makespan=self.trace.makespan if completed else self.sim.now,
+            trace=self.trace,
+            tasks_done=len(self.done),
+            task_failures=self.task_failures,
+            error=self._error,
+        )
+
+    # -- agents ------------------------------------------------------------------
+    def _add_agent(self, node: WorkerNode) -> None:
+        agent = WorkerAgent(self.sim, node, self.trace,
+                            transfer_slots=self.config.transfer_slots)
+        agent.on_evict = (
+            lambda name, node_id=node.node_id:
+            self._evicted(name, node_id))
+        self.agents[node.node_id] = agent
+        self.free_workers[node.node_id] = None
+
+    def _on_join(self, node: WorkerNode) -> None:
+        """A new worker arrived mid-run: add it and hand it work."""
+        if node.node_id in self.agents:
+            return
+        self._add_agent(node)
+        self._wake_dispatcher()
+
+    def _evicted(self, name: str, node_id: int) -> None:
+        """A worker dropped a cached replica under disk pressure.
+
+        Usually other copies (or the producer's retained copy) remain;
+        if this was the last one and the file is still needed, lineage
+        recovery re-runs the producer.
+        """
+        self.replicas.remove(name, node_id)
+        if not self.replicas.available(name):
+            self._recover_file(name)
+
+    # -- readiness ----------------------------------------------------------
+    def _available(self, name: str) -> bool:
+        return self.replicas.available(name)
+
+    def _is_ready(self, task_id: str) -> bool:
+        if (task_id in self.done or task_id in self.running
+                or task_id in self.queued):
+            return False
+        return all(self._available(name)
+                   for name in self.workflow.tasks[task_id].inputs)
+
+    def _enqueue(self, task_id: str) -> None:
+        if task_id in self.queued:
+            return
+        task = self.workflow.tasks[task_id]
+        downstream = any(
+            self.workflow.files[name].kind != FileKind.INPUT
+            for name in task.inputs)
+        (self.queue_high if downstream else self.queue).append(task_id)
+        self.queued.add(task_id)
+        self.ready_time.setdefault(task_id, self.sim.now)
+        self._wake_dispatcher()
+
+    def _wake_dispatcher(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+
+    # -- dispatch loop ------------------------------------------------------
+    def _workflow_complete(self) -> bool:
+        return len(self.done) == len(self.workflow.tasks)
+
+    def _dispatch_loop(self):
+        while not self._workflow_complete() and self._error is None:
+            progressed = False
+            while ((self.queue_high or self.queue)
+                   and self.free_workers):
+                source = (self.queue_high if self.queue_high
+                          else self.queue)
+                task_id = source.popleft()
+                self.queued.discard(task_id)
+                if task_id in self.done or task_id in self.running:
+                    continue
+                missing = [name for name
+                           in self.workflow.tasks[task_id].inputs
+                           if not self._available(name)]
+                if missing:
+                    # Inputs were lost after this task became ready:
+                    # recover lineage; the task re-queues when its
+                    # producers complete.
+                    for name in missing:
+                        self._recover_file(name)
+                    continue
+                agent = self._pick_worker(task_id)
+                if agent is None:
+                    # no capacity right now: put it back and wait
+                    source.appendleft(task_id)
+                    self.queued.add(task_id)
+                    break
+                # pay the manager's serial dispatch cost
+                req = self.manager_cpu.request()
+                yield req
+                yield self.sim.timeout(self.config.dispatch_overhead)
+                self.manager_cpu.release(req)
+                if not agent.alive:
+                    source.appendleft(task_id)
+                    self.queued.add(task_id)
+                    continue
+                self._assign(task_id, agent)
+                progressed = True
+            if self._workflow_complete() or self._error is not None:
+                break
+            if not progressed:
+                self._wake = self.sim.event()
+                yield self._wake
+                self._wake = None
+        if self._error is None and self._workflow_complete():
+            if not self._finished.triggered:
+                self._finished.succeed()
+
+    def _assign(self, task_id: str, agent: WorkerAgent) -> None:
+        self.running.add(task_id)
+        agent.assign(task_id, self.workflow.tasks[task_id].cores)
+        if agent.free_slots() <= 0:
+            self.free_workers.pop(agent.node_id, None)
+        proc = self.sim.process(
+            self._run_task(self.workflow.tasks[task_id], agent),
+            name=f"task-{task_id}")
+        self.task_procs[task_id] = proc
+
+    # -- placement policy ---------------------------------------------------
+    def _pick_worker(self, task_id: str) -> Optional[WorkerAgent]:
+        task = self.workflow.tasks[task_id]
+        need = task.cores
+        if self.policy is not None:
+            return self._pick_with_policy(task)
+        if self.config.locality_scheduling:
+            best: Optional[WorkerAgent] = None
+            best_bytes = 0.0
+            for name in task.inputs:
+                file = self.workflow.files[name]
+                if file.kind == FileKind.INPUT:
+                    continue
+                for node_id in self.replicas.locations(name):
+                    agent = self.agents.get(node_id)
+                    if (agent is None or not agent.alive
+                            or agent.free_slots() < need):
+                        continue
+                    local = agent.locality_bytes(
+                        task.inputs,
+                        {n: self.workflow.files[n].size
+                         for n in task.inputs})
+                    if local > best_bytes:
+                        best, best_bytes = agent, local
+            if best is not None:
+                return best
+        # fall back to the first free worker (rotating order)
+        for node_id in list(self.free_workers):
+            agent = self.agents.get(node_id)
+            if agent is None or not agent.alive:
+                self.free_workers.pop(node_id, None)
+                continue
+            if agent.free_slots() >= need:
+                return agent
+            if agent.free_slots() <= 0:
+                self.free_workers.pop(node_id, None)
+        return None
+
+    def _pick_with_policy(self, task: SimTask) -> Optional[WorkerAgent]:
+        """Generic (O(free workers)) path for injected policies."""
+        candidates = []
+        for node_id in list(self.free_workers):
+            agent = self.agents.get(node_id)
+            if agent is None or not agent.alive:
+                self.free_workers.pop(node_id, None)
+                continue
+            if agent.free_slots() >= task.cores:
+                candidates.append(agent)
+            elif agent.free_slots() <= 0:
+                self.free_workers.pop(node_id, None)
+        if not candidates:
+            return None
+        sizes = {name: self.workflow.files[name].size
+                 for name in task.inputs}
+        return self.policy.choose(task, candidates, self.replicas, sizes)
+
+    # -- task execution -----------------------------------------------------
+    def _run_task(self, task: SimTask, agent: WorkerAgent):
+        t_dispatch = self.sim.now
+        t_ready = self.ready_time.get(task.id, t_dispatch)
+        pinned: List[str] = []
+        t_start = None
+        try:
+            yield from self._stage_inputs(task, agent, pinned)
+            # execution time as the worker observes it includes the
+            # wrapper/startup cost (Fig 8 compares exactly this)
+            t_start = self.sim.now
+            yield from self._startup(task, agent)
+            yield self.sim.timeout(
+                agent.node.scale_runtime(task.compute))
+            yield from self._store_outputs(task, agent)
+        except Interrupt:
+            self._task_failed(task, agent, t_ready, t_dispatch,
+                              t_start, "preempted", requeue=True)
+            return
+        except DiskFullError:
+            # Fig 11 failure mode: the worker's cache overflowed.  The
+            # node is lost exactly as if the batch system had evicted
+            # it; recovery re-runs the work elsewhere.
+            self._task_failed(task, agent, t_ready, t_dispatch,
+                              t_start, "disk-overflow", requeue=True)
+            self._overflow_worker(agent)
+            return
+        except (_StagingLost, ConnectionError):
+            self._task_failed(task, agent, t_ready, t_dispatch,
+                              t_start, "staging-lost", requeue=True)
+            return
+        finally:
+            for name in pinned:
+                agent.unpin(name)
+
+        # success: free the slot, then pay the manager's collection cost
+        t_end = self.sim.now
+        self._release_slot(task.id, agent)
+        req = self.manager_cpu.request()
+        yield req
+        yield self.sim.timeout(self.config.collect_overhead)
+        self.manager_cpu.release(req)
+        # The producing worker may have been preempted between storing
+        # the outputs and this collection message: if any output replica
+        # is already gone, the attempt is void (recovery has or will
+        # re-queue the task).
+        if any(not self._available(name) for name in task.outputs):
+            self.task_failures += 1
+            if task.id not in self.queued and self._is_ready(task.id):
+                self._enqueue(task.id)
+            return
+        self._complete(task, agent, t_ready, t_dispatch, t_start, t_end)
+
+    def _release_slot(self, task_id: str, agent: WorkerAgent) -> None:
+        self.running.discard(task_id)
+        self.task_procs.pop(task_id, None)
+        agent.unassign(task_id)
+        if agent.alive and agent.free_slots() > 0:
+            self.free_workers.setdefault(agent.node_id, None)
+        self._wake_dispatcher()
+
+    def _complete(self, task: SimTask, agent: WorkerAgent,
+                  t_ready, t_dispatch, t_start, t_end) -> None:
+        self.done.add(task.id)
+        self.ready_time.pop(task.id, None)
+        self.trace.task(TaskRecord(
+            task_id=hash(task.id) & 0x7FFFFFFF, category=task.category,
+            worker=agent.node_id, t_ready=t_ready, t_dispatch=t_dispatch,
+            t_start=t_start, t_end=t_end, ok=True))
+        if self.config.min_replicas > 1:
+            for name in task.outputs:
+                if name not in self.final_files:
+                    self._maybe_replicate(name, agent)
+        for dep in self.dependents[task.id]:
+            if self._is_ready(dep):
+                self._enqueue(dep)
+        # Inputs whose consumers are all done no longer need retention;
+        # workers may evict them under disk pressure.
+        for name in task.inputs:
+            if self.workflow.files[name].kind == FileKind.INPUT:
+                continue
+            if all(c in self.done
+                   for c in self.workflow.consumers[name]):
+                for node_id in self.replicas.locations(name):
+                    holder = self.agents.get(node_id)
+                    if holder is not None:
+                        holder.release_retention(name)
+        if self._workflow_complete() and not self._finished.triggered:
+            self._finished.succeed()
+        self._wake_dispatcher()
+
+    def _task_failed(self, task: SimTask, agent: WorkerAgent,
+                     t_ready, t_dispatch, t_start, reason: str,
+                     requeue: bool) -> None:
+        self.task_failures += 1
+        self.trace.task(TaskRecord(
+            task_id=hash(task.id) & 0x7FFFFFFF, category=task.category,
+            worker=agent.node_id, t_ready=t_ready, t_dispatch=t_dispatch,
+            t_start=t_start if t_start is not None else self.sim.now,
+            t_end=self.sim.now, ok=False))
+        self._release_slot(task.id, agent)
+        attempts = self.attempts.get(task.id, 0) + 1
+        self.attempts[task.id] = attempts
+        if attempts > self.config.max_task_retries:
+            self._abort(f"task {task.id!r} failed {attempts} times "
+                        f"(last: {reason})")
+            return
+        if requeue:
+            if self._is_ready(task.id):
+                self._enqueue(task.id)
+            else:
+                for name in self.workflow.tasks[task.id].inputs:
+                    if not self._available(name):
+                        self._recover_file(name)
+
+    def _abort(self, message: str) -> None:
+        self._error = message
+        if not self._finished.triggered:
+            self._finished.succeed()
+
+    # -- staging ----------------------------------------------------------------
+    def _transfer_sources(self, name: str, agent: WorkerAgent
+                          ) -> List[int]:
+        """Candidate source nodes, preference-ordered."""
+        locations = self.replicas.locations(name)
+        peers = [n for n in locations
+                 if n in self.agents and self.agents[n].alive
+                 and n != agent.node_id]
+        ordered: List[int] = []
+        if self.config.peer_transfers:
+            # fewest active outgoing flows first (manager-controlled
+            # transfer balancing)
+            peers.sort(key=lambda n: (
+                self.cluster.network.active_flow_count(n), n))
+            ordered.extend(peers)
+        if self.storage.node_id in locations:
+            ordered.append(self.storage.node_id)
+        if MANAGER_NODE in locations:
+            ordered.append(MANAGER_NODE)
+        if not self.config.peer_transfers:
+            ordered.extend(peers)  # last resort even for WQ
+        return ordered
+
+    def _stage_inputs(self, task: SimTask, agent: WorkerAgent,
+                      pinned: List[str]):
+        names = sorted(task.inputs,
+                       key=lambda n: -self.workflow.files[n].size)
+        for name in names:
+            # _fetch_to_worker leaves the file present AND pinned once.
+            yield from self._fetch_to_worker(name, agent)
+            pinned.append(name)
+
+    def _fetch_to_worker(self, name: str, agent: WorkerAgent):
+        """Ensure ``name`` is cached on ``agent`` with one pin held."""
+        while True:
+            if agent.has(name):
+                agent.pin(name)
+                return
+            pending = agent.inflight.get(name)
+            if pending is None:
+                break
+            # a sibling task (or a replication push) is already
+            # fetching it here; wait, then re-check -- on failure we
+            # fall through and fetch it ourselves.
+            yield pending
+        pending = self.sim.event()
+        agent.inflight[name] = pending
+        size = self.workflow.files[name].size
+        slot = agent.transfers.request()
+        try:
+            yield slot
+            for attempt in range(3):
+                sources = self._transfer_sources(name, agent)
+                if not sources:
+                    raise _StagingLost(name)
+                source = sources[0]
+                # born pinned, so concurrent reserves cannot evict it
+                # while the transfer is in flight
+                agent.reserve(name, size, pinned=True)
+                try:
+                    if source == self.storage.node_id:
+                        yield self.storage.read(agent.node_id, size)
+                    elif source == MANAGER_NODE:
+                        yield from self._manager_transfer(
+                            MANAGER_NODE, agent.node_id, size, "data")
+                    else:
+                        yield self.cluster.network.transfer(
+                            source, agent.node_id, size, kind="peer")
+                    self.replicas.add(name, agent.node_id)
+                    return
+                except ConnectionError:
+                    # source (or we) died mid-transfer; if we are dead
+                    # the Interrupt arrives separately.
+                    agent.unpin(name)
+                    agent.remove(name)
+                    if not agent.alive:
+                        raise
+                    continue
+            raise _StagingLost(name)
+        finally:
+            agent.inflight.pop(name, None)
+            if not pending.triggered:
+                pending.succeed()
+            if slot in agent.transfers._users:
+                agent.transfers.release(slot)
+            else:
+                slot.cancel()
+
+    # -- startup & outputs -----------------------------------------------------
+    def _startup(self, task: SimTask, agent: WorkerAgent):
+        cfg = self.config
+        if cfg.mode == TASK_MODE_TASKS:
+            yield self.sim.timeout(agent.node.scale_runtime(
+                cfg.task_startup + cfg.import_cost))
+            return
+        # serverless: one library per worker
+        if not agent.library_ready:
+            if agent.library_starting:
+                while not agent.library_ready:
+                    if not agent.alive:
+                        raise _StagingLost("library lost")
+                    yield self.sim.timeout(0.05)
+            else:
+                agent.library_starting = True
+                cost = cfg.library_startup
+                if cfg.hoisting:
+                    cost += cfg.import_cost
+                yield self.sim.timeout(agent.node.scale_runtime(cost))
+                agent.library_ready = True
+        overhead = cfg.function_call_overhead
+        if not cfg.hoisting:
+            overhead += cfg.import_cost
+        yield self.sim.timeout(agent.node.scale_runtime(overhead))
+
+    def _store_outputs(self, task: SimTask, agent: WorkerAgent):
+        for name in task.outputs:
+            size = self.workflow.files[name].size
+            # outputs are retained until their consumers finish
+            agent.reserve(name, size, retain=True)  # may raise DiskFull
+            yield agent.node.disk.write(size)
+            self.replicas.add(name, agent.node_id)
+            if self.config.results_to_manager or name in self.final_files:
+                yield from self._manager_transfer(
+                    agent.node_id, MANAGER_NODE, size, "result")
+                self.replicas.add(name, MANAGER_NODE)
+
+    def _manager_transfer(self, src: int, dst: int, size: float,
+                          kind: str):
+        """A transfer touching the manager, bounded by its connection
+        multiplexing limit."""
+        slot = self.manager_pipe.request()
+        try:
+            yield slot
+            yield self.cluster.network.transfer(src, dst, size, kind=kind)
+        finally:
+            if slot in self.manager_pipe._users:
+                self.manager_pipe.release(slot)
+            else:
+                slot.cancel()
+
+    # -- replication ---------------------------------------------------------
+    def _maybe_replicate(self, name: str, source: WorkerAgent) -> None:
+        """Best-effort: push extra copies of a fresh intermediate to
+        peers so its loss costs a transfer, not a recomputation."""
+        holders = {n for n in self.replicas.locations(name)
+                   if n in self.agents}
+        missing = self.config.min_replicas - len(holders)
+        if missing <= 0:
+            return
+        targets = sorted(
+            (a for a in self.agents.values()
+             if a.alive and a.node_id not in holders),
+            key=lambda a: (a.cached_bytes(), a.node_id))[:missing]
+        size = self.workflow.files[name].size
+        for target in targets:
+            self.sim.process(
+                self._replicate_proc(name, size, source, target),
+                name=f"replicate-{name}")
+
+    def _replicate_proc(self, name: str, size: float,
+                        source: WorkerAgent, target: WorkerAgent):
+        try:
+            if target.has(name) or name in target.inflight:
+                return
+            pending = self.sim.event()
+            target.inflight[name] = pending
+            try:
+                # replicas are evictable (retain=False): best effort
+                target.reserve(name, size, pinned=True)
+                yield self.cluster.network.transfer(
+                    source.node_id, target.node_id, size, kind="replica")
+                self.replicas.add(name, target.node_id)
+            finally:
+                target.unpin(name)
+                target.inflight.pop(name, None)
+                if not pending.triggered:
+                    pending.succeed()
+        except (ConnectionError, DiskFullError):
+            # source/target died or the target is full: give up quietly
+            if target.has(name) and not self.replicas.holders_among(
+                    name, [target.node_id]):
+                target.remove(name)
+
+    # -- failure handling ---------------------------------------------------
+    def _overflow_worker(self, agent: WorkerAgent) -> None:
+        """A cache overflow kills the worker (Fig 11)."""
+        if agent.alive:
+            self.cluster.preempt(agent.node)
+
+    def _on_preempt(self, node: WorkerNode) -> None:
+        agent = self.agents.pop(node.node_id, None)
+        self.free_workers.pop(node.node_id, None)
+        if agent is None:
+            return
+        for task_id in list(agent.assigned):
+            proc = self.task_procs.get(task_id)
+            if proc is not None and proc.is_alive:
+                proc.interrupt("preempted")
+        lost = self.replicas.drop_node(node.node_id)
+        for name in lost:
+            self._recover_file(name)
+        if not self.agents and not self._workflow_complete():
+            self._abort("all workers lost; workflow cannot proceed")
+        self._wake_dispatcher()
+
+    def _recover_file(self, name: str) -> None:
+        """Lineage recovery: re-run the producer of a lost file."""
+        if self._available(name):
+            return
+        file = self.workflow.files[name]
+        if file.kind == FileKind.INPUT:
+            # dataset files are durable on shared storage
+            self.replicas.add(name, self.storage.node_id)
+            return
+        needed = (name in self.final_files
+                  or any(consumer not in self.done
+                         for consumer in self.workflow.consumers[name]))
+        if not needed:
+            return
+        producer = self.workflow.producer[name]
+        if producer in self.running or producer in self.queued:
+            return
+        self.done.discard(producer)
+        missing = [g for g in self.workflow.tasks[producer].inputs
+                   if not self._available(g)]
+        if missing:
+            for g in missing:
+                self._recover_file(g)
+        if self._is_ready(producer):
+            self._enqueue(producer)

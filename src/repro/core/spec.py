@@ -1,0 +1,199 @@
+"""Abstract workflow specification consumed by the simulated schedulers.
+
+A :class:`SimWorkflow` is the scheduler-facing view of an analysis DAG:
+tasks with nominal compute costs, the files they consume and produce,
+and the lineage between them.  The benchmark harness builds these from
+the paper's Table II configurations; tests build tiny ones by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .files import FileKind, SimFile, cachename
+
+__all__ = ["SimTask", "SimWorkflow", "WorkflowError"]
+
+
+class WorkflowError(Exception):
+    """Inconsistent workflow specification."""
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One schedulable unit of work."""
+
+    id: str
+    compute: float                      # nominal seconds of pure compute
+    inputs: Tuple[str, ...] = ()        # file names consumed
+    outputs: Tuple[str, ...] = ()       # file names produced
+    category: str = "proc"              # "proc" | "accum" | free-form
+    function: str = ""                  # serverless routing (library fn)
+    cores: int = 1                      # resource requirement
+
+    def __post_init__(self):
+        if self.compute < 0:
+            raise ValueError(f"task {self.id!r} has negative compute")
+        if self.cores < 1:
+            raise ValueError(f"task {self.id!r} needs >= 1 core")
+
+
+class SimWorkflow:
+    """A validated DAG of :class:`SimTask` over :class:`SimFile`."""
+
+    def __init__(self, tasks: Iterable[SimTask],
+                 files: Iterable[SimFile]):
+        self.tasks: Dict[str, SimTask] = {}
+        for task in tasks:
+            if task.id in self.tasks:
+                raise WorkflowError(f"duplicate task id {task.id!r}")
+            self.tasks[task.id] = task
+        self.files: Dict[str, SimFile] = {}
+        for file in files:
+            if file.name in self.files:
+                raise WorkflowError(f"duplicate file {file.name!r}")
+            self.files[file.name] = file
+
+        #: file name -> producing task id (inputs have no producer)
+        self.producer: Dict[str, str] = {}
+        #: file name -> task ids consuming it
+        self.consumers: Dict[str, Set[str]] = {
+            name: set() for name in self.files}
+        for task in self.tasks.values():
+            for name in task.inputs:
+                if name not in self.files:
+                    raise WorkflowError(
+                        f"task {task.id!r} consumes unknown file {name!r}")
+                self.consumers[name].add(task.id)
+            for name in task.outputs:
+                if name not in self.files:
+                    raise WorkflowError(
+                        f"task {task.id!r} produces unknown file {name!r}")
+                if name in self.producer:
+                    raise WorkflowError(
+                        f"file {name!r} produced twice "
+                        f"({self.producer[name]!r} and {task.id!r})")
+                if self.files[name].kind == FileKind.INPUT:
+                    raise WorkflowError(
+                        f"input file {name!r} cannot be produced")
+                self.producer[name] = task.id
+        for name, file in self.files.items():
+            if file.kind != FileKind.INPUT and name not in self.producer:
+                raise WorkflowError(
+                    f"{file.kind} file {name!r} has no producer")
+        self._check_acyclic()
+        #: content-addressed identities, computed once
+        self.cachenames: Dict[str, str] = {}
+        for name in self._topo_file_order():
+            file = self.files[name]
+            producer_id = self.producer.get(name)
+            if producer_id is None:
+                lineage: List[str] = []
+            else:
+                lineage = [self.cachenames[parent]
+                           for parent in self.tasks[producer_id].inputs]
+            self.cachenames[name] = cachename(name, file.size, lineage)
+
+    # -- structure -------------------------------------------------------------
+    def task_dependencies(self, task_id: str) -> Set[str]:
+        """Task ids that must complete before ``task_id`` can start."""
+        deps = set()
+        for name in self.tasks[task_id].inputs:
+            producer_id = self.producer.get(name)
+            if producer_id is not None:
+                deps.add(producer_id)
+        return deps
+
+    def task_dependents(self) -> Dict[str, Set[str]]:
+        out: Dict[str, Set[str]] = {tid: set() for tid in self.tasks}
+        for tid in self.tasks:
+            for dep in self.task_dependencies(tid):
+                out[dep].add(tid)
+        return out
+
+    def initial_ready(self) -> List[str]:
+        """Tasks whose inputs are all dataset files."""
+        return [tid for tid in self.tasks
+                if not self.task_dependencies(tid)]
+
+    def final_files(self) -> List[str]:
+        """Files nobody consumes (the results the manager fetches)."""
+        return [name for name, users in self.consumers.items()
+                if not users and self.files[name].kind != FileKind.INPUT]
+
+    def total_input_bytes(self) -> float:
+        return sum(f.size for f in self.files.values()
+                   if f.kind == FileKind.INPUT)
+
+    def total_intermediate_bytes(self) -> float:
+        return sum(f.size for f in self.files.values()
+                   if f.kind == FileKind.INTERMEDIATE)
+
+    def total_generated_bytes(self) -> float:
+        """All task-produced data (intermediates plus final outputs)."""
+        return sum(f.size for f in self.files.values()
+                   if f.kind != FileKind.INPUT)
+
+    def categories(self) -> Set[str]:
+        return {t.category for t in self.tasks.values()}
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    # -- internals ---------------------------------------------------------
+    def _check_acyclic(self) -> None:
+        state: Dict[str, int] = {}
+        for start in self.tasks:
+            if state.get(start, 0) == 2:
+                continue
+            stack = [(start, iter(self.task_dependencies(start)))]
+            state[start] = 1
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for dep in it:
+                    mark = state.get(dep, 0)
+                    if mark == 1:
+                        raise WorkflowError(f"cycle through task {dep!r}")
+                    if mark == 0:
+                        state[dep] = 1
+                        stack.append(
+                            (dep, iter(self.task_dependencies(dep))))
+                        advanced = True
+                        break
+                if not advanced:
+                    stack.pop()
+                    state[node] = 2
+        return
+
+    def _topo_file_order(self) -> List[str]:
+        """Files ordered so that lineage parents precede children."""
+        order: List[str] = []
+        seen: Set[str] = set()
+
+        def visit_task(task_id: str) -> None:
+            for name in self.tasks[task_id].inputs:
+                visit_file(name)
+            for name in self.tasks[task_id].outputs:
+                if name not in seen:
+                    seen.add(name)
+                    order.append(name)
+
+        def visit_file(name: str) -> None:
+            if name in seen:
+                return
+            producer_id = self.producer.get(name)
+            if producer_id is not None:
+                visit_task(producer_id)
+            if name not in seen:
+                seen.add(name)
+                order.append(name)
+
+        for name in self.files:
+            visit_file(name)
+        return order
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SimWorkflow {len(self.tasks)} tasks, "
+                f"{len(self.files)} files>")

@@ -1,0 +1,165 @@
+"""Worker-side agent: local cache, transfer slots, library state.
+
+Each simulated worker supervises one whole multi-core node (unlike
+Dask.Distributed's one-process-per-core sharding, Section V.B): a single
+shared file cache on the node-local disk, a bounded number of concurrent
+incoming transfers (the manager throttles peer transfers, Section IV.B),
+and -- in serverless mode -- at most one resident library instance whose
+startup (imports) is paid once per worker, not per task.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..sim.cluster import WorkerNode
+from ..sim.engine import Resource, Simulation
+from ..sim.storage import DiskFullError
+from ..sim.trace import TraceRecorder
+
+__all__ = ["WorkerAgent", "CacheEntry"]
+
+
+class CacheEntry:
+    """One cached file replica on a worker."""
+
+    __slots__ = ("name", "size", "pins", "retain", "last_used")
+
+    def __init__(self, name: str, size: float, now: float):
+        self.name = name
+        self.size = size
+        self.pins = 0            # > 0 while a running task needs it
+        #: intermediates are retained until the manager says their
+        #: consumers are all done (TaskVine's data retention); retained
+        #: entries are never evicted -- disk pressure then becomes a
+        #: worker failure, the Fig 11 overflow mode.
+        self.retain = False
+        self.last_used = now
+
+
+class WorkerAgent:
+    """Scheduler-facing wrapper around a cluster node."""
+
+    def __init__(self, sim: Simulation, node: WorkerNode,
+                 trace: TraceRecorder, transfer_slots: int = 3):
+        self.sim = sim
+        self.node = node
+        self.trace = trace
+        self.cache: Dict[str, CacheEntry] = {}
+        #: throttle on concurrent incoming transfers (peer or FS)
+        self.transfers = Resource(sim, capacity=transfer_slots)
+        #: task id -> cores held, for tasks dispatched/running here
+        self.assigned: Dict[str, int] = {}
+        #: serverless state: has the library been instantiated?
+        self.library_ready = False
+        self.library_starting = False
+        #: in-flight fetches, so sibling tasks wait instead of racing
+        self.inflight: Dict[str, object] = {}
+        #: manager hook: called with the file name on LRU eviction so
+        #: the replica map stays consistent.
+        self.on_evict = None
+
+    # -- identity -------------------------------------------------------------
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def alive(self) -> bool:
+        return self.node.alive
+
+    @property
+    def cores(self) -> int:
+        return self.node.spec.cores
+
+    def free_slots(self) -> int:
+        return self.cores - sum(self.assigned.values())
+
+    def assign(self, task_id: str, cores: int = 1) -> None:
+        self.assigned[task_id] = cores
+
+    def unassign(self, task_id: str) -> None:
+        self.assigned.pop(task_id, None)
+
+    # -- cache management -----------------------------------------------------
+    def has(self, name: str) -> bool:
+        return name in self.cache
+
+    def cached_bytes(self) -> float:
+        return sum(e.size for e in self.cache.values())
+
+    def reserve(self, name: str, size: float, pinned: bool = False,
+                retain: bool = False) -> None:
+        """Allocate disk for a new replica, evicting if needed.
+
+        ``pinned`` entries are born with one pin (the caller must unpin
+        when done); ``retain`` marks intermediates the manager wants
+        kept.  Raises :class:`DiskFullError` when even eviction cannot
+        make room -- the Fig 11 failure mode.
+        """
+        entry = self.cache.get(name)
+        if entry is not None:
+            if pinned:
+                entry.pins += 1
+            entry.retain = entry.retain or retain
+            return
+        if size > self.node.disk.available:
+            self._evict(size - self.node.disk.available)
+        self.node.disk.allocate(size)  # raises DiskFullError if still full
+        entry = CacheEntry(name, size, self.sim.now)
+        if pinned:
+            entry.pins = 1
+        entry.retain = retain
+        self.cache[name] = entry
+        self.trace.cache(self.node_id, self.sim.now, size)
+
+    def _evict(self, need: float) -> None:
+        """Drop least-recently-used unpinned, unretained replicas."""
+        victims = sorted(
+            (e for e in self.cache.values()
+             if e.pins == 0 and not e.retain),
+            key=lambda e: e.last_used)
+        freed = 0.0
+        for entry in victims:
+            if freed >= need:
+                break
+            self.remove(entry.name, notify=True)
+            freed += entry.size
+
+    def remove(self, name: str, notify: bool = False) -> None:
+        entry = self.cache.pop(name, None)
+        if entry is not None:
+            self.node.disk.free(entry.size)
+            self.trace.cache(self.node_id, self.sim.now, -entry.size)
+            if notify and self.on_evict is not None:
+                self.on_evict(name)
+
+    def release_retention(self, name: str) -> None:
+        """Manager signal: the file's consumers are done; it may go."""
+        entry = self.cache.get(name)
+        if entry is not None:
+            entry.retain = False
+
+    def pin(self, name: str) -> None:
+        entry = self.cache[name]
+        entry.pins += 1
+        entry.last_used = self.sim.now
+
+    def unpin(self, name: str) -> None:
+        entry = self.cache.get(name)
+        if entry is not None and entry.pins > 0:
+            entry.pins -= 1
+
+    def locality_bytes(self, names, sizes: Dict[str, float]) -> float:
+        """Bytes of the given files already present here (placement
+        scoring: schedule tasks where their data is)."""
+        return sum(sizes[n] for n in names if n in self.cache)
+
+    def clear(self) -> None:
+        for name in list(self.cache):
+            self.remove(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<WorkerAgent node={self.node_id} "
+                f"cache={len(self.cache)} files "
+                f"assigned={len(self.assigned)}>")

@@ -1,0 +1,27 @@
+"""DAG manager layer: graphs, delayed API, optimizations, partitioning."""
+
+from .cache import GraphCache, cached_execute
+from .daskvine import DaskVine
+from .delayed import Delayed, delayed
+from .graph import GraphError, TaskGraph, is_task, task_dependencies
+from .lazy import LazyColumn, LazyEvents, LazyHist
+from .optimize import (
+    associative,
+    cull,
+    fuse_linear,
+    is_associative,
+    rewrite_reductions,
+    tree_reduce,
+)
+from .partition import accumulate_list, build_analysis_graph, process_chunk
+
+__all__ = [
+    "TaskGraph", "GraphError", "is_task", "task_dependencies",
+    "Delayed", "delayed",
+    "cull", "fuse_linear", "tree_reduce", "rewrite_reductions",
+    "associative", "is_associative",
+    "build_analysis_graph", "process_chunk", "accumulate_list",
+    "DaskVine",
+    "LazyEvents", "LazyColumn", "LazyHist",
+    "GraphCache", "cached_execute",
+]

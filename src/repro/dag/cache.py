@@ -1,0 +1,140 @@
+"""Result caching across iterations of an analysis.
+
+The paper's motivation is the refine-and-re-run loop (Section I): a
+physicist changes one cut and re-runs.  Most of the graph is unchanged
+-- so most task results can be replayed from cache and only genuinely
+new work executes.
+
+Tasks are content-addressed by *lineage*, exactly like TaskVine's
+cachenames (Section IV.B): a task's key hashes its function identity,
+its literal arguments, and the keys of the tasks that produce its
+inputs.  Values themselves are never hashed (object-graph sharing makes
+value pickles non-canonical); changing any upstream task changes every
+downstream key transitively.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..engine import wire
+from .graph import TaskGraph, is_task
+
+__all__ = ["GraphCache", "cached_execute"]
+
+
+class _Unkeyable(Exception):
+    """Part of a task's signature cannot be serialised stably."""
+
+
+def _signature(obj: Any, keymap: Dict[Hashable, Optional[str]]) -> bytes:
+    """Stable bytes for a task argument.
+
+    Graph keys contribute their producing task's lineage key; plain
+    values contribute their pickle.  Raises :class:`_Unkeyable` when a
+    value cannot be pickled or an upstream task was unkeyable.
+    """
+    try:
+        if obj in keymap:
+            upstream = keymap[obj]
+            if upstream is None:
+                raise _Unkeyable(obj)
+            return b"K\x00" + upstream.encode()
+    except TypeError:
+        pass  # unhashable literals cannot be keys
+    if isinstance(obj, (list, tuple)):
+        tag = b"L\x00" if isinstance(obj, list) else b"T\x00"
+        return tag + b"\x01".join(_signature(item, keymap)
+                                  for item in obj)
+    try:
+        return b"V\x00" + wire.dumps(obj)
+    except wire.WireError:
+        raise _Unkeyable(obj) from None
+
+
+def _task_key(computation: tuple,
+              keymap: Dict[Hashable, Optional[str]]) -> Optional[str]:
+    func = computation[0]
+    try:
+        qualname = f"{func.__module__}.{func.__qualname__}"
+    except AttributeError:
+        return None
+    digest = hashlib.sha256(qualname.encode())
+    try:
+        for arg in computation[1:]:
+            digest.update(b"\x02")
+            digest.update(_signature(arg, keymap))
+    except _Unkeyable:
+        return None
+    return digest.hexdigest()
+
+
+class GraphCache:
+    """Memoises task results across graph executions by lineage key."""
+
+    def __init__(self, max_entries: int = 10_000):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._store: Dict[str, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Optional[str]) -> Tuple[bool, Any]:
+        """(found, fresh copy of the value)."""
+        if key is None:
+            return False, None
+        payload = self._store.get(key)
+        if payload is None:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        # a fresh copy per hit: downstream tasks may mutate their
+        # inputs (e.g. postprocess annotating the accumulator)
+        return True, wire.loads(payload)
+
+    def put(self, key: Optional[str], value: Any) -> None:
+        if key is None:
+            return
+        try:
+            payload = wire.dumps(value)
+        except wire.WireError:
+            return  # unpicklable results are simply not cached
+        if len(self._store) >= self.max_entries:
+            # drop the oldest entry (insertion order)
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = payload
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+def cached_execute(graph: TaskGraph, cache: GraphCache
+                   ) -> Dict[Hashable, Any]:
+    """Sequential execution with lineage-keyed memoisation."""
+    results: Dict[Hashable, Any] = {}
+    keymap: Dict[Hashable, Optional[str]] = {}
+    for key in graph.toposort():
+        computation = graph.graph[key]
+        if not is_task(computation):
+            results[key] = graph._resolve(computation, results)
+            try:
+                keymap[key] = _task_key((lambda x: x, computation),
+                                        keymap)
+            except Exception:
+                keymap[key] = None
+            continue
+        task_key = _task_key(computation, keymap)
+        keymap[key] = task_key
+        found, value = cache.get(task_key)
+        if not found:
+            args = [graph._resolve(arg, results)
+                    for arg in computation[1:]]
+            value = computation[0](*args)
+            cache.put(task_key, value)
+        results[key] = value
+    return {t: results[t] for t in graph.targets}

@@ -1,0 +1,119 @@
+"""DaskVine: the manager facade connecting DAGs to execution.
+
+Mirrors the paper's Fig 4 code shape::
+
+    manager = DaskVine(name="my_manager")
+    result = manager.compute(
+        hist,
+        task_mode="function-calls",
+        lib_resources={"cores": 12, "slots": 12},
+        import_modules=["numpy"],
+    )
+
+``compute`` accepts a :class:`~repro.dag.delayed.Delayed` or a
+:class:`~repro.dag.graph.TaskGraph`, applies the DAG optimizations
+(cull, optional tree-reduction rewrite), and executes with the selected
+paradigm on the local real-execution engine:
+
+* ``task_mode="tasks"``          -> fresh interpreter per task
+* ``task_mode="function-calls"`` -> persistent library, fork per call
+* ``task_mode="serial"``         -> in-process reference execution
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Union
+
+from .delayed import Delayed
+from .graph import TaskGraph
+from .optimize import cull, rewrite_reductions
+
+__all__ = ["DaskVine"]
+
+
+class DaskVine:
+    """Manager that schedules DAGs onto the local execution engine."""
+
+    TASK_MODES = ("serial", "tasks", "function-calls")
+
+    def __init__(self, name: str = "daskvine", cores: int = 4):
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        self.name = name
+        self.cores = cores
+        #: statistics of the last compute() call
+        self.last_stats: Dict[str, Any] = {}
+
+    def compute(self, work: Union[Delayed, TaskGraph],
+                task_mode: str = "function-calls",
+                lib_resources: Optional[Dict[str, int]] = None,
+                import_modules: Sequence[str] = (),
+                hoisting: bool = True,
+                reduction_arity: Optional[int] = None,
+                cache: Optional["GraphCache"] = None) -> Any:
+        """Optimize and execute; returns the (single) target's value.
+
+        ``reduction_arity`` optionally rewrites flat associative
+        reductions into trees before execution (Fig 11).  Passing a
+        :class:`~repro.dag.cache.GraphCache` replays unchanged tasks
+        from previous computes (lineage-keyed memoisation; implies
+        in-process execution).
+        """
+        if isinstance(work, TaskGraph):
+            graph = work
+        elif hasattr(work, "to_graph"):
+            # Delayed values and LazyHist both lower themselves
+            graph = work.to_graph()
+        else:
+            raise TypeError(f"cannot compute {type(work).__name__}")
+        if task_mode not in self.TASK_MODES:
+            raise ValueError(f"unknown task_mode {task_mode!r}; "
+                             f"choose from {self.TASK_MODES}")
+
+        graph = cull(graph)
+        if reduction_arity is not None:
+            graph = rewrite_reductions(graph, arity=reduction_arity)
+
+        if cache is not None:
+            from .cache import cached_execute
+
+            results = cached_execute(graph, cache)
+            self.last_stats = {
+                "task_mode": "cached", "tasks": len(graph),
+                "targets": list(graph.targets),
+                "cache_hits": cache.hits,
+                "cache_misses": cache.misses}
+            if len(graph.targets) == 1:
+                return results[graph.targets[0]]
+            return results
+
+        # Imported here, not at module top: the engine's graph runner
+        # depends on this package, so a top-level import would cycle.
+        from ..engine.local import (
+            FunctionCallPool,
+            SerialExecutor,
+            StandardTaskPool,
+        )
+
+        resources = dict(lib_resources or {})
+        slots = int(resources.get("slots", self.cores))
+
+        if task_mode == "serial":
+            executor = SerialExecutor()
+        elif task_mode == "tasks":
+            executor = StandardTaskPool(max_workers=slots,
+                                        import_modules=import_modules)
+        else:
+            executor = FunctionCallPool(slots=slots,
+                                        import_modules=import_modules,
+                                        hoisting=hoisting)
+
+        results = executor.execute(graph)
+        self.last_stats = {
+            "task_mode": task_mode,
+            "tasks": len(graph),
+            "targets": list(graph.targets),
+        }
+        if len(graph.targets) == 1:
+            return results[graph.targets[0]]
+        return results

@@ -1,0 +1,83 @@
+"""A ``delayed`` API for building task graphs from plain Python calls.
+
+Mirrors ``dask.delayed``: wrapping a function makes calls lazy, each
+call becomes a graph node, and :class:`Delayed` handles compose into
+bigger graphs::
+
+    @delayed
+    def add(a, b):
+        return a + b
+
+    total = add(add(1, 2), 3)
+    total.compute()        # 6  (reference executor)
+
+Distributed execution paths take ``Delayed.to_graph()`` instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import wraps
+from typing import Any, Callable, Dict, Optional
+
+from .graph import TaskGraph
+
+__all__ = ["delayed", "Delayed"]
+
+_counter = itertools.count()
+
+
+class Delayed:
+    """A lazy value: a key plus the graph fragment that produces it."""
+
+    __slots__ = ("key", "dsk")
+
+    def __init__(self, key: str, dsk: Dict[str, Any]):
+        self.key = key
+        self.dsk = dsk
+
+    def compute(self) -> Any:
+        """Evaluate with the reference sequential executor."""
+        return TaskGraph(self.dsk, targets=[self.key]).execute()[self.key]
+
+    def to_graph(self) -> TaskGraph:
+        return TaskGraph(self.dsk, targets=[self.key])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Delayed {self.key!r} ({len(self.dsk)} tasks)>"
+
+
+def _unwrap(obj: Any, dsk: Dict[str, Any]) -> Any:
+    """Replace Delayed arguments with their keys, merging graphs."""
+    if isinstance(obj, Delayed):
+        dsk.update(obj.dsk)
+        return obj.key
+    if isinstance(obj, (list, tuple)):
+        unwrapped = [_unwrap(item, dsk) for item in obj]
+        return type(obj)(unwrapped) if isinstance(obj, tuple) else unwrapped
+    return obj
+
+
+def delayed(func: Optional[Callable] = None, *, name: Optional[str] = None):
+    """Decorator/wrapper making a function lazily graph-building."""
+
+    def wrap(f: Callable):
+        label = name or getattr(f, "__name__", "task")
+
+        @wraps(f)
+        def builder(*args, **kwargs) -> Delayed:
+            if kwargs:
+                raise TypeError(
+                    "delayed tasks take positional arguments only "
+                    "(graph tuples cannot carry kwargs)")
+            dsk: Dict[str, Any] = {}
+            call_args = [_unwrap(arg, dsk) for arg in args]
+            key = f"{label}-{next(_counter)}"
+            dsk[key] = (f, *call_args)
+            return Delayed(key, dsk)
+
+        return builder
+
+    if func is not None:
+        return wrap(func)
+    return wrap

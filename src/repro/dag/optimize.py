@@ -1,0 +1,206 @@
+"""Graph optimizations.
+
+Three rewrites, matching Section IV.C of the paper:
+
+* :func:`cull` -- drop tasks not reachable from the targets.
+* :func:`fuse_linear` -- collapse single-consumer chains into one task,
+  reducing scheduler round trips for pipelined stages.
+* :func:`tree_reduce` / :func:`rewrite_reductions` -- the paper's Fig 11
+  fix: replace a flat N-input reduction (which forces all N inputs onto
+  one worker at once, overflowing its cache) with a k-ary tree of
+  partial reductions.  Only functions registered as *associative* are
+  eligible, because the rewrite reorders the combination.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Set
+
+from .graph import GraphError, TaskGraph, is_task, task_dependencies
+
+__all__ = [
+    "cull",
+    "fuse_linear",
+    "tree_reduce",
+    "rewrite_reductions",
+    "associative",
+    "is_associative",
+]
+
+_ASSOCIATIVE: Set[Callable] = set()
+_counter = itertools.count()
+
+
+def associative(func: Callable) -> Callable:
+    """Mark a reduction function as associative+commutative.
+
+    The function must accept a single list argument and be insensitive
+    to how that list is split -- ``f(xs + ys) == f([f(xs), f(ys)])``.
+    Histogram accumulation satisfies this (Section II.A).
+    """
+    _ASSOCIATIVE.add(func)
+    return func
+
+
+def is_associative(func: Callable) -> bool:
+    return func in _ASSOCIATIVE
+
+
+def cull(graph: TaskGraph) -> TaskGraph:
+    """Keep only tasks reachable from the targets."""
+    needed: Set[Hashable] = set()
+    stack = list(graph.targets)
+    while stack:
+        key = stack.pop()
+        if key in needed:
+            continue
+        needed.add(key)
+        stack.extend(graph.dependencies(key))
+    return TaskGraph({k: graph.graph[k] for k in needed},
+                     targets=graph.targets)
+
+
+def fuse_linear(graph: TaskGraph) -> TaskGraph:
+    """Fuse chains where a task's sole consumer takes it as input.
+
+    ``b = f(a); c = g(b)`` with no other user of ``b`` becomes
+    ``c = g(f(a))`` -- one scheduler round trip instead of two.
+    Target keys are never fused away.
+    """
+    dependents = graph.dependents()
+    new_graph = dict(graph.graph)
+    protected = set(graph.targets)
+
+    # Repeatedly inline keys with exactly one dependent.
+    changed = True
+    while changed:
+        changed = False
+        for key in list(new_graph):
+            if key in protected or key not in new_graph:
+                continue
+            users = dependents.get(key, set()) & set(new_graph)
+            if len(users) != 1:
+                continue
+            (user,) = users
+            if user not in new_graph:
+                continue
+            computation = new_graph[key]
+            if not is_task(computation):
+                continue
+            user_computation = new_graph[user]
+            if not is_task(user_computation):
+                continue
+            inlined = _substitute(user_computation, key, computation)
+            if inlined is user_computation:
+                continue  # key not directly referenced (nested lists)
+            new_graph[user] = inlined
+            del new_graph[key]
+            changed = True
+    return TaskGraph(new_graph, targets=graph.targets)
+
+
+def _substitute(computation: Any, key: Hashable, replacement: Any) -> Any:
+    """Replace direct references to ``key`` with ``replacement``."""
+    if is_task(computation):
+        new_args = []
+        hit = False
+        for arg in computation[1:]:
+            sub = _substitute(arg, key, replacement)
+            hit = hit or (sub is not arg)
+            new_args.append(sub)
+        if not hit:
+            return computation
+        return (computation[0], *new_args)
+    if isinstance(computation, list):
+        subs = [_substitute(item, key, replacement) for item in computation]
+        if all(a is b for a, b in zip(subs, computation)):
+            return computation
+        return subs
+    try:
+        if computation == key and isinstance(
+                computation, type(key)):
+            return replacement
+    except Exception:
+        pass
+    return computation
+
+
+def tree_reduce(inputs: List[Hashable], func: Callable, arity: int = 2,
+                prefix: str = "reduce"):
+    """Build a k-ary reduction tree over ``inputs``.
+
+    Returns ``(fragment, final_key)``.  ``func`` must take a single list
+    argument; one reduction task is emitted per internal tree node, so
+    no task ever holds more than ``arity`` inputs at once -- the
+    storage bound that fixes Fig 11's cache overflow.
+    """
+    if arity < 2:
+        raise ValueError("reduction arity must be >= 2")
+    if not inputs:
+        raise ValueError("nothing to reduce")
+    uid = next(_counter)
+    final_key = f"{prefix}-final-{uid}"
+    fragment: Dict[Hashable, Any] = {}
+    level = list(inputs)
+    if len(level) == 1:
+        fragment[final_key] = (func, [level[0]])
+        return fragment, final_key
+    round_no = 0
+    while len(level) > 1:
+        groups = [level[i:i + arity] for i in range(0, len(level), arity)]
+        last_round = len(groups) == 1
+        next_level = []
+        for gi, group in enumerate(groups):
+            if len(group) == 1 and not last_round:
+                next_level.append(group[0])
+                continue
+            key = (final_key if last_round
+                   else f"{prefix}-{uid}-r{round_no}-{gi}")
+            fragment[key] = (func, list(group))
+            next_level.append(key)
+        level = next_level
+        round_no += 1
+    return fragment, final_key
+
+
+def rewrite_reductions(graph: TaskGraph, arity: int = 2) -> TaskGraph:
+    """Rewrite flat associative reductions into k-ary trees (Fig 11).
+
+    A task is a flat reduction when it has the shape
+    ``(func, [input_key, ...])`` with ``func`` registered via
+    :func:`associative` and more than ``arity`` inputs.
+    """
+    if arity < 2:
+        raise ValueError("reduction arity must be >= 2")
+    new_graph = dict(graph.graph)
+    keys = set(graph.graph)
+    for key, computation in graph.graph.items():
+        if not is_task(computation) or len(computation) != 2:
+            continue
+        func, arg = computation
+        if not is_associative(func) or not isinstance(arg, list):
+            continue
+        inputs = [a for a in arg]
+        if len(inputs) <= arity:
+            continue
+        if not all(_is_key(a, keys) for a in inputs):
+            continue
+        fragment, final_key = tree_reduce(
+            inputs, func, arity=arity, prefix=f"tree-{_flat_name(key)}")
+        # The original key now aliases the tree's final output so that
+        # downstream consumers (and targets) are untouched.
+        new_graph.update(fragment)
+        new_graph[key] = final_key
+    return TaskGraph(new_graph, targets=graph.targets)
+
+
+def _is_key(obj: Any, keys: Set[Hashable]) -> bool:
+    try:
+        return obj in keys
+    except TypeError:
+        return False
+
+
+def _flat_name(key: Hashable) -> str:
+    return str(key).replace(" ", "_")

@@ -1,0 +1,67 @@
+"""Partitioning analyses into task graphs (the Coffea -> Dask step).
+
+Given event chunks and a processor, build the Fig 3 / Fig 5 topology:
+
+* one ``process`` task per chunk (load columns, run the processor), and
+* an accumulation that merges all chunk outputs, either as a single
+  flat task (the original RS-TriPhoton shape that overflowed worker
+  caches, Fig 11a) or as a k-ary tree (the fix, Fig 11b), plus
+* a final ``postprocess`` task.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+from ..hep.nanoevents import EventChunk
+from ..hep.processor import ProcessorABC, accumulate
+from .graph import TaskGraph
+from .optimize import associative, tree_reduce
+
+__all__ = ["build_analysis_graph", "process_chunk", "accumulate_list"]
+
+
+def process_chunk(processor: ProcessorABC, chunk: EventChunk) -> Dict:
+    """Load one chunk and run the processor on it (a 'proc' task)."""
+    return processor.process(chunk.load())
+
+
+@associative
+def accumulate_list(items: List) -> Any:
+    """Reduction task body: merge a list of accumulators."""
+    return accumulate(items)
+
+
+def build_analysis_graph(processor: ProcessorABC,
+                         chunks: Sequence[EventChunk],
+                         reduction_arity: Optional[int] = 8,
+                         prefix: str = "analysis") -> TaskGraph:
+    """Build the analysis DAG.
+
+    Parameters
+    ----------
+    reduction_arity:
+        ``None`` produces the flat single-task reduction (Fig 11 left);
+        an integer >= 2 produces the hierarchical tree (Fig 11 right).
+    """
+    if not chunks:
+        raise ValueError("no chunks to analyse")
+    graph: Dict[Hashable, Any] = {}
+    proc_keys: List[Hashable] = []
+    for index, chunk in enumerate(chunks):
+        key = f"{prefix}-proc-{index}"
+        graph[key] = (process_chunk, processor, chunk)
+        proc_keys.append(key)
+
+    if reduction_arity is None:
+        reduce_key = f"{prefix}-accum-flat"
+        graph[reduce_key] = (accumulate_list, proc_keys)
+    else:
+        fragment, reduce_key = tree_reduce(
+            proc_keys, accumulate_list, arity=reduction_arity,
+            prefix=f"{prefix}-accum")
+        graph.update(fragment)
+
+    final_key = f"{prefix}-result"
+    graph[final_key] = (processor.postprocess, reduce_key)
+    return TaskGraph(graph, targets=[final_key])

@@ -1,0 +1,10 @@
+"""Dask.Distributed baseline scheduler model."""
+
+from .scheduler import (
+    DASK_DISTRIBUTED_CONFIG,
+    DaskCrashed,
+    DaskDistributedScheduler,
+)
+
+__all__ = ["DaskDistributedScheduler", "DASK_DISTRIBUTED_CONFIG",
+           "DaskCrashed"]

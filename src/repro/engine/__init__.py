@@ -1,0 +1,18 @@
+"""Real local execution engine: serverless libraries and task pools."""
+
+from .calibrate import calibrate
+from .library import FunctionCallError, Library, LibraryError
+from .local import (
+    FunctionCallPool,
+    SerialExecutor,
+    StandardTaskPool,
+    run_graph,
+)
+from .wire import WireError, dumps, loads, payload_size
+
+__all__ = [
+    "Library", "LibraryError", "FunctionCallError",
+    "SerialExecutor", "StandardTaskPool", "FunctionCallPool", "run_graph",
+    "dumps", "loads", "payload_size", "WireError",
+    "calibrate",
+]

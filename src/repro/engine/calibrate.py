@@ -1,0 +1,135 @@
+"""Measure the real execution-paradigm costs on this machine.
+
+The simulator's cost model (``repro.bench.calibration``) asserts that a
+standard task pays interpreter startup + imports per task while a
+serverless function call pays a fork.  This module *measures* those
+quantities on the current host:
+
+* ``measure_spawn_startup``  -- fresh ``spawn`` interpreter round trip
+  (the standard-task wrapper),
+* ``measure_import_cost``    -- importing numpy in a fresh interpreter,
+* ``measure_fork_call``      -- one serverless invocation through a
+  resident :class:`~repro.engine.library.Library`,
+* ``measure_serialization``  -- pickling throughput for histogram-sized
+  payloads.
+
+Run as a script for a report::
+
+    python -m repro.engine.calibrate
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+from . import wire
+from .library import Library
+
+__all__ = [
+    "measure_spawn_startup",
+    "measure_import_cost",
+    "measure_fork_call",
+    "measure_serialization",
+    "calibrate",
+]
+
+
+def _noop(conn):
+    conn.send("ok")
+    conn.close()
+
+
+def _import_numpy(conn):
+    import numpy  # noqa: F401 - the import is the measurement
+
+    conn.send("ok")
+    conn.close()
+
+
+def _spawn_round_trip(target) -> float:
+    ctx = mp.get_context("spawn")
+    parent, child = ctx.Pipe()
+    start = time.perf_counter()
+    proc = ctx.Process(target=target, args=(child,))
+    proc.start()
+    parent.recv()
+    proc.join()
+    return time.perf_counter() - start
+
+
+def measure_spawn_startup(repeats: int = 3) -> float:
+    """Median seconds to start a fresh interpreter and hear back."""
+    times = sorted(_spawn_round_trip(_noop) for _ in range(repeats))
+    return times[len(times) // 2]
+
+
+def measure_import_cost(repeats: int = 3) -> float:
+    """Extra seconds a fresh interpreter pays to import numpy."""
+    with_import = sorted(_spawn_round_trip(_import_numpy)
+                         for _ in range(repeats))
+    bare = measure_spawn_startup(repeats)
+    return max(0.0, with_import[len(with_import) // 2] - bare)
+
+
+def _identity(x):
+    return x
+
+
+def measure_fork_call(repeats: int = 20) -> float:
+    """Median seconds for one fork-based serverless invocation."""
+    with Library({"f": _identity}, slots=1) as library:
+        library.call("f", 0).result(timeout=60)  # warm up
+        times = []
+        for i in range(repeats):
+            start = time.perf_counter()
+            library.call("f", i).result(timeout=60)
+            times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]
+
+
+def measure_serialization(nbytes: int = 10_000_000) -> float:
+    """Seconds to round-trip a histogram-sized numpy payload."""
+    payload = np.random.default_rng(0).random(nbytes // 8)
+    start = time.perf_counter()
+    data = wire.dumps(payload)
+    wire.loads(data)
+    return time.perf_counter() - start
+
+
+def calibrate() -> Dict[str, float]:
+    """Run every measurement; returns a name -> seconds dict."""
+    return {
+        "spawn_startup_s": measure_spawn_startup(),
+        "numpy_import_s": measure_import_cost(),
+        "fork_call_s": measure_fork_call(),
+        "serialize_10mb_s": measure_serialization(),
+    }
+
+
+def main() -> None:  # pragma: no cover - exercised by example runs
+    print("measuring execution-paradigm costs on this host...\n")
+    results = calibrate()
+    print(f"{'fresh interpreter (spawn) round trip':42s} "
+          f"{results['spawn_startup_s']*1e3:8.1f} ms")
+    print(f"{'numpy import in a fresh interpreter':42s} "
+          f"{results['numpy_import_s']*1e3:8.1f} ms")
+    print(f"{'serverless fork invocation (library)':42s} "
+          f"{results['fork_call_s']*1e3:8.1f} ms")
+    print(f"{'pickle round trip, 10 MB payload':42s} "
+          f"{results['serialize_10mb_s']*1e3:8.1f} ms")
+    ratio = ((results["spawn_startup_s"] + results["numpy_import_s"])
+             / max(results["fork_call_s"], 1e-9))
+    print(f"\nstandard-task startup / function-call overhead: "
+          f"{ratio:.0f}x")
+    print("(this ratio is why the paper's Stack 3 -> 4 transition "
+          "matters for 1-10 s tasks)")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,292 @@
+"""Real serverless execution: persistent library processes.
+
+Implements the paper's LibraryTask / FunctionCall model on this machine
+(Section IV.B, "Serverless Execution"):
+
+* A **library process** starts once, optionally imports a list of
+  modules in its preamble (*import hoisting*), and registers named
+  functions.
+* Each **function call** sends only a function *name* and its arguments
+  to the library, which ``os.fork()``\\ s a child to run the invocation.
+  The child inherits the already-imported modules and the warmed
+  interpreter for free, writes its pickled result to a per-call spool
+  file, signals completion over a pipe, and ``os._exit``\\ s.
+* Multiple invocations run concurrently up to ``slots`` children,
+  matching the paper's ``lib_resources={'cores': 12, 'slots': 12}``.
+
+Contrast with :class:`repro.engine.local.StandardTaskPool`, which pays a
+fresh interpreter + imports for every task.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import os
+import select
+import struct
+import tempfile
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from . import wire
+
+__all__ = ["Library", "LibraryError", "FunctionCallError"]
+
+_RECORD = struct.Struct("=QQ")  # (call_id, status); 16 bytes < PIPE_BUF
+_OK = 0
+_FAILED = 1
+
+
+class LibraryError(Exception):
+    """Library lifecycle problem (not started, died, bad function)."""
+
+
+class FunctionCallError(Exception):
+    """A function invocation raised inside the library."""
+
+
+def _library_main(conn, signal_write_fd: int, spool_dir: str,
+                  functions: Dict[str, Callable],
+                  import_modules: Sequence[str],
+                  hoisting: bool, slots: int) -> None:
+    """Entry point of the library process.
+
+    Runs the preamble (hoisted imports), then serves call requests:
+    fork a child per invocation, reap children opportunistically, and
+    enforce the concurrency limit.  The function table arrives by fork
+    inheritance (the library is always fork-started), so closures work;
+    its one-time distribution cost is measured manager-side.
+    """
+    hoisted: Dict[str, Any] = {}
+    if hoisting:
+        for module_name in import_modules:
+            hoisted[module_name] = importlib.import_module(module_name)
+
+    active = 0
+
+    def reap(block: bool) -> int:
+        nonlocal active
+        reaped = 0
+        while active > 0:
+            try:
+                pid, _ = os.waitpid(-1, 0 if block and reaped == 0
+                                    else os.WNOHANG)
+            except ChildProcessError:
+                active = 0
+                break
+            if pid == 0:
+                break
+            active -= 1
+            reaped += 1
+            if block and reaped:
+                block = False
+        return reaped
+
+    while True:
+        try:
+            request = conn.recv()
+        except EOFError:
+            break
+        if request is None:  # shutdown
+            break
+        call_id, name, args_payload = request
+        while active >= slots:
+            reap(block=True)
+        reap(block=False)
+
+        pid = os.fork()
+        if pid == 0:
+            # Child: run the invocation and exit without cleanup.
+            status = _OK
+            try:
+                if not hoisting:
+                    # Unhoisted mode: imports happen per invocation.
+                    for module_name in import_modules:
+                        importlib.import_module(module_name)
+                func = functions[name]
+                args, kwargs = wire.loads(args_payload)
+                result = func(*args, **kwargs)
+                payload = wire.dumps(result)
+            except BaseException as exc:  # noqa: BLE001 - crosses process
+                status = _FAILED
+                try:
+                    payload = wire.dumps(exc)
+                except wire.WireError:
+                    payload = wire.dumps(RuntimeError(repr(exc)))
+            try:
+                with open(os.path.join(spool_dir, f"{call_id}.out"),
+                          "wb") as spool:
+                    spool.write(payload)
+                os.write(signal_write_fd, _RECORD.pack(call_id, status))
+            finally:
+                os._exit(0)
+        active += 1
+    # Drain children before exiting.
+    while active > 0:
+        reap(block=True)
+
+
+class Library:
+    """Manager-side handle on one library process.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with Library({"hypot": math.hypot}, import_modules=["math"]) as lib:
+            assert lib.call("hypot", 3, 4).result() == 5.0
+    """
+
+    def __init__(self, functions: Dict[str, Callable],
+                 import_modules: Sequence[str] = (),
+                 hoisting: bool = True, slots: int = 4,
+                 name: str = "library"):
+        if not functions:
+            raise LibraryError("a library needs at least one function")
+        if slots < 1:
+            raise LibraryError("slots must be >= 1")
+        self.functions = dict(functions)
+        self.import_modules = list(import_modules)
+        self.hoisting = hoisting
+        self.slots = slots
+        self.name = name
+        self._proc: Optional[mp.process.BaseProcess] = None
+        self._conn = None
+        self._signal_read_fd: Optional[int] = None
+        self._spool_dir: Optional[tempfile.TemporaryDirectory] = None
+        self._futures: Dict[int, Future] = {}
+        self._lock = threading.Lock()
+        self._next_call = 0
+        self._collector: Optional[threading.Thread] = None
+        #: invocation statistics
+        self.calls_submitted = 0
+        self.calls_completed = 0
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "Library":
+        if self._proc is not None:
+            raise LibraryError("library already started")
+        ctx = mp.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        read_fd, write_fd = os.pipe()
+        self._spool_dir = tempfile.TemporaryDirectory(prefix="repro-lib-")
+        try:
+            # One-time cost of distributing the library's code (what a
+            # remote worker would receive); closures fall back to 0.
+            self.function_payload_bytes = wire.payload_size(self.functions)
+        except wire.WireError:
+            self.function_payload_bytes = 0
+        self._proc = ctx.Process(
+            target=_library_main,
+            args=(child_conn, write_fd, self._spool_dir.name,
+                  self.functions, self.import_modules, self.hoisting,
+                  self.slots),
+            name=self.name, daemon=True)
+        self._proc.start()
+        child_conn.close()
+        os.close(write_fd)
+        self._conn = parent_conn
+        self._signal_read_fd = read_fd
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           daemon=True)
+        self._collector.start()
+        return self
+
+    def stop(self) -> None:
+        if self._proc is None:
+            return
+        try:
+            self._conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=5)
+        if self._signal_read_fd is not None:
+            os.close(self._signal_read_fd)
+            self._signal_read_fd = None
+        with self._lock:
+            pending = list(self._futures.values())
+            self._futures.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(LibraryError("library stopped"))
+        if self._spool_dir is not None:
+            self._spool_dir.cleanup()
+            self._spool_dir = None
+        self._proc = None
+
+    def __enter__(self) -> "Library":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._proc is not None and self._proc.is_alive()
+
+    # -- invocation --------------------------------------------------------------
+    def call(self, name: str, *args, **kwargs) -> Future:
+        """Invoke a library function; returns a Future for its result."""
+        if self._proc is None:
+            raise LibraryError("library not started")
+        if name not in self.functions:
+            raise LibraryError(f"no function {name!r} in library; "
+                               f"have {sorted(self.functions)}")
+        future: Future = Future()
+        with self._lock:
+            call_id = self._next_call
+            self._next_call += 1
+            self._futures[call_id] = future
+        payload = wire.dumps((args, kwargs))
+        self._conn.send((call_id, name, payload))
+        self.calls_submitted += 1
+        return future
+
+    # -- internal -----------------------------------------------------------
+    def _collect_loop(self) -> None:
+        fd = self._signal_read_fd
+        buffer = b""
+        while True:
+            try:
+                readable, _, _ = select.select([fd], [], [], 0.5)
+            except (OSError, ValueError):
+                return  # fd closed during stop()
+            if not readable:
+                if self._proc is None:
+                    return
+                continue
+            try:
+                chunk = os.read(fd, 4096)
+            except OSError:
+                return
+            if not chunk:
+                return  # library exited
+            buffer += chunk
+            while len(buffer) >= _RECORD.size:
+                record, buffer = (buffer[:_RECORD.size],
+                                  buffer[_RECORD.size:])
+                call_id, status = _RECORD.unpack(record)
+                self._deliver(call_id, status)
+
+    def _deliver(self, call_id: int, status: int) -> None:
+        with self._lock:
+            future = self._futures.pop(call_id, None)
+        if future is None:
+            return
+        spool_path = os.path.join(self._spool_dir.name, f"{call_id}.out")
+        try:
+            with open(spool_path, "rb") as spool:
+                payload = spool.read()
+            os.unlink(spool_path)
+            value = wire.loads(payload)
+        except Exception as exc:  # spool corrupted
+            future.set_exception(LibraryError(f"result lost: {exc}"))
+            return
+        self.calls_completed += 1
+        if status == _OK:
+            future.set_result(value)
+        else:
+            future.set_exception(FunctionCallError(repr(value)))

@@ -1,0 +1,264 @@
+"""Local graph executors: the real task-execution paradigms.
+
+Three ways to run a :class:`~repro.dag.graph.TaskGraph` on this machine,
+mirroring the execution modes the paper compares:
+
+* :class:`SerialExecutor` -- in-process reference execution.
+* :class:`StandardTaskPool` -- one **fresh interpreter per task**
+  (``spawn`` start method): pays process startup, function
+  serialization, and module imports on every task, like the classic
+  wrapper-script execution mode (Section III.C).
+* :class:`FunctionCallPool` -- **serverless**: tasks become function
+  calls into persistent :class:`~repro.engine.library.Library`
+  processes, forked per invocation, with optional import hoisting.
+
+All pool executors run the DAG with the same dependency-driven engine:
+ready tasks are dispatched up to the concurrency limit, results feed
+dependents as they complete.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from ..dag.graph import GraphError, TaskGraph, is_task
+from . import wire
+from .library import Library
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadPool",
+    "StandardTaskPool",
+    "FunctionCallPool",
+    "run_graph",
+]
+
+
+class SerialExecutor:
+    """Reference executor: runs the graph in this process, in order."""
+
+    def execute(self, graph: TaskGraph) -> Dict[Hashable, Any]:
+        return graph.execute()
+
+
+class ThreadPool:
+    """Threads in one process: what a multi-threaded Dask worker does.
+
+    NumPy kernels release the GIL, so columnar physics partially
+    parallelises -- but the Python-level task code serialises, the
+    effect the paper cites for why "12 threads competing for a single
+    global interpreter lock... effectively results in the use of only
+    one core" (Section V.B).
+    """
+
+    def __init__(self, max_workers: int = 4):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def execute(self, graph: TaskGraph) -> Dict[Hashable, Any]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            def submit(func, args):
+                return pool.submit(func, *args)
+
+            return run_graph(graph, submit, self.max_workers)
+
+
+def _resolve_args(computation: Any, results: Dict[Hashable, Any]) -> tuple:
+    """Substitute result values into a task tuple's arguments."""
+    func = computation[0]
+
+    def resolve(obj):
+        try:
+            if obj in results:
+                return results[obj]
+        except TypeError:
+            pass
+        if isinstance(obj, list):
+            return [resolve(item) for item in obj]
+        if isinstance(obj, tuple) and not is_task(obj):
+            return tuple(resolve(item) for item in obj)
+        return obj
+
+    return func, [resolve(arg) for arg in computation[1:]]
+
+
+def run_graph(graph: TaskGraph,
+              submit: Callable[[Callable, list], Future],
+              max_in_flight: int) -> Dict[Hashable, Any]:
+    """Dependency-driven DAG execution over any submit() backend."""
+    order = graph.toposort()
+    remaining_deps = {key: len(graph.dependencies(key)) for key in order}
+    dependents = graph.dependents()
+    results: Dict[Hashable, Any] = {}
+    in_flight: Dict[Future, Hashable] = {}
+    ready: List[Hashable] = [k for k in order if remaining_deps[k] == 0]
+    completed = 0
+
+    def launch(key: Hashable) -> None:
+        computation = graph.graph[key]
+        if is_task(computation):
+            func, args = _resolve_args(computation, results)
+            future = submit(func, args)
+        else:
+            # Literal or alias: resolve inline, no task dispatch.
+            future = Future()
+            try:
+                if computation in results:
+                    future.set_result(results[computation])
+                else:
+                    future.set_result(computation)
+            except TypeError:
+                future.set_result(computation)
+        in_flight[future] = key
+
+    while completed < len(order):
+        while ready and len(in_flight) < max_in_flight:
+            launch(ready.pop())
+        if not in_flight:
+            raise GraphError("no progress possible (internal error)")
+        done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+        for future in done:
+            key = in_flight.pop(future)
+            results[key] = future.result()  # re-raises task failures
+            completed += 1
+            for user in dependents[key]:
+                remaining_deps[user] -= 1
+                if remaining_deps[user] == 0:
+                    ready.append(user)
+    return {t: results[t] for t in graph.targets}
+
+
+# ---------------------------------------------------------------------------
+# Standard tasks: a fresh interpreter per task
+# ---------------------------------------------------------------------------
+
+
+def _standard_task_main(payload: bytes, import_modules: Sequence[str],
+                        conn) -> None:
+    """The 'wrapper script': deserialise, import, execute, reply."""
+    try:
+        for module_name in import_modules:
+            importlib.import_module(module_name)
+        func, args = wire.loads(payload)
+        result = func(*args)
+        conn.send((True, wire.dumps(result)))
+    except BaseException as exc:  # noqa: BLE001 - crosses process
+        try:
+            conn.send((False, wire.dumps(exc)))
+        except wire.WireError:
+            conn.send((False, wire.dumps(RuntimeError(repr(exc)))))
+    finally:
+        conn.close()
+
+
+class StandardTaskPool:
+    """Executes each task in a freshly spawned interpreter.
+
+    ``spawn`` (not ``fork``) is used deliberately: every task pays the
+    full Python startup plus ``import_modules``, reproducing for real
+    the overhead that the serverless mode eliminates.
+    """
+
+    def __init__(self, max_workers: int = 4,
+                 import_modules: Sequence[str] = ()):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.import_modules = list(import_modules)
+        self.tasks_launched = 0
+
+    def _submit(self, func: Callable, args: list) -> Future:
+        future: Future = Future()
+        payload = wire.dumps((func, args))
+        ctx = mp.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(target=_standard_task_main,
+                           args=(payload, self.import_modules, child_conn))
+
+        def runner():
+            proc.start()
+            child_conn.close()
+            try:
+                ok, result_payload = parent_conn.recv()
+                value = wire.loads(result_payload)
+            except EOFError:
+                future.set_exception(
+                    RuntimeError("task process died without replying"))
+                proc.join()
+                return
+            proc.join()
+            if ok:
+                future.set_result(value)
+            else:
+                future.set_exception(value)
+
+        threading.Thread(target=runner, daemon=True).start()
+        self.tasks_launched += 1
+        return future
+
+    def execute(self, graph: TaskGraph) -> Dict[Hashable, Any]:
+        return run_graph(graph, self._submit, self.max_workers)
+
+
+# ---------------------------------------------------------------------------
+# Function calls: persistent libraries, fork per invocation
+# ---------------------------------------------------------------------------
+
+
+class FunctionCallPool:
+    """Executes graph tasks as serverless function calls.
+
+    The distinct functions of the graph are registered once into a
+    persistent :class:`Library`; each task then ships only a function
+    name plus arguments.  ``hoisting`` moves ``import_modules`` into the
+    library preamble (paper Fig 9); with ``hoisting=False`` each
+    invocation imports them itself.
+    """
+
+    def __init__(self, slots: int = 4, import_modules: Sequence[str] = (),
+                 hoisting: bool = True):
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.slots = slots
+        self.import_modules = list(import_modules)
+        self.hoisting = hoisting
+        self._library: Optional[Library] = None
+        self._registry: Dict[int, str] = {}
+
+    def _ensure_library(self, graph: TaskGraph) -> None:
+        functions: Dict[str, Callable] = {}
+        self._registry = {}
+        for computation in graph.graph.values():
+            if is_task(computation):
+                func = computation[0]
+                if id(func) not in self._registry:
+                    name = f"fn-{len(functions)}-{getattr(func, '__name__', 'f')}"
+                    functions[name] = func
+                    self._registry[id(func)] = name
+        if not functions:
+            return
+        self._library = Library(
+            functions, import_modules=self.import_modules,
+            hoisting=self.hoisting, slots=self.slots).start()
+
+    def _submit(self, func: Callable, args: list) -> Future:
+        name = self._registry[id(func)]
+        return self._library.call(name, *args)
+
+    def execute(self, graph: TaskGraph) -> Dict[Hashable, Any]:
+        self._ensure_library(graph)
+        try:
+            if self._library is None:  # graph of pure literals
+                return SerialExecutor().execute(graph)
+            return run_graph(graph, self._submit, self.slots)
+        finally:
+            if self._library is not None:
+                self._library.stop()
+                self._library = None

@@ -1,0 +1,39 @@
+"""Wire format for task and result payloads.
+
+Functions, arguments and results cross process boundaries pickled.  The
+helpers here centralise that so the executors can also *measure* payload
+sizes -- the serialization overhead of standard tasks versus the
+name+arguments-only payload of function calls is one of the effects the
+paper quantifies (Section III.C).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Tuple
+
+__all__ = ["dumps", "loads", "payload_size", "WireError"]
+
+
+class WireError(Exception):
+    """Payload could not be serialised or deserialised."""
+
+
+def dumps(obj: Any) -> bytes:
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise WireError(f"cannot serialise {type(obj).__name__}: "
+                        f"{exc}") from exc
+
+
+def loads(data: bytes) -> Any:
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise WireError(f"cannot deserialise payload: {exc}") from exc
+
+
+def payload_size(obj: Any) -> int:
+    """Serialized size in bytes (what would cross the wire)."""
+    return len(dumps(obj))

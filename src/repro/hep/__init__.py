@@ -1,0 +1,51 @@
+"""Mini-Coffea: the HEP columnar analysis stack.
+
+From-scratch reimplementation of the pieces of the Coffea / awkward /
+uproot / hist ecosystem that the paper's applications are built on:
+jagged arrays, four-vector kinematics, histograms, ROOT-style columnar
+files, NanoEvents views, processors/accumulators, synthetic datasets,
+and an XRootD federation model.
+"""
+
+from .datasets import (
+    HIGGS_MASS,
+    TABLE2,
+    TRIPHOTON_MA,
+    TRIPHOTON_MX,
+    DatasetSpec,
+    generate_dv3_events,
+    generate_triphoton_events,
+    write_dataset,
+)
+from .cutflow import Cutflow
+from .hist import Hist, IntCategory, Regular, StrCategory, Variable
+from .jagged import JaggedArray
+from .kinematics import (
+    delta_phi,
+    delta_r,
+    energy,
+    invariant_mass_pairs,
+    invariant_mass_triples,
+    transverse_mass,
+)
+from .nanoevents import EventChunk, FlatRecord, NanoEvents, NanoEventsFactory
+from .processor import ProcessorABC, accumulate, iterative_runner
+from .records import JaggedRecord
+from .root import ROOTFile, basket_boundaries, write_root_file
+from .skim import SkimStats, skim_chunk, skim_dataset
+from .weights import Weights
+from .xrootd import DEFAULT_WAN, WANProfile, XRootDFederation
+
+__all__ = [
+    "JaggedArray", "JaggedRecord", "Cutflow", "Weights",
+    "Hist", "Regular", "Variable", "IntCategory", "StrCategory",
+    "delta_phi", "delta_r", "energy", "invariant_mass_pairs",
+    "invariant_mass_triples", "transverse_mass",
+    "ROOTFile", "write_root_file", "basket_boundaries",
+    "NanoEvents", "NanoEventsFactory", "EventChunk", "FlatRecord",
+    "ProcessorABC", "accumulate", "iterative_runner",
+    "generate_dv3_events", "generate_triphoton_events", "write_dataset",
+    "DatasetSpec", "TABLE2", "HIGGS_MASS", "TRIPHOTON_MX", "TRIPHOTON_MA",
+    "XRootDFederation", "WANProfile", "DEFAULT_WAN",
+    "skim_chunk", "skim_dataset", "SkimStats",
+]

@@ -1,0 +1,110 @@
+"""Structured cutflows.
+
+A cutflow records how many events (and, weighted, how much yield)
+survive each sequential selection stage.  It is an accumulator: merging
+cutflows from different chunks adds counts stage by stage -- the merge
+is commutative and associative like every accumulator in this stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Cutflow"]
+
+
+class Cutflow:
+    """Sequential selection bookkeeping."""
+
+    def __init__(self):
+        #: stage name -> [raw count, weighted count]
+        self._stages: Dict[str, List[float]] = {}
+        self._order: List[str] = []
+
+    def fill(self, name: str, passed, weights=None) -> np.ndarray:
+        """Record a stage.
+
+        ``passed`` is a boolean array (or a count); returns the boolean
+        array for chaining (`mask &= cutflow.fill(...)`).
+        """
+        passed = np.asarray(passed)
+        if passed.dtype == bool:
+            raw = float(passed.sum())
+            weighted = (float(np.asarray(weights)[passed].sum())
+                        if weights is not None else raw)
+        else:
+            raw = float(passed)
+            weighted = float(weights) if weights is not None else raw
+        if name not in self._stages:
+            self._stages[name] = [0.0, 0.0]
+            self._order.append(name)
+        self._stages[name][0] += raw
+        self._stages[name][1] += weighted
+        return passed
+
+    @property
+    def stages(self) -> List[str]:
+        return list(self._order)
+
+    def count(self, name: str) -> float:
+        return self._stages[name][0]
+
+    def weighted(self, name: str) -> float:
+        return self._stages[name][1]
+
+    def efficiency(self, name: str,
+                   relative_to: Optional[str] = None) -> float:
+        """Fraction surviving ``name`` (vs first stage by default)."""
+        base = relative_to or (self._order[0] if self._order else name)
+        denominator = self._stages[base][0]
+        return (self._stages[name][0] / denominator
+                if denominator else 0.0)
+
+    # -- accumulation -----------------------------------------------------
+    def __add__(self, other: "Cutflow") -> "Cutflow":
+        if other == 0:
+            return self.copy()
+        if not isinstance(other, Cutflow):
+            raise TypeError(f"cannot merge Cutflow with "
+                            f"{type(other).__name__}")
+        out = self.copy()
+        for name in other._order:
+            if name not in out._stages:
+                out._stages[name] = [0.0, 0.0]
+                out._order.append(name)
+            out._stages[name][0] += other._stages[name][0]
+            out._stages[name][1] += other._stages[name][1]
+        return out
+
+    def __radd__(self, other) -> "Cutflow":
+        return self.__add__(other)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, float)):
+            return False
+        return (isinstance(other, Cutflow)
+                and self._order == other._order
+                and self._stages == other._stages)
+
+    __hash__ = None
+
+    def copy(self) -> "Cutflow":
+        out = Cutflow()
+        out._order = list(self._order)
+        out._stages = {k: list(v) for k, v in self._stages.items()}
+        return out
+
+    def to_table(self) -> str:
+        """Human-readable cutflow table."""
+        lines = [f"{'stage':24s} {'events':>12s} {'weighted':>12s} "
+                 f"{'eff':>7s}"]
+        for name in self._order:
+            raw, weighted = self._stages[name]
+            lines.append(f"{name:24s} {raw:12.0f} {weighted:12.1f} "
+                         f"{self.efficiency(name):6.1%}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cutflow {len(self._order)} stages>"

@@ -1,0 +1,432 @@
+"""Histograms with a builder API modelled on the ``hist`` library.
+
+The paper's applications (Fig 4) build histograms as::
+
+    h = Hist.new.Reg(100, 0, 200, name="met").Double()
+    h.fill(met=events.MET.pt)
+
+Histogram addition is commutative and associative -- the property the
+paper exploits to reduce hierarchically (Section II.A, Fig 11) -- and the
+tests pin that invariant with hypothesis.
+
+Supported axes: :class:`Regular`, :class:`Variable`, :class:`IntCategory`
+and :class:`StrCategory`.  Numeric axes carry underflow/overflow bins;
+category axes carry an overflow slot for unseen categories.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["Hist", "Regular", "Variable", "IntCategory", "StrCategory"]
+
+
+class Axis:
+    """Base class: an axis maps values to bin indices 0..nbins+1."""
+
+    name: str
+    label: str
+
+    @property
+    def nbins(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def extent(self) -> int:
+        """Total storage slots including flow bins."""
+        return self.nbins + 2
+
+    def index(self, values) -> np.ndarray:
+        """Map values to storage indices (0 = underflow/other)."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(data: dict) -> "Axis":
+        kind = data["kind"]
+        cls = {"regular": Regular, "variable": Variable,
+               "intcat": IntCategory, "strcat": StrCategory}[kind]
+        return cls._from_dict(data)
+
+    def __eq__(self, other) -> bool:
+        return (type(self) is type(other)
+                and self.to_dict() == other.to_dict())
+
+    def __hash__(self):
+        return hash(repr(sorted(self.to_dict().items())))
+
+
+class Regular(Axis):
+    """``bins`` uniform bins on [start, stop)."""
+
+    def __init__(self, bins: int, start: float, stop: float,
+                 name: str = "", label: str = ""):
+        if bins < 1:
+            raise ValueError("need at least one bin")
+        if not stop > start:
+            raise ValueError("stop must exceed start")
+        self.bins = int(bins)
+        self.start = float(start)
+        self.stop = float(stop)
+        self.name = name
+        self.label = label or name
+
+    @property
+    def nbins(self) -> int:
+        return self.bins
+
+    @property
+    def edges(self) -> np.ndarray:
+        return np.linspace(self.start, self.stop, self.bins + 1)
+
+    @property
+    def centers(self) -> np.ndarray:
+        edges = self.edges
+        return 0.5 * (edges[1:] + edges[:-1])
+
+    def index(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        nan = np.isnan(values)
+        scaled = (values - self.start) / (self.stop - self.start) * self.bins
+        scaled = np.where(nan, self.bins, scaled)  # NaN -> overflow below
+        idx = np.floor(scaled).astype(np.int64) + 1
+        np.clip(idx, 0, self.bins + 1, out=idx)
+        idx[nan] = self.bins + 1
+        return idx
+
+    def to_dict(self) -> dict:
+        return {"kind": "regular", "bins": self.bins, "start": self.start,
+                "stop": self.stop, "name": self.name, "label": self.label}
+
+    @classmethod
+    def _from_dict(cls, data: dict) -> "Regular":
+        return cls(data["bins"], data["start"], data["stop"],
+                   name=data["name"], label=data["label"])
+
+
+class Variable(Axis):
+    """Bins with explicit monotonically increasing edges."""
+
+    def __init__(self, edges: Sequence[float], name: str = "",
+                 label: str = ""):
+        edges = np.asarray(edges, dtype=float)
+        if len(edges) < 2 or np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be increasing, length >= 2")
+        self._edges = edges
+        self.name = name
+        self.label = label or name
+
+    @property
+    def nbins(self) -> int:
+        return len(self._edges) - 1
+
+    @property
+    def edges(self) -> np.ndarray:
+        return self._edges
+
+    def index(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        idx = np.searchsorted(self._edges, values, side="right")
+        idx[np.asarray(values) == self._edges[-1]] = self.nbins
+        idx[np.isnan(values)] = self.nbins + 1
+        return np.clip(idx, 0, self.nbins + 1)
+
+    def to_dict(self) -> dict:
+        return {"kind": "variable", "edges": self._edges.tolist(),
+                "name": self.name, "label": self.label}
+
+    @classmethod
+    def _from_dict(cls, data: dict) -> "Variable":
+        return cls(data["edges"], name=data["name"], label=data["label"])
+
+
+class _Category(Axis):
+    """Shared logic for integer and string categories."""
+
+    def __init__(self, categories: Sequence, name: str = "",
+                 label: str = ""):
+        self.categories = list(categories)
+        if len(set(self.categories)) != len(self.categories):
+            raise ValueError("duplicate categories")
+        self.name = name
+        self.label = label or name
+        self._lookup = {c: i + 1 for i, c in enumerate(self.categories)}
+
+    @property
+    def nbins(self) -> int:
+        return len(self.categories)
+
+    def index(self, values) -> np.ndarray:
+        if np.isscalar(values) or isinstance(values, str):
+            values = [values]
+        # Unknown categories land in the overflow slot (nbins + 1).
+        return np.array([self._lookup.get(v, self.nbins + 1)
+                         for v in values], dtype=np.int64)
+
+
+class IntCategory(_Category):
+    def to_dict(self) -> dict:
+        return {"kind": "intcat", "categories": self.categories,
+                "name": self.name, "label": self.label}
+
+    @classmethod
+    def _from_dict(cls, data: dict) -> "IntCategory":
+        return cls(data["categories"], name=data["name"],
+                   label=data["label"])
+
+
+class StrCategory(_Category):
+    def to_dict(self) -> dict:
+        return {"kind": "strcat", "categories": self.categories,
+                "name": self.name, "label": self.label}
+
+    @classmethod
+    def _from_dict(cls, data: dict) -> "StrCategory":
+        return cls(data["categories"], name=data["name"],
+                   label=data["label"])
+
+
+class _Builder:
+    """Chained axis construction: ``Hist.new.Reg(...).StrCat(...).Double()``."""
+
+    def __init__(self):
+        self._axes: List[Axis] = []
+
+    def Reg(self, bins: int, start: float, stop: float, name: str = "",
+            label: str = "") -> "_Builder":
+        self._axes.append(Regular(bins, start, stop, name=name, label=label))
+        return self
+
+    def Var(self, edges: Sequence[float], name: str = "",
+            label: str = "") -> "_Builder":
+        self._axes.append(Variable(edges, name=name, label=label))
+        return self
+
+    def IntCat(self, categories: Sequence[int], name: str = "",
+               label: str = "") -> "_Builder":
+        self._axes.append(IntCategory(categories, name=name, label=label))
+        return self
+
+    def StrCat(self, categories: Sequence[str], name: str = "",
+               label: str = "") -> "_Builder":
+        self._axes.append(StrCategory(categories, name=name, label=label))
+        return self
+
+    def Double(self) -> "Hist":
+        return Hist(self._axes, weighted=False)
+
+    def Weight(self) -> "Hist":
+        return Hist(self._axes, weighted=True)
+
+
+class _New:
+    """Descriptor so that each ``Hist.new`` starts a fresh builder."""
+
+    def __get__(self, instance, owner) -> _Builder:
+        return _Builder()
+
+
+class Hist:
+    """An N-dimensional histogram with named axes.
+
+    ``weighted=True`` additionally tracks the sum of squared weights for
+    statistical errors (``variances()``).
+    """
+
+    new = _New()
+
+    def __init__(self, axes: Sequence[Axis], weighted: bool = False):
+        if not axes:
+            raise ValueError("a histogram needs at least one axis")
+        self.axes: Tuple[Axis, ...] = tuple(axes)
+        names = [ax.name for ax in self.axes if ax.name]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate axis names")
+        self.weighted = weighted
+        shape = tuple(ax.extent for ax in self.axes)
+        self._counts = np.zeros(shape)
+        self._sumw2 = np.zeros(shape) if weighted else None
+
+    # -- filling --------------------------------------------------------------
+    def fill(self, *args, weight=None, **kwargs) -> "Hist":
+        """Fill with one array per axis (positionally or by axis name)."""
+        if args and kwargs:
+            raise TypeError("fill with either positional or named values")
+        if kwargs:
+            values = []
+            for ax in self.axes:
+                if ax.name not in kwargs:
+                    raise TypeError(f"missing fill value for axis "
+                                    f"{ax.name!r}")
+                values.append(kwargs.pop(ax.name))
+            if kwargs:
+                raise TypeError(f"unknown fill names {sorted(kwargs)}")
+        else:
+            if len(args) != len(self.axes):
+                raise TypeError(
+                    f"expected {len(self.axes)} arrays, got {len(args)}")
+            values = list(args)
+
+        # Accept jagged arrays by flattening (structure is irrelevant to
+        # a histogram fill).
+        flat = []
+        for v in values:
+            flat.append(v.flatten() if hasattr(v, "flatten")
+                        and not isinstance(v, np.ndarray) else np.ravel(v))
+        lengths = {len(f) for f in flat}
+        if len(lengths) > 1:
+            raise ValueError(f"fill arrays disagree in length: {lengths}")
+        n = lengths.pop() if lengths else 0
+        if n == 0:
+            return self
+
+        indices = [ax.index(f) for ax, f in zip(self.axes, flat)]
+        flat_index = np.ravel_multi_index(indices, self._counts.shape)
+        if weight is None:
+            counts = np.bincount(flat_index, minlength=self._counts.size)
+            self._counts += counts.reshape(self._counts.shape)
+            if self._sumw2 is not None:
+                self._sumw2 += counts.reshape(self._counts.shape)
+        else:
+            weight = np.broadcast_to(np.asarray(weight, dtype=float), (n,))
+            sums = np.bincount(flat_index, weights=weight,
+                               minlength=self._counts.size)
+            self._counts += sums.reshape(self._counts.shape)
+            if self._sumw2 is not None:
+                sq = np.bincount(flat_index, weights=weight * weight,
+                                 minlength=self._counts.size)
+                self._sumw2 += sq.reshape(self._counts.shape)
+        return self
+
+    # -- access ---------------------------------------------------------------
+    def values(self, flow: bool = False) -> np.ndarray:
+        """Bin contents; ``flow=True`` includes under/overflow."""
+        if flow:
+            return self._counts
+        slices = tuple(slice(1, ax.extent - 1) for ax in self.axes)
+        return self._counts[slices]
+
+    def variances(self, flow: bool = False) -> Optional[np.ndarray]:
+        if self._sumw2 is None:
+            return None
+        if flow:
+            return self._sumw2
+        slices = tuple(slice(1, ax.extent - 1) for ax in self.axes)
+        return self._sumw2[slices]
+
+    def sum(self, flow: bool = True) -> float:
+        return float(self.values(flow=flow).sum())
+
+    def axis(self, name: str) -> Axis:
+        for ax in self.axes:
+            if ax.name == name:
+                return ax
+        raise KeyError(f"no axis named {name!r}")
+
+    def project(self, *names: str) -> "Hist":
+        """Sum out every axis not named, preserving axis order."""
+        keep = [i for i, ax in enumerate(self.axes) if ax.name in names]
+        missing = set(names) - {self.axes[i].name for i in keep}
+        if missing:
+            raise KeyError(f"no axes named {sorted(missing)}")
+        drop = tuple(i for i in range(len(self.axes)) if i not in keep)
+        out = Hist([self.axes[i] for i in keep], weighted=self.weighted)
+        out._counts = self._counts.sum(axis=drop)
+        if self._sumw2 is not None:
+            out._sumw2 = self._sumw2.sum(axis=drop)
+        return out
+
+    def density(self) -> np.ndarray:
+        """Bin contents normalised to unit integral over visible bins
+        (1-D only)."""
+        if len(self.axes) != 1:
+            raise ValueError("density() supports 1-D histograms")
+        vals = self.values()
+        widths = np.diff(self.axes[0].edges)
+        total = (vals * widths).sum()
+        return vals / total if total else vals
+
+    # -- algebra -------------------------------------------------------------
+    def _compatible(self, other: "Hist") -> bool:
+        return (isinstance(other, Hist)
+                and len(self.axes) == len(other.axes)
+                and all(a == b for a, b in zip(self.axes, other.axes))
+                and self.weighted == other.weighted)
+
+    def __add__(self, other: "Hist") -> "Hist":
+        if other == 0:  # support sum() over histograms
+            return self.copy()
+        if not self._compatible(other):
+            raise ValueError("histograms have different axes")
+        out = self.copy()
+        out._counts += other._counts
+        if out._sumw2 is not None:
+            out._sumw2 += other._sumw2
+        return out
+
+    def __radd__(self, other) -> "Hist":
+        return self.__add__(other)
+
+    def __iadd__(self, other: "Hist") -> "Hist":
+        if other == 0:
+            return self
+        if not self._compatible(other):
+            raise ValueError("histograms have different axes")
+        self._counts += other._counts
+        if self._sumw2 is not None:
+            self._sumw2 += other._sumw2
+        return self
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, float)):
+            return False
+        return (self._compatible(other)
+                and np.array_equal(self._counts, other._counts)
+                and (self._sumw2 is None
+                     or np.array_equal(self._sumw2, other._sumw2)))
+
+    __hash__ = None
+
+    def copy(self) -> "Hist":
+        out = Hist(self.axes, weighted=self.weighted)
+        out._counts = self._counts.copy()
+        if self._sumw2 is not None:
+            out._sumw2 = self._sumw2.copy()
+        return out
+
+    # -- serialization (histograms travel between workers) --------------------
+    def to_dict(self) -> dict:
+        data = {
+            "axes": [ax.to_dict() for ax in self.axes],
+            "weighted": self.weighted,
+            "counts": self._counts.tolist(),
+        }
+        if self._sumw2 is not None:
+            data["sumw2"] = self._sumw2.tolist()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Hist":
+        axes = [Axis.from_dict(d) for d in data["axes"]]
+        out = cls(axes, weighted=data["weighted"])
+        out._counts = np.asarray(data["counts"], dtype=float)
+        if data["weighted"]:
+            out._sumw2 = np.asarray(data["sumw2"], dtype=float)
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory size (used by the cost models)."""
+        size = self._counts.nbytes
+        if self._sumw2 is not None:
+            size += self._sumw2.nbytes
+        return size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        axes = ", ".join(f"{type(ax).__name__}({ax.name!r})"
+                         for ax in self.axes)
+        return f"<Hist [{axes}] sum={self.sum():g}>"

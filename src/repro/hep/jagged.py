@@ -1,0 +1,420 @@
+"""Jagged (ragged) arrays for columnar event data.
+
+High-energy-physics events contain variable-length lists per event (the
+jets in a collision, the photons, ...).  :class:`JaggedArray` stores such
+data as a flat ``content`` array plus an ``offsets`` array, exactly like
+the awkward-array library the paper's applications use, and implements
+the vectorised operations the analyses need: elementwise arithmetic,
+per-element masking, per-event reductions, sorting within events, and
+within-event combinations (pairs/triples) for invariant-mass physics.
+
+Everything is pure NumPy with no per-event Python loops on hot paths;
+``combinations`` groups events by multiplicity so the loop count is the
+number of *distinct multiplicities* (tiny), not the number of events.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["JaggedArray"]
+
+
+def _as_offsets(offsets) -> np.ndarray:
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or len(offsets) < 1:
+        raise ValueError("offsets must be a 1-D array of length >= 1")
+    if offsets[0] != 0:
+        raise ValueError("offsets must start at 0")
+    if np.any(np.diff(offsets) < 0):
+        raise ValueError("offsets must be non-decreasing")
+    return offsets
+
+
+class JaggedArray:
+    """A ragged 2-D array: ``n_events`` variable-length rows.
+
+    Parameters
+    ----------
+    content:
+        Flat 1-D array of all elements, row-major.
+    offsets:
+        ``int64`` array of length ``n_events + 1``; row ``i`` occupies
+        ``content[offsets[i]:offsets[i+1]]``.
+    """
+
+    __slots__ = ("content", "offsets")
+
+    def __init__(self, content, offsets):
+        self.content = np.asarray(content)
+        self.offsets = _as_offsets(offsets)
+        if self.content.ndim != 1:
+            raise ValueError("content must be 1-D")
+        if self.offsets[-1] != len(self.content):
+            raise ValueError(
+                f"offsets end at {self.offsets[-1]} but content has "
+                f"{len(self.content)} elements")
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_counts(cls, counts, content) -> "JaggedArray":
+        """Build from per-event counts."""
+        counts = np.asarray(counts, dtype=np.int64)
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return cls(content, offsets)
+
+    @classmethod
+    def from_lists(cls, lists: Iterable[Sequence]) -> "JaggedArray":
+        """Build from an iterable of per-event sequences (testing aid)."""
+        lists = [np.asarray(lst) for lst in lists]
+        counts = [len(lst) for lst in lists]
+        content = (np.concatenate(lists) if lists
+                   else np.array([], dtype=float))
+        return cls.from_counts(counts, content)
+
+    # -- basic structure ---------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        """Number of elements in each event."""
+        return np.diff(self.offsets)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.offsets) - 1
+
+    def __len__(self) -> int:
+        return self.n_events
+
+    @property
+    def size(self) -> int:
+        """Total number of elements across all events."""
+        return len(self.content)
+
+    def flatten(self) -> np.ndarray:
+        """The flat content array (shared, not copied)."""
+        return self.content
+
+    def event_ids(self) -> np.ndarray:
+        """For each element, the index of the event it belongs to."""
+        return np.repeat(np.arange(self.n_events), self.counts)
+
+    def tolist(self) -> list:
+        return [self.content[self.offsets[i]:self.offsets[i + 1]].tolist()
+                for i in range(self.n_events)]
+
+    def copy(self) -> "JaggedArray":
+        return JaggedArray(self.content.copy(), self.offsets.copy())
+
+    # -- indexing ----------------------------------------------------------
+    def __getitem__(self, index):
+        if isinstance(index, (int, np.integer)):
+            if index < 0:
+                index += self.n_events
+            if not 0 <= index < self.n_events:
+                raise IndexError(f"event {index} out of range")
+            return self.content[self.offsets[index]:self.offsets[index + 1]]
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.n_events)
+            if step != 1:
+                event_index = np.arange(start, stop, step)
+                return self.select_events(event_index)
+            new_offsets = self.offsets[start:stop + 1] - self.offsets[start]
+            content = self.content[self.offsets[start]:self.offsets[stop]]
+            return JaggedArray(content, new_offsets)
+        if isinstance(index, JaggedArray):
+            return self.mask_elements(index)
+        index = np.asarray(index)
+        if index.dtype == bool:
+            if len(index) == self.n_events:
+                return self.select_events(np.nonzero(index)[0])
+            raise IndexError(
+                "boolean index length matches neither events nor "
+                "elements; wrap element masks in a JaggedArray")
+        return self.select_events(index)
+
+    def select_events(self, event_index) -> "JaggedArray":
+        """Pick whole events by (integer array) index."""
+        event_index = np.asarray(event_index, dtype=np.int64)
+        counts = self.counts[event_index]
+        starts = self.offsets[event_index]
+        take = _ranges(starts, counts)
+        return JaggedArray.from_counts(counts, self.content[take])
+
+    def mask_elements(self, mask: "JaggedArray") -> "JaggedArray":
+        """Keep elements where the parallel jagged boolean ``mask`` is True."""
+        if not isinstance(mask, JaggedArray):
+            raise TypeError("element mask must be a JaggedArray")
+        if not np.array_equal(mask.offsets, self.offsets):
+            raise ValueError("mask structure does not match array")
+        flat = mask.content.astype(bool)
+        kept_counts = np.bincount(self.event_ids()[flat],
+                                  minlength=self.n_events).astype(np.int64)
+        return JaggedArray.from_counts(kept_counts, self.content[flat])
+
+    # -- elementwise arithmetic --------------------------------------------
+    def _binary(self, other, op) -> "JaggedArray":
+        if isinstance(other, JaggedArray):
+            if not np.array_equal(other.offsets, self.offsets):
+                raise ValueError("jagged operands have different structure")
+            return JaggedArray(op(self.content, other.content), self.offsets)
+        other_arr = np.asarray(other)
+        if other_arr.ndim == 1 and len(other_arr) == self.n_events:
+            # Broadcast one value per event across that event's elements.
+            expanded = np.repeat(other_arr, self.counts)
+            return JaggedArray(op(self.content, expanded), self.offsets)
+        return JaggedArray(op(self.content, other), self.offsets)
+
+    def __add__(self, other):
+        return self._binary(other, np.add)
+
+    def __radd__(self, other):
+        return self._binary(other, lambda a, b: np.add(b, a))
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract)
+
+    def __rsub__(self, other):
+        return self._binary(other, lambda a, b: np.subtract(b, a))
+
+    def __mul__(self, other):
+        return self._binary(other, np.multiply)
+
+    def __rmul__(self, other):
+        return self._binary(other, lambda a, b: np.multiply(b, a))
+
+    def __truediv__(self, other):
+        return self._binary(other, np.divide)
+
+    def __pow__(self, other):
+        return self._binary(other, np.power)
+
+    def __neg__(self):
+        return JaggedArray(-self.content, self.offsets)
+
+    def __abs__(self):
+        return JaggedArray(np.abs(self.content), self.offsets)
+
+    # -- comparisons (produce jagged boolean masks) -----------------------
+    def __lt__(self, other):
+        return self._binary(other, np.less)
+
+    def __le__(self, other):
+        return self._binary(other, np.less_equal)
+
+    def __gt__(self, other):
+        return self._binary(other, np.greater)
+
+    def __ge__(self, other):
+        return self._binary(other, np.greater_equal)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._binary(other, np.equal)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._binary(other, np.not_equal)
+
+    __hash__ = None  # mutable container
+
+    def __and__(self, other):
+        return self._binary(other, np.logical_and)
+
+    def __or__(self, other):
+        return self._binary(other, np.logical_or)
+
+    def __invert__(self):
+        return JaggedArray(np.logical_not(self.content), self.offsets)
+
+    def apply(self, func) -> "JaggedArray":
+        """Apply a flat ufunc-like callable to the content."""
+        return JaggedArray(func(self.content), self.offsets)
+
+    # -- per-event reductions -----------------------------------------------
+    def sum(self) -> np.ndarray:
+        """Per-event sum (0.0 for empty events)."""
+        return np.bincount(self.event_ids(), weights=self.content,
+                           minlength=self.n_events)
+
+    def count_nonzero(self) -> np.ndarray:
+        flat = self.content.astype(bool)
+        return np.bincount(self.event_ids()[flat], minlength=self.n_events)
+
+    def any(self) -> np.ndarray:
+        return self.count_nonzero() > 0
+
+    def all(self) -> np.ndarray:
+        return self.count_nonzero() == self.counts
+
+    def _reduceat(self, ufunc, empty_value) -> np.ndarray:
+        counts = self.counts
+        out = np.full(self.n_events, empty_value,
+                      dtype=np.result_type(self.content.dtype, type(empty_value)))
+        non_empty = counts > 0
+        if not non_empty.any():
+            return out
+        starts = self.offsets[:-1][non_empty]
+        out[non_empty] = ufunc.reduceat(self.content, starts)
+        # reduceat reduces from each start to the next start in the *given*
+        # list, so consecutive non-empty rows behave; rows followed by
+        # empty rows are still correct because empty rows contribute no
+        # start indices.
+        return out
+
+    def max(self, empty_value=-np.inf) -> np.ndarray:
+        """Per-event maximum (``empty_value`` for empty events)."""
+        return self._reduceat(np.maximum, empty_value)
+
+    def min(self, empty_value=np.inf) -> np.ndarray:
+        return self._reduceat(np.minimum, empty_value)
+
+    def first(self, fill=np.nan) -> np.ndarray:
+        """The first element of each event (``fill`` where empty)."""
+        out = np.full(self.n_events, fill,
+                      dtype=np.result_type(self.content.dtype, type(fill)))
+        non_empty = self.counts > 0
+        out[non_empty] = self.content[self.offsets[:-1][non_empty]]
+        return out
+
+    def argmax_local(self) -> np.ndarray:
+        """Within-event index of the maximum (-1 for empty events)."""
+        out = np.full(self.n_events, -1, dtype=np.int64)
+        non_empty = self.counts > 0
+        if not non_empty.any():
+            return out
+        # Shift each event's values into a disjoint range, then argmax of
+        # the global array restricted per segment via reduceat on indices.
+        order = self.argsort_local(ascending=False)
+        out[non_empty] = order.first(fill=-1)[non_empty].astype(np.int64)
+        return out
+
+    # -- within-event ordering --------------------------------------------
+    def argsort_local(self, ascending: bool = True) -> "JaggedArray":
+        """Per-event argsort, as local (within-event) indices."""
+        event_ids = self.event_ids()
+        key = self.content if ascending else -self.content
+        # Stable sort by (event, key): elements stay grouped by event.
+        order = np.lexsort((key, event_ids))
+        local = order - np.repeat(self.offsets[:-1], self.counts)
+        return JaggedArray(local, self.offsets)
+
+    def sort_local(self, ascending: bool = True) -> "JaggedArray":
+        """Per-event sorted copy."""
+        local = self.argsort_local(ascending)
+        global_index = local.content + np.repeat(self.offsets[:-1],
+                                                 self.counts)
+        return JaggedArray(self.content[global_index], self.offsets)
+
+    def take_local(self, local_indices: "JaggedArray") -> "JaggedArray":
+        """Gather elements by within-event indices (e.g. from argsort)."""
+        if len(local_indices) != self.n_events:
+            raise ValueError("index structure does not match array")
+        starts = np.repeat(self.offsets[:-1], local_indices.counts)
+        global_index = local_indices.content.astype(np.int64) + starts
+        return JaggedArray(self.content[global_index],
+                           local_indices.offsets)
+
+    def leading(self, k: int) -> "JaggedArray":
+        """The first ``k`` elements of each event (fewer where shorter)."""
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        counts = np.minimum(self.counts, k)
+        take = _ranges(self.offsets[:-1], counts)
+        return JaggedArray.from_counts(counts, self.content[take])
+
+    # -- combinatorics ------------------------------------------------------
+    def pair_indices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Global indices (i, j) of all within-event unordered pairs.
+
+        Returns ``(event_of_pair, i_global, j_global)``.
+        """
+        return _combination_indices(self.offsets, 2)
+
+    def triple_indices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                      np.ndarray]:
+        """Global indices of all within-event unordered triples."""
+        return _combination_indices(self.offsets, 3)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = self.tolist()[:3]
+        suffix = "..." if self.n_events > 3 else ""
+        return f"<JaggedArray {self.n_events} events {preview}{suffix}>"
+
+
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(start, start+count)`` for each row, vectorised."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.array([], dtype=np.int64)
+    # index within each row: 0..count-1
+    row_start_positions = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_start_positions[1:])
+    local = np.arange(total) - np.repeat(row_start_positions[:-1], counts)
+    return np.repeat(np.asarray(starts, dtype=np.int64), counts) + local
+
+
+def _combination_indices(offsets: np.ndarray, k: int):
+    """All within-event k-combinations, grouped by event multiplicity.
+
+    Events are bucketed by their element count ``c``; for each distinct
+    ``c`` the local combination pattern (``C(c, k)`` tuples) is computed
+    once with ``np.triu_indices``-style logic and broadcast to every
+    event of that multiplicity.  The Python-level loop runs once per
+    distinct multiplicity, not per event.
+    """
+    offsets = np.asarray(offsets)
+    counts = np.diff(offsets)
+    n_events = len(counts)
+    per_event_combos = _n_choose_k(counts, k)
+    total = int(per_event_combos.sum())
+    event_of = np.empty(total, dtype=np.int64)
+    index_columns = [np.empty(total, dtype=np.int64) for _ in range(k)]
+    if total == 0:
+        return (event_of, *index_columns)
+
+    out_offsets = np.zeros(n_events + 1, dtype=np.int64)
+    np.cumsum(per_event_combos, out=out_offsets[1:])
+
+    for multiplicity in np.unique(counts):
+        c = int(multiplicity)
+        if c < k:
+            continue
+        local = _local_combinations(c, k)          # shape (C(c,k), k)
+        n_local = local.shape[0]
+        events = np.nonzero(counts == c)[0]
+        starts = offsets[:-1][events]              # content start per event
+        dest = _ranges(out_offsets[events], np.full(len(events), n_local))
+        event_of[dest] = np.repeat(events, n_local)
+        for col in range(k):
+            index_columns[col][dest] = (
+                np.repeat(starts, n_local) + np.tile(local[:, col],
+                                                     len(events)))
+    return (event_of, *index_columns)
+
+
+def _n_choose_k(counts: np.ndarray, k: int) -> np.ndarray:
+    counts = counts.astype(np.int64)
+    if k == 2:
+        return counts * (counts - 1) // 2
+    if k == 3:
+        return counts * (counts - 1) * (counts - 2) // 6
+    raise ValueError(f"unsupported combination order {k}")
+
+
+def _local_combinations(c: int, k: int) -> np.ndarray:
+    """Local index tuples for k-combinations of range(c), lexicographic."""
+    if k == 2:
+        i, j = np.triu_indices(c, k=1)
+        return np.column_stack([i, j])
+    if k == 3:
+        i, j = np.triu_indices(c, k=1)
+        rows = []
+        for a in range(c - 2):
+            jj, kk = np.triu_indices(c - a - 1, k=1)
+            rows.append(np.column_stack(
+                [np.full(len(jj), a), jj + a + 1, kk + a + 1]))
+        return (np.concatenate(rows) if rows
+                else np.empty((0, 3), dtype=np.int64))
+    raise ValueError(f"unsupported combination order {k}")

@@ -1,0 +1,92 @@
+"""Vectorised relativistic kinematics on (pt, eta, phi, mass) columns.
+
+Collider experiments describe particles in detector coordinates:
+transverse momentum ``pt``, pseudorapidity ``eta``, azimuth ``phi`` and
+``mass``.  These helpers convert to Cartesian four-vectors and compute
+the invariant masses and angular distances the DV3 and RS-TriPhoton
+analyses are built from.  All functions are flat-array in, flat-array
+out, and fully vectorised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "px", "py", "pz", "energy",
+    "delta_phi", "delta_r",
+    "invariant_mass_pairs", "invariant_mass_triples",
+    "transverse_mass",
+]
+
+
+def px(pt, phi) -> np.ndarray:
+    return pt * np.cos(phi)
+
+
+def py(pt, phi) -> np.ndarray:
+    return pt * np.sin(phi)
+
+
+def pz(pt, eta) -> np.ndarray:
+    return pt * np.sinh(eta)
+
+
+def energy(pt, eta, mass) -> np.ndarray:
+    """E = sqrt(|p|^2 + m^2); |p| = pt*cosh(eta)."""
+    p = pt * np.cosh(eta)
+    return np.sqrt(p * p + np.asarray(mass) ** 2)
+
+
+def delta_phi(phi1, phi2) -> np.ndarray:
+    """Azimuthal separation wrapped into (-pi, pi]."""
+    d = np.asarray(phi1) - np.asarray(phi2)
+    return (d + np.pi) % (2 * np.pi) - np.pi
+
+
+def delta_r(eta1, phi1, eta2, phi2) -> np.ndarray:
+    """Angular distance sqrt(d_eta^2 + d_phi^2)."""
+    d_eta = np.asarray(eta1) - np.asarray(eta2)
+    d_phi = delta_phi(phi1, phi2)
+    return np.sqrt(d_eta * d_eta + d_phi * d_phi)
+
+
+def invariant_mass_pairs(pt1, eta1, phi1, m1,
+                         pt2, eta2, phi2, m2) -> np.ndarray:
+    """Invariant mass of two-particle systems.
+
+    m^2 = (E1+E2)^2 - |p1+p2|^2, computed in a numerically safe form.
+    """
+    e1 = energy(pt1, eta1, m1)
+    e2 = energy(pt2, eta2, m2)
+    sum_px = px(pt1, phi1) + px(pt2, phi2)
+    sum_py = py(pt1, phi1) + py(pt2, phi2)
+    sum_pz = pz(pt1, eta1) + pz(pt2, eta2)
+    m2_val = ((e1 + e2) ** 2
+              - (sum_px ** 2 + sum_py ** 2 + sum_pz ** 2))
+    return np.sqrt(np.maximum(m2_val, 0.0))
+
+
+def invariant_mass_triples(pt, eta, phi, mass) -> np.ndarray:
+    """Invariant mass of three-particle systems.
+
+    Each argument is a tuple/list of three flat arrays (one per leg).
+    """
+    e_tot = np.zeros_like(np.asarray(pt[0], dtype=float))
+    px_tot = np.zeros_like(e_tot)
+    py_tot = np.zeros_like(e_tot)
+    pz_tot = np.zeros_like(e_tot)
+    for leg in range(3):
+        e_tot = e_tot + energy(pt[leg], eta[leg], mass[leg])
+        px_tot = px_tot + px(pt[leg], phi[leg])
+        py_tot = py_tot + py(pt[leg], phi[leg])
+        pz_tot = pz_tot + pz(pt[leg], eta[leg])
+    m2_val = e_tot ** 2 - (px_tot ** 2 + py_tot ** 2 + pz_tot ** 2)
+    return np.sqrt(np.maximum(m2_val, 0.0))
+
+
+def transverse_mass(pt1, phi1, pt2, phi2) -> np.ndarray:
+    """Transverse mass of two massless legs (e.g. lepton + MET)."""
+    return np.sqrt(np.maximum(
+        2.0 * np.asarray(pt1) * np.asarray(pt2)
+        * (1.0 - np.cos(delta_phi(phi1, phi2))), 0.0))

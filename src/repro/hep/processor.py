@@ -1,0 +1,86 @@
+"""Coffea-style processors and accumulation.
+
+A *processor* turns one chunk of events into an accumulator (a dict of
+histograms, counters, ...); *accumulation* merges accumulators, and is
+commutative and associative so it can be performed pairwise in any order
+-- the property the DAG layer's tree reduction (Fig 11) relies on.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .cutflow import Cutflow
+from .hist import Hist
+from .nanoevents import EventChunk, NanoEvents
+
+__all__ = ["ProcessorABC", "accumulate", "iterative_runner"]
+
+
+class ProcessorABC(ABC):
+    """Base class for analysis processors (Coffea's ``ProcessorABC``)."""
+
+    @abstractmethod
+    def process(self, events: NanoEvents) -> Dict[str, Any]:
+        """Analyse one chunk of events; return an accumulator dict."""
+
+    def postprocess(self, accumulator: Dict[str, Any]) -> Dict[str, Any]:
+        """Final touch-up after all chunks are merged (default: no-op)."""
+        return accumulator
+
+
+def accumulate(items: Iterable[Any]) -> Any:
+    """Merge accumulators pairwise.
+
+    Supports histograms (``+``), numbers, NumPy arrays, dicts
+    (recursively, union of keys), lists (concatenation) and sets
+    (union).  Merging is associative and commutative for every
+    supported type except lists, whose ordering follows merge order.
+    """
+    items = list(items)
+    if not items:
+        raise ValueError("nothing to accumulate")
+    out = items[0]
+    for item in items[1:]:
+        out = _merge(out, item)
+    return out
+
+
+def _merge(a: Any, b: Any) -> Any:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if isinstance(a, dict):
+        if not isinstance(b, dict):
+            raise TypeError(f"cannot merge dict with {type(b).__name__}")
+        out = dict(a)
+        for key, value in b.items():
+            out[key] = _merge(out.get(key), value)
+        return out
+    if isinstance(a, (Hist, Cutflow)):
+        return a + b
+    if isinstance(a, (list, tuple)):
+        return list(a) + list(b)
+    if isinstance(a, set):
+        return a | b
+    if isinstance(a, (int, float, np.integer, np.floating, np.ndarray)):
+        return a + b
+    raise TypeError(f"cannot accumulate {type(a).__name__}")
+
+
+def iterative_runner(processor: ProcessorABC,
+                     chunks: Sequence[EventChunk]) -> Dict[str, Any]:
+    """Run a processor over chunks sequentially in this process.
+
+    The reference execution path: distributed runs (DAG layer + any
+    scheduler) must produce accumulators equal to this, which the
+    integration tests assert.
+    """
+    if not chunks:
+        raise ValueError("no chunks to process")
+    outputs = [processor.process(chunk.load()) for chunk in chunks]
+    return processor.postprocess(accumulate(outputs))

@@ -1,0 +1,130 @@
+"""Jagged records: named, structure-sharing collections of jagged fields.
+
+``events.Jet`` in the paper's Coffea applications is a record array whose
+fields (``pt``, ``eta``, ``phi``, ``mass``, ``btag``...) all share the
+same jagged structure.  :class:`JaggedRecord` provides that: attribute
+access to fields, structure-preserving masks and selections, and
+combination helpers that return column stacks ready for the kinematics
+functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+import numpy as np
+
+from .jagged import JaggedArray
+
+__all__ = ["JaggedRecord"]
+
+
+class JaggedRecord:
+    """A set of :class:`JaggedArray` fields with identical offsets."""
+
+    def __init__(self, fields: Mapping[str, JaggedArray]):
+        if not fields:
+            raise ValueError("a record needs at least one field")
+        self._fields: Dict[str, JaggedArray] = dict(fields)
+        first = next(iter(self._fields.values()))
+        for name, arr in self._fields.items():
+            if not isinstance(arr, JaggedArray):
+                raise TypeError(f"field {name!r} is not a JaggedArray")
+            if not np.array_equal(arr.offsets, first.offsets):
+                raise ValueError(
+                    f"field {name!r} has different structure")
+        self.offsets = first.offsets
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_arrays(cls, counts, **flat_fields) -> "JaggedRecord":
+        """Build from per-event counts plus flat content arrays."""
+        return cls({name: JaggedArray.from_counts(counts, flat)
+                    for name, flat in flat_fields.items()})
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        return tuple(self._fields)
+
+    @property
+    def counts(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.offsets) - 1
+
+    def __len__(self) -> int:
+        return self.n_events
+
+    def __getattr__(self, name: str) -> JaggedArray:
+        try:
+            return self._fields[name]
+        except KeyError:
+            raise AttributeError(f"no field {name!r}; "
+                                 f"have {sorted(self._fields)}") from None
+
+    def __getitem__(self, index):
+        if isinstance(index, str):
+            return self._fields[index]
+        if isinstance(index, JaggedArray):
+            return self.mask_elements(index)
+        return JaggedRecord({name: arr[index]
+                             for name, arr in self._fields.items()})
+
+    def with_field(self, name: str, array: JaggedArray) -> "JaggedRecord":
+        """A new record with an extra/replaced field."""
+        if not np.array_equal(array.offsets, self.offsets):
+            raise ValueError("new field has different structure")
+        fields = dict(self._fields)
+        fields[name] = array
+        return JaggedRecord(fields)
+
+    # -- selection --------------------------------------------------------------
+    def mask_elements(self, mask: JaggedArray) -> "JaggedRecord":
+        """Keep elements where the jagged boolean ``mask`` is True."""
+        return JaggedRecord({name: arr.mask_elements(mask)
+                             for name, arr in self._fields.items()})
+
+    def select_events(self, event_index) -> "JaggedRecord":
+        return JaggedRecord({name: arr.select_events(event_index)
+                             for name, arr in self._fields.items()})
+
+    def sort_by(self, field: str, ascending: bool = False) -> "JaggedRecord":
+        """Sort elements within each event by one field (default: pt-style
+        descending)."""
+        order = self._fields[field].argsort_local(ascending=ascending)
+        return JaggedRecord({name: arr.take_local(order)
+                             for name, arr in self._fields.items()})
+
+    def leading(self, k: int) -> "JaggedRecord":
+        """The first ``k`` elements of each event."""
+        return JaggedRecord({name: arr.leading(k)
+                             for name, arr in self._fields.items()})
+
+    # -- combinatorics ----------------------------------------------------------
+    def pairs(self, fields: Iterable[str]) -> Tuple[np.ndarray, dict, dict]:
+        """All within-event unordered pairs.
+
+        Returns ``(event_of_pair, first, second)`` where ``first`` and
+        ``second`` map field names to flat arrays, one entry per pair.
+        """
+        any_field = next(iter(self._fields.values()))
+        event_of, i, j = any_field.pair_indices()
+        first = {name: self._fields[name].content[i] for name in fields}
+        second = {name: self._fields[name].content[j] for name in fields}
+        return event_of, first, second
+
+    def triples(self, fields: Iterable[str]):
+        """All within-event unordered triples, as three field dicts."""
+        any_field = next(iter(self._fields.values()))
+        event_of, i, j, k = any_field.triple_indices()
+        picked = tuple(
+            {name: self._fields[name].content[idx] for name in fields}
+            for idx in (i, j, k))
+        return (event_of, *picked)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<JaggedRecord {self.n_events} events, "
+                f"fields={sorted(self._fields)}>")

@@ -1,0 +1,220 @@
+"""Synthetic ROOT-style columnar event files.
+
+CMS data is stored in ROOT files: column-oriented trees whose branches
+hold one value per event (flat) or a variable-length list per event
+(jagged).  We reproduce the storage model with NumPy-backed files:
+
+* flat branch ``X``       -> one array of length ``n_entries``
+* jagged branch ``C_x``   -> ``content`` + shared per-collection counts
+  branch ``nC`` (CMS NanoAOD naming convention)
+
+Files are written as ``.npz`` archives.  Baskets -- ROOT's unit of
+columnar compression and partial reads -- are recorded as entry-range
+boundaries in the file metadata so readers can fetch entry ranges
+(``chunks_per_file`` in the paper's Fig 4 splits each file into chunks
+along basket boundaries).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .jagged import JaggedArray
+
+__all__ = ["ROOTFile", "write_root_file", "basket_boundaries"]
+
+_META_KEY = "__meta__"
+
+
+def basket_boundaries(n_entries: int, basket_size: int) -> List[int]:
+    """Entry indices at which baskets begin (plus the end sentinel)."""
+    if basket_size < 1:
+        raise ValueError("basket_size must be >= 1")
+    bounds = list(range(0, n_entries, basket_size))
+    bounds.append(n_entries)
+    return bounds
+
+
+def write_root_file(path: str, tree: str,
+                    branches: Dict[str, Union[np.ndarray, JaggedArray]],
+                    basket_size: int = 10_000) -> "ROOTFile":
+    """Write a single-tree file; returns the opened :class:`ROOTFile`.
+
+    Jagged branches are stored under CMS conventions: branch ``Jet_pt``
+    being jagged implies a counts branch ``nJet`` (written automatically
+    and validated for consistency across the collection).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    n_entries: Optional[int] = None
+    branch_meta: Dict[str, dict] = {}
+    counts_written: Dict[str, np.ndarray] = {}
+
+    for name, data in branches.items():
+        if isinstance(data, JaggedArray):
+            collection = name.split("_", 1)[0]
+            counts = data.counts
+            if n_entries is None:
+                n_entries = data.n_events
+            elif n_entries != data.n_events:
+                raise ValueError(f"branch {name!r} entry count mismatch")
+            prev = counts_written.get(collection)
+            if prev is None:
+                counts_written[collection] = counts
+                arrays[f"n{collection}"] = counts
+                branch_meta[f"n{collection}"] = {"kind": "counts",
+                                                 "collection": collection}
+            elif not np.array_equal(prev, counts):
+                raise ValueError(
+                    f"jagged branches of collection {collection!r} "
+                    f"disagree on counts")
+            arrays[name] = data.content
+            branch_meta[name] = {"kind": "jagged", "collection": collection}
+        else:
+            data = np.asarray(data)
+            if n_entries is None:
+                n_entries = len(data)
+            elif n_entries != len(data):
+                raise ValueError(f"branch {name!r} entry count mismatch")
+            arrays[name] = data
+            branch_meta[name] = {"kind": "flat"}
+
+    if n_entries is None:
+        raise ValueError("cannot write an empty file")
+
+    meta = {
+        "tree": tree,
+        "n_entries": n_entries,
+        "baskets": basket_boundaries(n_entries, basket_size),
+        "branches": branch_meta,
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8).copy()
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path if path.endswith(".npz") else path + ".npz", **arrays)
+    return ROOTFile(path)
+
+
+class ROOTFile:
+    """Read-side handle on a synthetic ROOT file."""
+
+    def __init__(self, path: str):
+        if not path.endswith(".npz"):
+            path = path + ".npz"
+        if not os.path.exists(path):
+            raise FileNotFoundError(path)
+        self.path = path
+        self._npz = np.load(path)
+        raw = self._npz[_META_KEY].tobytes().decode()
+        self._meta = json.loads(raw)
+        self._counts_cache: Dict[str, np.ndarray] = {}
+
+    # -- metadata -------------------------------------------------------------
+    @property
+    def tree(self) -> str:
+        return self._meta["tree"]
+
+    @property
+    def n_entries(self) -> int:
+        return self._meta["n_entries"]
+
+    @property
+    def baskets(self) -> List[int]:
+        return list(self._meta["baskets"])
+
+    @property
+    def branch_names(self) -> List[str]:
+        return sorted(self._meta["branches"])
+
+    def collections(self) -> List[str]:
+        """Names of jagged collections present (e.g. ["Jet", "Photon"])."""
+        return sorted({info["collection"]
+                       for info in self._meta["branches"].values()
+                       if info["kind"] == "jagged"})
+
+    def flat_branches(self) -> List[str]:
+        return sorted(name for name, info in self._meta["branches"].items()
+                      if info["kind"] == "flat")
+
+    @property
+    def nbytes(self) -> int:
+        return os.path.getsize(self.path)
+
+    def is_jagged(self, branch: str) -> bool:
+        return self._meta["branches"][branch]["kind"] == "jagged"
+
+    # -- reading -----------------------------------------------------------
+    def _counts(self, collection: str) -> np.ndarray:
+        cached = self._counts_cache.get(collection)
+        if cached is None:
+            cached = self._npz[f"n{collection}"]
+            self._counts_cache[collection] = cached
+        return cached
+
+    def read(self, branch: str, entry_start: int = 0,
+             entry_stop: Optional[int] = None
+             ) -> Union[np.ndarray, JaggedArray]:
+        """Read an entry range of one branch.
+
+        Flat branches return plain arrays; jagged branches return
+        :class:`JaggedArray` restricted to the entry range.
+        """
+        info = self._meta["branches"].get(branch)
+        if info is None:
+            raise KeyError(f"no branch {branch!r}; have {self.branch_names}")
+        stop = self.n_entries if entry_stop is None else entry_stop
+        if not 0 <= entry_start <= stop <= self.n_entries:
+            raise IndexError(
+                f"entry range [{entry_start}, {stop}) outside "
+                f"[0, {self.n_entries})")
+        if info["kind"] == "flat":
+            return self._npz[branch][entry_start:stop]
+        if info["kind"] == "counts":
+            return self._npz[branch][entry_start:stop]
+        collection = info["collection"]
+        counts = self._counts(collection)
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        content = self._npz[branch][offsets[entry_start]:offsets[stop]]
+        new_offsets = (offsets[entry_start:stop + 1]
+                       - offsets[entry_start])
+        return JaggedArray(content, new_offsets)
+
+    def chunk_ranges(self, chunks: int) -> List[Tuple[int, int]]:
+        """Split the file into ``chunks`` entry ranges along baskets.
+
+        Mirrors ``uproot_options={"chunks_per_file": N}`` from the
+        paper's sample code: boundaries snap to basket edges so a chunk
+        never splits a basket.
+        """
+        if chunks < 1:
+            raise ValueError("chunks must be >= 1")
+        bounds = self.baskets
+        n_baskets = len(bounds) - 1
+        chunks = min(chunks, n_baskets)
+        # Distribute baskets across chunks as evenly as possible.
+        per_chunk = np.full(chunks, n_baskets // chunks)
+        per_chunk[: n_baskets % chunks] += 1
+        ranges = []
+        basket = 0
+        for size in per_chunk:
+            start = bounds[basket]
+            basket += int(size)
+            ranges.append((start, bounds[basket]))
+        return ranges
+
+    def close(self) -> None:
+        self._npz.close()
+
+    def __enter__(self) -> "ROOTFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ROOTFile {os.path.basename(self.path)} "
+                f"tree={self.tree!r} entries={self.n_entries}>")

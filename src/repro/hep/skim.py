@@ -1,0 +1,121 @@
+"""Skimming: deriving reduced datasets from selections.
+
+Between the collaboration-wide "cooked" datasets and a late-stage
+analysis usually sits a *skim*: a pass that keeps only events passing a
+loose selection (and optionally only the needed branches) and writes
+them back as smaller ROOT files.  Skims are how the paper's facility
+keeps "specialized data subsets... on bulk storage" (Section IV.A)
+instead of re-reading the full dataset over XRootD each run.
+
+:func:`skim_chunk` is the per-chunk kernel; :func:`skim_dataset` maps
+it over a dataset and writes one output file per input chunk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .jagged import JaggedArray
+from .nanoevents import EventChunk, NanoEvents
+from .root import ROOTFile, write_root_file
+
+__all__ = ["skim_chunk", "skim_dataset", "SkimStats"]
+
+
+class SkimStats:
+    """Bookkeeping for a skim pass (accumulates across chunks)."""
+
+    def __init__(self, events_in: int = 0, events_out: int = 0,
+                 bytes_in: int = 0, bytes_out: int = 0):
+        self.events_in = events_in
+        self.events_out = events_out
+        self.bytes_in = bytes_in
+        self.bytes_out = bytes_out
+
+    @property
+    def efficiency(self) -> float:
+        return (self.events_out / self.events_in
+                if self.events_in else 0.0)
+
+    @property
+    def size_reduction(self) -> float:
+        return (1.0 - self.bytes_out / self.bytes_in
+                if self.bytes_in else 0.0)
+
+    def __add__(self, other: "SkimStats") -> "SkimStats":
+        if other == 0:
+            return SkimStats(self.events_in, self.events_out,
+                             self.bytes_in, self.bytes_out)
+        return SkimStats(self.events_in + other.events_in,
+                         self.events_out + other.events_out,
+                         self.bytes_in + other.bytes_in,
+                         self.bytes_out + other.bytes_out)
+
+    __radd__ = __add__
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SkimStats {self.events_out}/{self.events_in} events "
+                f"({self.efficiency:.1%})>")
+
+
+def skim_chunk(chunk: EventChunk, selection: Callable[[NanoEvents],
+                                                      np.ndarray],
+               out_path: str,
+               branches: Optional[Sequence[str]] = None,
+               basket_size: int = 2_000) -> SkimStats:
+    """Apply an event-level selection to one chunk; write survivors.
+
+    ``selection(events) -> bool array`` chooses events;  ``branches``
+    optionally restricts the output columns (column pruning).  Returns
+    the stats; writes nothing when no event survives.
+    """
+    events = chunk.load()
+    mask = np.asarray(selection(events), dtype=bool)
+    if mask.shape != (events.nevents,):
+        raise ValueError(
+            f"selection returned shape {mask.shape}, expected "
+            f"({events.nevents},)")
+    rootfile = events._file
+    wanted = branches or [
+        name for name in rootfile.branch_names
+        if rootfile._meta["branches"][name]["kind"] != "counts"]
+    stats = SkimStats(events_in=events.nevents,
+                      events_out=int(mask.sum()),
+                      bytes_in=rootfile.nbytes)
+    if stats.events_out == 0:
+        return stats
+    picked = np.nonzero(mask)[0]
+    out: Dict[str, object] = {}
+    for name in wanted:
+        data = rootfile.read(name, chunk.entry_start, chunk.entry_stop)
+        if isinstance(data, JaggedArray):
+            out[name] = data.select_events(picked)
+        else:
+            out[name] = np.asarray(data)[picked]
+    write_root_file(out_path, tree=rootfile.tree, branches=out,
+                    basket_size=basket_size)
+    stats.bytes_out = os.path.getsize(
+        out_path if out_path.endswith(".npz") else out_path + ".npz")
+    return stats
+
+
+def skim_dataset(chunks: Sequence[EventChunk],
+                 selection: Callable[[NanoEvents], np.ndarray],
+                 out_dir: str,
+                 branches: Optional[Sequence[str]] = None,
+                 ) -> tuple:
+    """Skim every chunk; returns (paths, accumulated SkimStats)."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths: List[str] = []
+    total = SkimStats()
+    for index, chunk in enumerate(chunks):
+        out_path = os.path.join(out_dir, f"skim_{index:04d}.npz")
+        stats = skim_chunk(chunk, selection, out_path,
+                           branches=branches)
+        total = total + stats
+        if stats.events_out > 0:
+            paths.append(out_path)
+    return paths, total

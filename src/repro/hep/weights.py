@@ -1,0 +1,84 @@
+"""Event weights with systematic variations (Coffea's ``Weights``).
+
+Late-stage analyses rarely count raw events: every event carries a
+product of correction weights (generator weight, pileup, trigger and
+identification scale factors), and each correction has "up"/"down"
+systematic variations.  :class:`Weights` accumulates the product
+incrementally and can return the total weight with any single variation
+applied -- the access pattern Coffea processors use when filling
+histograms per systematic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["Weights"]
+
+
+class Weights:
+    """Per-event multiplicative weights with named variations."""
+
+    def __init__(self, n_events: int):
+        if n_events < 0:
+            raise ValueError("n_events must be >= 0")
+        self.n_events = n_events
+        self._weight = np.ones(n_events)
+        #: variation name ("puUp", "puDown", ...) -> total weight with
+        #: that single variation substituted in.
+        self._modified: Dict[str, np.ndarray] = {}
+
+    def add(self, name: str, nominal, up=None, down=None) -> None:
+        """Multiply a correction in, with optional up/down variations.
+
+        Variations are *absolute* alternative weights for this
+        correction (as in Coffea), not relative factors.
+        """
+        nominal = np.broadcast_to(np.asarray(nominal, dtype=float),
+                                  (self.n_events,)).copy()
+        if not np.isfinite(nominal).all():
+            raise ValueError(f"weight {name!r} contains non-finite "
+                             f"values")
+        # existing variations keep following the nominal of the newly
+        # added correction
+        for key in self._modified:
+            self._modified[key] = self._modified[key] * nominal
+        if up is not None:
+            up = np.broadcast_to(np.asarray(up, dtype=float),
+                                 (self.n_events,))
+            self._modified[f"{name}Up"] = self._weight * up
+        if down is not None:
+            down = np.broadcast_to(np.asarray(down, dtype=float),
+                                   (self.n_events,))
+            self._modified[f"{name}Down"] = self._weight * down
+        self._weight = self._weight * nominal
+
+    def weight(self, modifier: Optional[str] = None) -> np.ndarray:
+        """Total weight, optionally with one systematic variation."""
+        if modifier is None:
+            return self._weight
+        try:
+            return self._modified[modifier]
+        except KeyError:
+            raise KeyError(
+                f"no variation {modifier!r}; have "
+                f"{sorted(self._modified)}") from None
+
+    @property
+    def variations(self) -> List[str]:
+        return sorted(self._modified)
+
+    def partial_weight(self, exclude: str) -> np.ndarray:
+        """Total weight with one correction's variations' names removed
+        is not recoverable from products alone; this helper exists for
+        API parity and raises with guidance."""
+        raise NotImplementedError(
+            "partial weights require storing each correction "
+            "separately; keep the per-correction arrays if you need "
+            "N-1 weights")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Weights {self.n_events} events, "
+                f"{len(self._modified)} variations>")

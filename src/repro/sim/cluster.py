@@ -1,0 +1,196 @@
+"""Cluster and batch-system model.
+
+Reproduces the paper's execution environment: a heterogeneous campus
+HTCondor pool from which 12-core workers are allocated opportunistically
+(Section IV: 200 workers, 2.50 GHz Xeons, 96 GB RAM, 108 GB disk, with
+"preemption of up to 1% of workers in each run").
+
+The manager always occupies node id 0 -- matching Fig 7, where the Work
+Queue heatmap shows all traffic flowing through node 0.  Workers get ids
+1..N.  Opportunistic preemption is modelled as an exponential clock per
+worker; when it fires the cluster tears the node down (its network flows
+fail) and notifies the scheduler through a registered handler, which
+must re-run lost tasks and re-replicate lost files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from .engine import Resource, Simulation
+from .network import Network
+from .rng import RngRegistry
+from .storage import GB, MB, LocalDisk
+from .trace import TraceRecorder
+
+__all__ = ["NodeSpec", "WorkerNode", "Cluster", "CAMPUS_WORKER"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one worker node."""
+
+    cores: int = 12
+    ram: float = 96 * GB
+    disk: float = 108 * GB
+    nic_bw: float = 1.25 * GB          # 10 GbE
+    per_stream_bw: float = 1.1 * GB
+    disk_read_bw: float = 0.6 * GB     # campus nodes: SATA-ish local disk
+    disk_write_bw: float = 0.4 * GB
+    speed_factor: float = 1.0          # relative CPU speed (1.0 = baseline)
+
+
+#: The paper's standard worker allocation (Section IV).
+CAMPUS_WORKER = NodeSpec()
+
+
+class WorkerNode:
+    """A live worker node: cores, local disk, NIC registration."""
+
+    def __init__(self, sim: Simulation, node_id: int, spec: NodeSpec):
+        self.sim = sim
+        self.node_id = node_id
+        self.spec = spec
+        self.cores = Resource(sim, capacity=spec.cores)
+        self.disk = LocalDisk(sim, capacity=spec.disk,
+                              read_bw=spec.disk_read_bw,
+                              write_bw=spec.disk_write_bw)
+        self.alive = True
+        self.t_spawned = sim.now
+        self.t_removed: Optional[float] = None
+
+    def scale_runtime(self, nominal_seconds: float) -> float:
+        """Convert a nominal task duration to this node's actual duration."""
+        return nominal_seconds / self.spec.speed_factor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "removed"
+        return f"<WorkerNode {self.node_id} {state} {self.spec.cores}c>"
+
+
+class Cluster:
+    """The pool of nodes available to a scheduler run.
+
+    Parameters
+    ----------
+    preemption_rate:
+        Per-worker probability of preemption per second of wall time.
+        The paper reports ~1 % of workers preempted per (roughly hour
+        long) run, i.e. on the order of 3e-6 /s; calibration picks the
+        exact value.
+    heterogeneity:
+        Standard deviation of the lognormal CPU speed factor across
+        nodes (0 = homogeneous cluster).
+    """
+
+    MANAGER_NODE = 0
+
+    def __init__(self, sim: Simulation, network: Network,
+                 trace: TraceRecorder, rng: RngRegistry,
+                 manager_nic_bw: float = 1.25 * GB,
+                 preemption_rate: float = 0.0,
+                 heterogeneity: float = 0.0,
+                 worker_startup_delay: float = 0.0):
+        self.sim = sim
+        self.network = network
+        self.trace = trace
+        self.rng = rng
+        self.preemption_rate = preemption_rate
+        self.heterogeneity = heterogeneity
+        self.worker_startup_delay = worker_startup_delay
+        self.workers: Dict[int, WorkerNode] = {}
+        self._next_id = 1
+        self._preemption_handlers: List[Callable[[WorkerNode], None]] = []
+        self._join_handlers: List[Callable[[WorkerNode], None]] = []
+        network.add_node(self.MANAGER_NODE, capacity=manager_nic_bw)
+
+    def on_join(self, handler: Callable[[WorkerNode], None]) -> None:
+        """Register a callback invoked when a worker becomes usable
+        (at provision time, or after its startup delay)."""
+        self._join_handlers.append(handler)
+
+    # -- provisioning --------------------------------------------------------
+    def provision(self, count: int, spec: NodeSpec = CAMPUS_WORKER,
+                  ) -> List[WorkerNode]:
+        """Allocate ``count`` workers from the batch system.
+
+        Startup delays and CPU-speed heterogeneity are sampled per node;
+        each worker becomes visible immediately but "arrives" (is usable)
+        after its startup delay -- schedulers should dispatch only to
+        workers whose ``alive`` flag is set, which this method sets after
+        the delay via a tiny boot process.
+        """
+        rng = self.rng.stream("cluster")
+        nodes = []
+        for _ in range(count):
+            node_id = self._next_id
+            self._next_id += 1
+            if self.heterogeneity > 0:
+                factor = float(rng.lognormal(mean=0.0,
+                                             sigma=self.heterogeneity))
+            else:
+                factor = 1.0
+            node_spec = replace(spec, speed_factor=spec.speed_factor * factor)
+            node = WorkerNode(self.sim, node_id, node_spec)
+            if self.worker_startup_delay > 0:
+                node.alive = False
+                delay = float(rng.uniform(0, 2 * self.worker_startup_delay))
+                self.sim.process(self._boot(node, delay))
+            else:
+                self._attach(node)
+            self.workers[node_id] = node
+            nodes.append(node)
+        return nodes
+
+    def _boot(self, node: WorkerNode, delay: float):
+        yield self.sim.timeout(delay)
+        node.alive = True
+        self._attach(node)
+
+    def _attach(self, node: WorkerNode) -> None:
+        node.alive = True
+        self.network.add_node(node.node_id, capacity=node.spec.nic_bw,
+                              per_stream_cap=node.spec.per_stream_bw)
+        self.trace.worker(node.node_id, self.sim.now, "spawn")
+        if self.preemption_rate > 0:
+            self.sim.process(self._preemption_clock(node),
+                             name=f"preempt-{node.node_id}")
+        for handler in self._join_handlers:
+            handler(node)
+
+    # -- preemption --------------------------------------------------------
+    def on_preemption(self, handler: Callable[[WorkerNode], None]) -> None:
+        """Register a callback invoked when a worker is preempted."""
+        self._preemption_handlers.append(handler)
+
+    def _preemption_clock(self, node: WorkerNode):
+        rng = self.rng.stream(f"preempt-{node.node_id}")
+        delay = float(rng.exponential(1.0 / self.preemption_rate))
+        yield self.sim.timeout(delay)
+        if node.alive:
+            self.preempt(node)
+
+    def preempt(self, node: WorkerNode) -> None:
+        """Forcibly evict a worker (opportunistic scheduling took it back)."""
+        if not node.alive:
+            return
+        self.remove_worker(node, reason="preempt")
+        for handler in self._preemption_handlers:
+            handler(node)
+
+    def remove_worker(self, node: WorkerNode, reason: str = "remove") -> None:
+        """Tear a node down: NIC gone, in-flight flows fail."""
+        if not node.alive:
+            return
+        node.alive = False
+        node.t_removed = self.sim.now
+        self.network.remove_node(node.node_id)
+        self.trace.worker(node.node_id, self.sim.now, reason)
+
+    # -- queries -------------------------------------------------------------
+    def alive_workers(self) -> List[WorkerNode]:
+        return [w for w in self.workers.values() if w.alive]
+
+    def total_cores(self) -> int:
+        return sum(w.spec.cores for w in self.alive_workers())

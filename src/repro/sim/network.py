@@ -1,0 +1,223 @@
+"""Cluster network model.
+
+Models every node's NIC as a :class:`Pipe` with an aggregate capacity
+shared equally among the flows currently crossing it.  A flow's rate is::
+
+    rate = min(per_stream_cap,
+               src.capacity / src.active_flows,
+               dst.capacity / dst.active_flows)
+
+This *local equal-share* model is deliberately simpler than global
+max-min fairness: a rate change at one node never cascades through the
+whole cluster, so bookkeeping stays O(flows at the two endpoints) per
+flow arrival/departure.  It is conservative (capacity freed by a
+remote-bottlenecked flow is not redistributed) but reproduces the two
+behaviours the paper depends on:
+
+* a manager/shared-filesystem NIC saturates when hundreds of workers pull
+  data through it (Work Queue, Stack 1-2), and
+* worker-to-worker peer transfers spread load so no single pipe saturates
+  (TaskVine, Stack 3-4, Fig 7).
+
+Completion events are scheduled lazily: each flow carries a generation
+counter; when rates change we bump the generation and schedule a fresh
+completion check, so stale wakeups are ignored in O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from .engine import Event, Simulation, SimulationError
+from .trace import TraceRecorder, TransferRecord
+
+__all__ = ["Pipe", "Flow", "Network"]
+
+_EPSILON = 1e-9
+
+
+@dataclass(eq=False)  # identity hash: pipes live in sets
+class Pipe:
+    """One node's network attachment point."""
+
+    node: int
+    capacity: float            # bytes/second aggregate
+    per_stream_cap: float      # bytes/second ceiling for any single flow
+    flows: Set["Flow"] = field(default_factory=set)
+
+    def share(self) -> float:
+        """Equal share of capacity per active flow."""
+        n = len(self.flows)
+        return self.capacity / n if n else self.capacity
+
+
+class Flow:
+    """An in-flight data transfer between two pipes."""
+
+    __slots__ = ("src", "dst", "remaining", "rate", "done", "check_at",
+                 "last_update", "nbytes", "kind", "t_start")
+
+    def __init__(self, src: Pipe, dst: Pipe, nbytes: float, kind: str,
+                 done: Event, now: float):
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.remaining = nbytes
+        self.rate = 0.0
+        self.done = done
+        #: time of the earliest pending completion check (inf if none)
+        self.check_at = float("inf")
+        self.last_update = now
+        self.kind = kind
+        self.t_start = now
+
+
+class Network:
+    """Tracks pipes and flows; hands out transfer-completion events."""
+
+    def __init__(self, sim: Simulation, trace: Optional[TraceRecorder] = None,
+                 latency: float = 0.0005):
+        self.sim = sim
+        self.trace = trace
+        #: one-way message latency added to every transfer (seconds).
+        self.latency = latency
+        self.pipes: Dict[int, Pipe] = {}
+        self.active_flows: Set[Flow] = set()
+
+    # -- topology -------------------------------------------------------------
+    def add_node(self, node: int, capacity: float,
+                 per_stream_cap: Optional[float] = None) -> Pipe:
+        """Register a node's NIC.  Capacity in bytes/second."""
+        if node in self.pipes:
+            raise SimulationError(f"node {node} already registered")
+        if capacity <= 0:
+            raise SimulationError("pipe capacity must be positive")
+        pipe = Pipe(node, capacity, per_stream_cap or capacity)
+        self.pipes[node] = pipe
+        return pipe
+
+    def remove_node(self, node: int) -> None:
+        """Remove a node (its in-flight flows fail)."""
+        pipe = self.pipes.pop(node, None)
+        if pipe is None:
+            return
+        for flow in list(pipe.flows):
+            self._fail_flow(flow, ConnectionError(
+                f"node {node} left the cluster"))
+
+    # -- transfers -------------------------------------------------------------
+    def transfer(self, src: int, dst: int, nbytes: float,
+                 kind: str = "data") -> Event:
+        """Start moving ``nbytes`` from ``src`` to ``dst``.
+
+        Returns an event that succeeds (with the byte count) when the
+        transfer completes, or fails if either endpoint disappears.
+        Zero-byte transfers still pay one latency.
+        """
+        if src not in self.pipes or dst not in self.pipes:
+            raise SimulationError(f"unknown endpoint in {src}->{dst}")
+        if src == dst:
+            # Local "transfer": free, settles after negligible delay.
+            done = self.sim.event()
+            self.sim.process(self._settle_local(done, nbytes))
+            return done
+        done = self.sim.event()
+        flow = Flow(self.pipes[src], self.pipes[dst], max(nbytes, 0.0),
+                    kind, done, self.sim.now)
+        self.active_flows.add(flow)
+        flow.src.flows.add(flow)
+        flow.dst.flows.add(flow)
+        self._update_rates({flow.src, flow.dst})
+        return done
+
+    def _settle_local(self, done: Event, nbytes: float):
+        yield self.sim.timeout(0.0)
+        done.succeed(nbytes)
+
+    # -- rate bookkeeping ----------------------------------------------------
+    def _flow_rate(self, flow: Flow) -> float:
+        return min(
+            flow.src.per_stream_cap,
+            flow.dst.per_stream_cap,
+            flow.src.share(),
+            flow.dst.share(),
+        )
+
+    def _update_rates(self, pipes: Set[Pipe]) -> None:
+        """Recompute rates for all flows touching the given pipes.
+
+        Completion checks are scheduled lazily: a check is only added
+        when the new estimated finish time is *earlier* than the
+        earliest pending check.  A check firing before the flow is done
+        (because its rate dropped meanwhile) simply reschedules itself,
+        so each rate change costs O(affected flows) float updates and at
+        most O(affected flows) new events in the speed-up direction --
+        not a full re-enqueue of every flow on a hot pipe.
+        """
+        now = self.sim.now
+        affected: Set[Flow] = set()
+        for pipe in pipes:
+            affected |= pipe.flows
+        for flow in affected:
+            # Account progress at the old rate first.
+            elapsed = now - flow.last_update
+            if elapsed > 0 and flow.rate > 0:
+                flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+            flow.last_update = now
+            flow.rate = self._flow_rate(flow)
+            self._schedule_completion(flow)
+
+    def _schedule_completion(self, flow: Flow) -> None:
+        if flow.rate <= 0:
+            return
+        eta = self.sim.now + flow.remaining / flow.rate + self.latency
+        if flow.check_at <= eta + _EPSILON:
+            return  # an earlier (or equal) check is already pending
+        flow.check_at = eta
+        timeout = self.sim.timeout(eta - self.sim.now)
+        timeout.callbacks.append(
+            lambda _ev, f=flow: self._maybe_complete(f))
+
+    def _maybe_complete(self, flow: Flow) -> None:
+        if flow not in self.active_flows:
+            return  # finished or failed before this check fired
+        now = self.sim.now
+        if now + _EPSILON < flow.check_at:
+            return  # a later stale wakeup superseded by an earlier one
+        flow.check_at = float("inf")
+        elapsed = now - flow.last_update
+        if elapsed > 0 and flow.rate > 0:
+            flow.remaining = max(0.0, flow.remaining - flow.rate * elapsed)
+        flow.last_update = now
+        if flow.remaining > _EPSILON:
+            # The rate dropped since this check was scheduled: not done
+            # yet; schedule the next check at the current rate.
+            self._schedule_completion(flow)
+            return
+        self._finish_flow(flow)
+
+    def _detach(self, flow: Flow) -> None:
+        self.active_flows.discard(flow)
+        flow.src.flows.discard(flow)
+        flow.dst.flows.discard(flow)
+        self._update_rates({flow.src, flow.dst})
+
+    def _finish_flow(self, flow: Flow) -> None:
+        self._detach(flow)
+        if self.trace is not None:
+            self.trace.transfer(TransferRecord(
+                src=flow.src.node, dst=flow.dst.node, nbytes=flow.nbytes,
+                t_start=flow.t_start, t_end=self.sim.now, kind=flow.kind))
+        flow.done.succeed(flow.nbytes)
+
+    def _fail_flow(self, flow: Flow, exc: BaseException) -> None:
+        self._detach(flow)
+        flow.done.fail(exc)
+
+    # -- introspection -----------------------------------------------------
+    def active_flow_count(self, node: Optional[int] = None) -> int:
+        if node is None:
+            return len(self.active_flows)
+        pipe = self.pipes.get(node)
+        return len(pipe.flows) if pipe else 0

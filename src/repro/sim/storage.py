@@ -1,0 +1,233 @@
+"""Storage models: shared filesystems and node-local disks.
+
+Two shared-filesystem *profiles* reproduce the paper's Stack 1->2
+transition (Section IV.A):
+
+* :data:`HDFS_PROFILE` -- 644 TB of spinning disk on commodity nodes,
+  triple replication; tuned for bulk throughput, poor metadata latency.
+* :data:`VAST_PROFILE` -- 676 TB usable of NVMe with a POSIX interface;
+  two orders of magnitude better access latency.
+
+A :class:`SharedFilesystem` attaches to the cluster :class:`~repro.sim.
+network.Network` as a pseudo-node (negative id) so reads/writes share
+NIC capacity with everything else a node is doing, and the filesystem's
+own aggregate bandwidth caps total cluster traffic through it.
+
+A :class:`LocalDisk` models a worker's node-local drive: byte-accounted
+capacity plus read/write service times.  TaskVine's worker cache
+(:mod:`repro.core.cache`) layers naming, eviction and replication on top
+of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .engine import Event, Resource, Simulation, SimulationError
+from .network import Network
+
+__all__ = [
+    "StorageProfile",
+    "HDFS_PROFILE",
+    "VAST_PROFILE",
+    "SharedFilesystem",
+    "LocalDisk",
+    "DiskFullError",
+    "SHARED_FS_NODE",
+]
+
+#: Pseudo-node id used by shared filesystems on the network.
+SHARED_FS_NODE = -1
+
+TB = 1e12
+GB = 1e9
+MB = 1e6
+
+
+@dataclass(frozen=True)
+class StorageProfile:
+    """Performance envelope of a shared filesystem."""
+
+    name: str
+    metadata_latency: float     # seconds per open/stat
+    per_stream_bw: float        # bytes/s a single client stream can pull
+    aggregate_bw: float         # bytes/s across all clients
+    capacity: float             # bytes usable
+    max_concurrent_streams: int = 4096
+
+
+# Spinning-disk HDFS: high aggregate throughput, high latency per access.
+HDFS_PROFILE = StorageProfile(
+    name="hdfs",
+    metadata_latency=0.045,
+    per_stream_bw=60 * MB,
+    aggregate_bw=2 * GB,
+    capacity=644 * TB / 3,      # triple replication -> 1/3 usable
+)
+
+# NVMe VAST: low latency POSIX access, high per-stream and aggregate bw.
+VAST_PROFILE = StorageProfile(
+    name="vast",
+    metadata_latency=0.0008,
+    per_stream_bw=1.2 * GB,
+    aggregate_bw=40 * GB,
+    capacity=676 * TB,
+)
+
+
+class DiskFullError(Exception):
+    """Raised when a write would exceed a disk's capacity."""
+
+
+class SharedFilesystem:
+    """A cluster-wide filesystem reachable from every node.
+
+    Two service models:
+
+    * ``model="queue"`` (default): each stream runs at the profile's
+      per-stream bandwidth and the number of concurrent streams is
+      capped at ``aggregate_bw / per_stream_bw`` -- an M/G/k-style
+      approximation that costs O(1) simulation events per I/O.  Used
+      for large runs (185 k tasks) where per-flow rate bookkeeping
+      would dominate wall time.
+    * ``model="network"``: reads/writes are real flows between the
+      client node and the filesystem pseudo-node, sharing NIC capacity
+      with everything else.  Exact but costlier; used in contention
+      tests.
+    """
+
+    def __init__(self, sim: Simulation, network: Network,
+                 profile: StorageProfile,
+                 node_id: int = SHARED_FS_NODE,
+                 model: str = "queue",
+                 trace: Optional["TraceRecorder"] = None):
+        if model not in ("queue", "network"):
+            raise SimulationError(f"unknown storage model {model!r}")
+        self.sim = sim
+        self.network = network
+        self.profile = profile
+        self.node_id = node_id
+        self.model = model
+        self.trace = trace
+        self.used = 0.0
+        if model == "network":
+            network.add_node(node_id, capacity=profile.aggregate_bw,
+                             per_stream_cap=profile.per_stream_bw)
+            stream_cap = profile.max_concurrent_streams
+        else:
+            stream_cap = max(1, min(
+                profile.max_concurrent_streams,
+                int(profile.aggregate_bw / profile.per_stream_bw)))
+        self._streams = Resource(sim, capacity=stream_cap)
+        #: running totals for reports
+        self.bytes_read = 0.0
+        self.bytes_written = 0.0
+        self.metadata_ops = 0
+
+    def read(self, node: int, nbytes: float, kind: str = "fs-read") -> Event:
+        """Read ``nbytes`` from the filesystem into ``node``."""
+        return self._io(self.node_id, node, nbytes, kind, is_read=True)
+
+    def write(self, node: int, nbytes: float,
+              kind: str = "fs-write") -> Event:
+        """Write ``nbytes`` from ``node`` to the filesystem."""
+        if self.used + nbytes > self.profile.capacity:
+            done = self.sim.event()
+            done.fail(DiskFullError(
+                f"{self.profile.name}: write of {nbytes:.0f} exceeds "
+                f"capacity"))
+            return done
+        self.used += nbytes
+        return self._io(node, self.node_id, nbytes, kind, is_read=False)
+
+    def metadata_op(self) -> Event:
+        """One open/stat round trip (import-hoisting experiments hammer
+        this path: Python import performs many metadata lookups)."""
+        self.metadata_ops += 1
+        return self.sim.timeout(self.profile.metadata_latency)
+
+    def delete(self, nbytes: float) -> None:
+        self.used = max(0.0, self.used - nbytes)
+
+    def _io(self, src: int, dst: int, nbytes: float, kind: str,
+            is_read: bool) -> Event:
+        done = self.sim.event()
+        self.sim.process(self._io_proc(src, dst, nbytes, kind, is_read, done),
+                         name=f"{self.profile.name}-{kind}")
+        return done
+
+    def _io_proc(self, src, event_dst, nbytes, kind, is_read, done):
+        req = self._streams.request()
+        yield req
+        t_start = self.sim.now
+        try:
+            self.metadata_ops += 1
+            yield self.sim.timeout(self.profile.metadata_latency)
+            if self.model == "network":
+                yield self.network.transfer(src, event_dst, nbytes,
+                                            kind=kind)
+            else:
+                yield self.sim.timeout(nbytes / self.profile.per_stream_bw)
+                if self.trace is not None:
+                    from .trace import TransferRecord
+                    self.trace.transfer(TransferRecord(
+                        src=src, dst=event_dst, nbytes=nbytes,
+                        t_start=t_start, t_end=self.sim.now, kind=kind))
+        except Exception as exc:      # endpoint vanished mid-IO
+            self._streams.release(req)
+            done.fail(exc)
+            return
+        self._streams.release(req)
+        if is_read:
+            self.bytes_read += nbytes
+        else:
+            self.bytes_written += nbytes
+        done.succeed(nbytes)
+
+
+class LocalDisk:
+    """A worker node's local drive with byte-accounted capacity."""
+
+    def __init__(self, sim: Simulation, capacity: float,
+                 read_bw: float = 2.0 * GB, write_bw: float = 1.0 * GB,
+                 latency: float = 0.0002):
+        if capacity <= 0:
+            raise SimulationError("disk capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.read_bw = read_bw
+        self.write_bw = write_bw
+        self.latency = latency
+        self.used = 0.0
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.used
+
+    def allocate(self, nbytes: float) -> None:
+        """Reserve space; raises :class:`DiskFullError` when exhausted.
+
+        Exceeding local disk is a *hard failure* in the paper (Fig 11:
+        workers overflowing their cache are lost), so this does not
+        block -- it raises, and the caller decides whether to evict or
+        fail the worker.
+        """
+        if nbytes < 0:
+            raise SimulationError("negative allocation")
+        if self.used + nbytes > self.capacity:
+            raise DiskFullError(
+                f"local disk full: need {nbytes:.3g}, "
+                f"free {self.available:.3g} of {self.capacity:.3g}")
+        self.used += nbytes
+
+    def free(self, nbytes: float) -> None:
+        self.used = max(0.0, self.used - nbytes)
+
+    def read(self, nbytes: float) -> Event:
+        """Service time for reading ``nbytes`` from the local drive."""
+        return self.sim.timeout(self.latency + nbytes / self.read_bw)
+
+    def write(self, nbytes: float) -> Event:
+        """Service time for writing (space must be allocated first)."""
+        return self.sim.timeout(self.latency + nbytes / self.write_bw)

@@ -1,0 +1,121 @@
+"""ASCII visualisation of traces: heatmaps, timelines, Gantt charts.
+
+Terminal-friendly renderings of the figure data, used by the benchmark
+reports so that `results/` contains recognisable pictures of Fig 7
+(transfer heatmap), Fig 12/15 (concurrency timelines) and Fig 13
+(worker occupancy) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["render_heatmap", "render_timeline", "render_gantt"]
+
+_SHADES = " .:-=+*#%@"
+
+
+def _shade(value: float, peak: float) -> str:
+    if peak <= 0 or value <= 0:
+        return _SHADES[0]
+    index = int(np.ceil(value / peak * (len(_SHADES) - 1)))
+    return _SHADES[min(index, len(_SHADES) - 1)]
+
+
+def render_heatmap(matrix: np.ndarray, max_cells: int = 40,
+                   title: str = "", log_scale: bool = True) -> str:
+    """Render an (N, N) matrix as character shades.
+
+    Large matrices are downsampled by block-summing into at most
+    ``max_cells`` rows/columns (a 201-node heatmap becomes ~40x40, like
+    shrinking the paper's Fig 7 panels).
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("heatmap expects a square matrix")
+    n = matrix.shape[0]
+    if n > max_cells:
+        factor = int(np.ceil(n / max_cells))
+        padded = np.zeros((int(np.ceil(n / factor)) * factor,) * 2)
+        padded[:n, :n] = matrix
+        blocks = padded.reshape(padded.shape[0] // factor, factor,
+                                padded.shape[1] // factor, factor)
+        matrix = blocks.sum(axis=(1, 3))
+    display = np.log1p(matrix) if log_scale else matrix
+    peak = display.max()
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("   src\\dst ->")
+    for row in display:
+        lines.append("   " + "".join(_shade(v, peak) for v in row))
+    return "\n".join(lines)
+
+
+def render_timeline(ts: Sequence[float], values: Sequence[float],
+                    width: int = 60, height: int = 12,
+                    title: str = "", y_label: str = "") -> str:
+    """Render a step series as a filled area chart."""
+    ts = np.asarray(ts, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if len(ts) == 0:
+        return title + "\n(empty)"
+    t_max = ts.max() if ts.max() > 0 else 1.0
+    sample_times = np.linspace(0, t_max, width)
+    # step-function sampling
+    indices = np.searchsorted(ts, sample_times, side="right") - 1
+    sampled = np.where(indices >= 0, values[np.clip(indices, 0, None)],
+                       0.0)
+    peak = sampled.max() if sampled.max() > 0 else 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * (level - 0.5) / height
+        row = "".join("#" if v >= threshold else " " for v in sampled)
+        label = f"{peak * level / height:8.0f} |" if level in (
+            height, 1) else "         |"
+        rows.append(label + row)
+    axis = "         +" + "-" * width
+    footer = (f"         0{'':{width - 16}}t={t_max:,.0f}s")
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"  {y_label}")
+    lines.extend(rows)
+    lines.append(axis)
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def render_gantt(rows: Dict[int, List[Tuple[float, float]]],
+                 width: int = 60, max_rows: int = 30,
+                 title: str = "") -> str:
+    """Render per-worker busy intervals (Fig 13 style).
+
+    Each worker is one line; '#' marks instants where at least one task
+    ran.  With more workers than ``max_rows``, evenly spaced workers
+    are sampled.
+    """
+    if not rows:
+        return title + "\n(no tasks)"
+    t_max = max(end for intervals in rows.values()
+                for _, end in intervals)
+    worker_ids = sorted(rows)
+    if len(worker_ids) > max_rows:
+        picks = np.linspace(0, len(worker_ids) - 1, max_rows)
+        worker_ids = [worker_ids[int(i)] for i in picks]
+    lines = []
+    if title:
+        lines.append(title)
+    for worker in worker_ids:
+        cells = [" "] * width
+        for start, end in rows[worker]:
+            lo = int(start / t_max * (width - 1))
+            hi = max(lo, int(end / t_max * (width - 1)))
+            for i in range(lo, hi + 1):
+                cells[i] = "#"
+        lines.append(f"  w{worker:<5d} |" + "".join(cells) + "|")
+    lines.append(f"  {'':7s}  0{'':{width - 16}}t={t_max:,.0f}s")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Work Queue: the manager-centric baseline scheduler."""
+
+from .manager import WORK_QUEUE_CONFIG, WorkQueueManager
+
+__all__ = ["WorkQueueManager", "WORK_QUEUE_CONFIG"]

@@ -1,0 +1,96 @@
+"""Work Queue: the manager-centric baseline scheduler (Stacks 1-2).
+
+Work Queue [30] is TaskVine's predecessor.  The structural differences
+the paper attributes the Stack 2 -> 3 speedup to:
+
+* **Inputs via the manager** -- dataset files are read from shared
+  storage by the *manager*, cached there, and streamed to each worker
+  over the manager's single NIC.
+* **Results to the manager** -- every task's outputs are sent straight
+  back to the manager; a downstream task re-fetches them from the
+  manager.  Nothing is retained in worker caches for scheduling.
+* **No peer transfers, no locality placement** -- all traffic funnels
+  through node 0, producing exactly the Fig 7 (left) heatmap.
+* **Standard tasks only** -- every task pays interpreter startup plus
+  imports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.config import TASK_MODE_TASKS, SchedulerConfig
+from ..core.files import FileKind
+from ..core.manager import MANAGER_NODE, TaskVineManager
+from ..core.worker import WorkerAgent
+from ..sim.engine import Event
+
+__all__ = ["WorkQueueManager", "WORK_QUEUE_CONFIG"]
+
+#: Work Queue's cost profile: same hardware, manager-centric policies.
+WORK_QUEUE_CONFIG = SchedulerConfig(
+    mode=TASK_MODE_TASKS,
+    hoisting=False,
+    dispatch_overhead=0.020,
+    collect_overhead=0.010,
+    peer_transfers=False,
+    locality_scheduling=False,
+    results_to_manager=True,
+    inputs_via_manager=True,
+)
+
+
+class WorkQueueManager(TaskVineManager):
+    """TaskVine's predecessor: all data moves through the manager."""
+
+    scheduler_name = "workqueue"
+
+    def __init__(self, sim, cluster, storage, workflow,
+                 config: Optional[SchedulerConfig] = None, trace=None):
+        super().__init__(sim, cluster, storage, workflow,
+                         config=config or WORK_QUEUE_CONFIG, trace=trace)
+        self._manager_inflight: Dict[str, Event] = {}
+        #: bytes of workflow data staged on the manager's disk
+        self.manager_bytes = 0.0
+
+    # -- staging: bounce dataset files off the manager ----------------------
+    def _fetch_to_worker(self, name: str, agent: WorkerAgent):
+        file = self.workflow.files[name]
+        if (file.kind == FileKind.INPUT
+                and MANAGER_NODE not in self.replicas.locations(name)):
+            yield from self._stage_to_manager(name)
+        yield from super()._fetch_to_worker(name, agent)
+
+    def _stage_to_manager(self, name: str):
+        """Read a dataset file from shared storage onto the manager,
+        deduplicating concurrent requests for the same file."""
+        pending = self._manager_inflight.get(name)
+        if pending is not None:
+            yield pending
+            return
+        pending = self.sim.event()
+        self._manager_inflight[name] = pending
+        size = self.workflow.files[name].size
+        try:
+            yield self.storage.read(MANAGER_NODE, size)
+        finally:
+            self._manager_inflight.pop(name, None)
+        self.replicas.add(name, MANAGER_NODE)
+        self.manager_bytes += size
+        pending.succeed()
+
+    # -- source preference: the manager, always -------------------------------
+    def _transfer_sources(self, name: str, agent: WorkerAgent
+                          ) -> List[int]:
+        locations = self.replicas.locations(name)
+        ordered: List[int] = []
+        if MANAGER_NODE in locations:
+            ordered.append(MANAGER_NODE)
+        if self.storage.node_id in locations:
+            ordered.append(self.storage.node_id)
+        # peers only as a last resort (not a Work Queue mechanism, but
+        # prevents artificial deadlock if the manager copy is racing)
+        ordered.extend(n for n in locations
+                       if n in self.agents and self.agents[n].alive
+                       and n != agent.node_id)
+        return ordered

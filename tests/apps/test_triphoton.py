@@ -1,0 +1,80 @@
+"""Tests for the RS-TriPhoton analysis application."""
+
+import pytest
+
+from repro.apps.triphoton import TriPhotonProcessor
+from repro.dag.partition import build_analysis_graph
+from repro.hep.datasets import TRIPHOTON_MA, TRIPHOTON_MX, write_dataset
+from repro.hep.nanoevents import NanoEventsFactory
+from repro.hep.processor import iterative_runner
+
+
+@pytest.fixture(scope="module")
+def chunks(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("3gdata")
+    paths = write_dataset(str(directory), "triphoton", n_files=3,
+                          events_per_file=3000, seed=17,
+                          basket_size=500, signal_fraction=0.10)
+    return NanoEventsFactory.from_root(paths, chunks_per_file=3,
+                                       metadata={"dataset": "3g-test"})
+
+
+@pytest.fixture(scope="module")
+def result(chunks):
+    return iterative_runner(TriPhotonProcessor(), chunks)
+
+
+class TestTriPhotonPhysics:
+    def test_cutflow_sane(self, result):
+        cutflow = result["cutflow"]
+        assert cutflow["events"] == 9_000
+        assert cutflow["events_3g"] > 0
+        assert cutflow["triples"] >= cutflow["events_3g"]
+
+    def test_x_resonance_found(self, result):
+        assert "x_peak_gev" in result
+        assert abs(result["x_peak_gev"] - TRIPHOTON_MX) < 50.0
+
+    def test_a_resonance_in_diphoton_mass(self, result):
+        hist = result["diphoton_mass"]
+        values = hist.values()
+        centers = hist.axes[0].centers
+        near_ma = values[abs(centers - TRIPHOTON_MA) < 25].sum()
+        sideband = values[(centers > 300) & (centers < 350)].sum()
+        assert near_ma > 2 * sideband
+
+    def test_mass_plane_clusters_at_signal_point(self, result):
+        import numpy as np
+
+        plane = result["mass_plane"]
+        values = plane.values()
+        m3_centers = plane.axes[0].centers
+        m2_centers = plane.axes[1].centers
+        # the hottest bin of the plane is the signal point (m_X, m_a)
+        i, j = np.unravel_index(np.argmax(values), values.shape)
+        assert abs(m3_centers[i] - TRIPHOTON_MX) < 50
+        assert abs(m2_centers[j] - TRIPHOTON_MA) < 25
+        # and the signal window holds far more than a same-size window
+        # in the combinatoric continuum at high mass
+        signal_region = values[
+            (abs(m3_centers - TRIPHOTON_MX) < 100)[:, None]
+            & (abs(m2_centers - TRIPHOTON_MA) < 50)[None, :]].sum()
+        control_region = values[
+            (abs(m3_centers - 600.0) < 100)[:, None]
+            & (abs(m2_centers - 400.0) < 50)[None, :]].sum()
+        assert signal_region > 5 * max(control_region, 1.0)
+
+    def test_graph_execution_matches(self, chunks, result):
+        graph = build_analysis_graph(TriPhotonProcessor(), list(chunks),
+                                     reduction_arity=3)
+        (value,) = graph.execute().values()
+        assert value["triphoton_mass"] == result["triphoton_mass"]
+
+    def test_flat_vs_tree_reduction_equal(self, chunks):
+        flat = build_analysis_graph(TriPhotonProcessor(), list(chunks),
+                                    reduction_arity=None).execute()
+        tree = build_analysis_graph(TriPhotonProcessor(), list(chunks),
+                                    reduction_arity=2).execute()
+        (flat_val,) = flat.values()
+        (tree_val,) = tree.values()
+        assert flat_val["mass_plane"] == tree_val["mass_plane"]

@@ -1,0 +1,50 @@
+"""Tests for the python -m repro.bench CLI."""
+
+import os
+
+import pytest
+
+from repro.bench.__main__ import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        assert set(COMMANDS) == {
+            "table1", "table2", "fig7", "fig8", "fig10", "fig11",
+            "fig12", "fig13", "fig14a", "fig14b", "fig15"}
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.workers == 200
+        assert args.seed == 11
+        assert args.out is None
+
+
+class TestExecution:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig15" in out
+
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "DV3-Large" in out
+        assert "RS-TriPhoton" in out
+
+    def test_fig11_scaled_run_and_archive(self, tmp_path, capsys):
+        assert main(["fig11", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "flat" in out and "tree" in out
+        archived = os.path.join(str(tmp_path), "fig11.txt")
+        assert os.path.exists(archived)
+        assert "tree" in open(archived).read()
+
+    def test_fig8_small_cluster(self, capsys):
+        assert main(["fig8", "--workers", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "function calls" in out

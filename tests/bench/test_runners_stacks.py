@@ -1,0 +1,106 @@
+"""Tests for environment assembly, stack definitions, and reports."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench import calibration as cal
+from repro.bench.report import banner, format_histogram, format_series, format_table
+from repro.bench.runners import build_environment, run_scheduler
+from repro.bench.stacks import STACKS, run_stack
+from repro.bench.workloads import build_workflow
+from repro.hep.datasets import TABLE2
+from repro.sim.storage import HDFS_PROFILE, VAST_PROFILE
+
+TINY = dataclasses.replace(TABLE2["DV3-Small"], name="tiny",
+                           n_tasks=60, input_bytes=2e9)
+
+
+class TestBuildEnvironment:
+    def test_workers_and_cores(self):
+        env = build_environment(5)
+        assert env.n_workers == 5
+        assert env.total_cores == 60
+        assert len(env.cluster.alive_workers()) == 5
+
+    def test_custom_node_spec(self):
+        env = build_environment(2, node=cal.campus_node(cores=4))
+        assert env.total_cores == 8
+
+    def test_storage_profile_applied(self):
+        env = build_environment(1, storage_profile=HDFS_PROFILE)
+        assert env.storage.profile.name == "hdfs"
+
+
+class TestRunScheduler:
+    def test_unknown_scheduler_rejected(self):
+        env = build_environment(1)
+        wf = build_workflow(TINY, arity=4)
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            run_scheduler(env, wf, scheduler="slurm")
+
+    @pytest.mark.parametrize("scheduler", ["taskvine", "workqueue",
+                                           "dask.distributed"])
+    def test_all_schedulers_complete_tiny_workflow(self, scheduler):
+        env = build_environment(
+            4, node=cal.campus_node() if scheduler != "dask.distributed"
+            else cal.dask_sharded_node(), seed=2)
+        wf = build_workflow(TINY, arity=4, seed=2)
+        result = run_scheduler(env, wf, scheduler=scheduler)
+        assert result.completed
+        assert result.tasks_done == len(wf)
+
+
+class TestStacks:
+    def test_four_stacks_defined(self):
+        assert sorted(STACKS) == [1, 2, 3, 4]
+        assert STACKS[1].storage is HDFS_PROFILE
+        assert STACKS[2].storage is VAST_PROFILE
+        assert STACKS[3].scheduler == "taskvine"
+        assert STACKS[4].config.mode == "function-calls"
+
+    def test_run_stack_tiny(self):
+        result = run_stack(4, spec=TINY, n_workers=3, seed=2)
+        assert result.completed
+        assert result.makespan > 0
+
+    def test_stack_ordering_tiny(self):
+        """Even at toy scale the stack ordering holds."""
+        times = {}
+        for stack in (1, 3, 4):
+            spec = dataclasses.replace(TABLE2["DV3-Large"], name="mini",
+                                       n_tasks=400, input_bytes=30e9)
+            times[stack] = run_stack(stack, spec=spec, n_workers=8,
+                                     seed=2).makespan
+        assert times[4] < times[3] < times[1]
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xxx", 40000.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "40,000" in text
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.startswith("T\n")
+
+    def test_inf_rendered_as_dnf(self):
+        text = format_table(["t"], [[float("inf")]])
+        assert "DNF" in text
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [10, 20],
+                             x_label="cores", y_label="time")
+        assert "cores" in text and "time" in text
+
+    def test_format_histogram_bars(self):
+        text = format_histogram("h", [0, 1, 2], [5, 10])
+        assert "#" in text
+        lines = text.splitlines()
+        assert len(lines) == 3
+
+    def test_banner(self):
+        text = banner("hello")
+        assert "hello" in text

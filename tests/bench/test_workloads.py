@@ -1,0 +1,97 @@
+"""Tests for the workload generator."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.workloads import build_workflow, proc_task_count
+from repro.core.files import FileKind
+from repro.hep.datasets import TABLE2, DatasetSpec
+
+SMALL = DatasetSpec(name="test", application="dv3", input_bytes=10e9,
+                    n_tasks=100, n_files=20, mean_task_seconds=4.0,
+                    intermediate_bytes_per_task=50e6)
+
+
+class TestProcTaskCount:
+    def test_flat(self):
+        assert proc_task_count(100, None) == 99
+
+    def test_tree_accounts_for_internal_nodes(self):
+        n = proc_task_count(1000, 8)
+        assert 850 <= n <= 900
+
+
+class TestBuildWorkflow:
+    def test_task_count_near_spec(self):
+        wf = build_workflow(SMALL, arity=8)
+        assert abs(len(wf) - SMALL.n_tasks) <= 0.1 * SMALL.n_tasks
+
+    def test_input_bytes_preserved(self):
+        wf = build_workflow(SMALL, arity=8)
+        assert wf.total_input_bytes() == pytest.approx(SMALL.input_bytes)
+
+    def test_categories(self):
+        wf = build_workflow(SMALL, arity=8)
+        assert wf.categories() == {"proc", "accum"}
+
+    def test_flat_reduction_has_one_wide_task(self):
+        wf = build_workflow(SMALL, arity=None, n_datasets=1)
+        accums = [t for t in wf.tasks.values() if t.category == "accum"]
+        widest = max(accums, key=lambda t: len(t.inputs))
+        assert len(widest.inputs) > 50
+
+    def test_tree_reduction_bounds_fanin(self):
+        wf = build_workflow(SMALL, arity=4)
+        for task in wf.tasks.values():
+            if task.category == "accum":
+                assert len(task.inputs) <= 4
+
+    def test_multiple_datasets_partition_chains(self):
+        wf = build_workflow(SMALL, arity=4, n_datasets=5)
+        final = wf.tasks["final-merge"]
+        assert len(final.inputs) == 5
+
+    def test_stages_deepen_graph(self):
+        staged = dataclasses.replace(SMALL, stages=4)
+        wf = build_workflow(staged, arity=8)
+        # initial ready tasks are ~ n_tasks / stages
+        assert len(wf.initial_ready()) < len(wf) / 3
+
+    def test_durations_lognormal_around_mean(self):
+        import numpy as np
+
+        big = dataclasses.replace(SMALL, n_tasks=2000)
+        wf = build_workflow(big, arity=8)
+        durations = np.array([t.compute for t in wf.tasks.values()
+                              if t.category == "proc"])
+        assert abs(durations.mean() - big.mean_task_seconds) < 1.0
+        # bulk in the paper's 1-10 s band
+        assert ((durations > 1) & (durations < 10)).mean() > 0.7
+
+    def test_deterministic(self):
+        a = build_workflow(SMALL, arity=8, seed=3)
+        b = build_workflow(SMALL, arity=8, seed=3)
+        assert ([t.compute for t in a.tasks.values()]
+                == [t.compute for t in b.tasks.values()])
+
+    def test_different_seed_differs(self):
+        a = build_workflow(SMALL, arity=8, seed=3)
+        b = build_workflow(SMALL, arity=8, seed=4)
+        assert ([t.compute for t in a.tasks.values()]
+                != [t.compute for t in b.tasks.values()])
+
+    def test_bad_datasets_rejected(self):
+        with pytest.raises(ValueError):
+            build_workflow(SMALL, n_datasets=0)
+
+    def test_huge_has_10k_initial(self):
+        wf = build_workflow(TABLE2["DV3-Huge"], arity=8)
+        assert 8_000 <= len(wf.initial_ready()) <= 12_000
+        assert abs(len(wf) - 185_000) < 10_000
+
+    def test_workflow_validates(self):
+        # SimWorkflow construction itself validates the DAG; reaching
+        # here means producers/consumers/acyclicity all line up.
+        wf = build_workflow(SMALL, arity=2, n_datasets=3)
+        assert wf.final_files() == ["final-result"]

@@ -1,0 +1,295 @@
+"""Integration tests for the TaskVine manager on small clusters."""
+
+import pytest
+
+from repro.core.config import (
+    TASK_MODE_FUNCTIONS,
+    TASK_MODE_TASKS,
+    SchedulerConfig,
+)
+from repro.core.files import FileKind, SimFile
+from repro.core.manager import MANAGER_NODE, TaskVineManager
+from repro.core.spec import SimTask, SimWorkflow
+from repro.sim.cluster import NodeSpec
+from repro.sim.storage import GB, MB
+
+from .conftest import TEST_CONFIG, Env, make_env, map_reduce_workflow
+
+
+def run_taskvine(env, workflow, config=TEST_CONFIG, limit=1e6):
+    manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                              workflow, config=config, trace=env.trace)
+    return manager.run(limit=limit), manager
+
+
+class TestBasicExecution:
+    def test_single_task_completes(self, env):
+        wf = map_reduce_workflow(n_proc=1)
+        result, _ = run_taskvine(env, wf)
+        assert result.completed
+        assert result.tasks_done == 2  # proc + accum
+        assert result.makespan > 0
+
+    def test_map_reduce_completes(self, env):
+        wf = map_reduce_workflow(n_proc=8, compute=2.0)
+        result, _ = run_taskvine(env, wf)
+        assert result.completed
+        assert result.tasks_done == 9
+        assert result.task_failures == 0
+
+    def test_tasks_respect_dependencies(self, env):
+        wf = map_reduce_workflow(n_proc=4)
+        result, _ = run_taskvine(env, wf)
+        records = {r.category: [] for r in env.trace.tasks}
+        for r in env.trace.tasks:
+            records[r.category].append(r)
+        accum = records["accum"][0]
+        for proc in records["proc"]:
+            assert proc.t_end <= accum.t_start
+
+    def test_parallelism_speeds_up(self):
+        wf = map_reduce_workflow(n_proc=12, compute=5.0)
+        few = make_env(n_workers=1, spec=NodeSpec(cores=2))
+        many = make_env(n_workers=6, spec=NodeSpec(cores=2))
+        slow, _ = run_taskvine(few, wf)
+        wf2 = map_reduce_workflow(n_proc=12, compute=5.0)
+        fast, _ = run_taskvine(many, wf2)
+        assert slow.completed and fast.completed
+        assert fast.makespan < slow.makespan / 2
+
+    def test_final_result_fetched_to_manager(self, env):
+        wf = map_reduce_workflow(n_proc=3)
+        result, manager = run_taskvine(env, wf)
+        assert MANAGER_NODE in manager.replicas.locations("result")
+
+    def test_no_workers_rejected(self):
+        env = Env(n_workers=0)
+        wf = map_reduce_workflow(n_proc=1)
+        from repro.core.manager import SchedulerError
+        with pytest.raises(SchedulerError):
+            run_taskvine(env, wf)
+
+    def test_determinism(self):
+        def once():
+            env = make_env(n_workers=3, seed=5)
+            wf = map_reduce_workflow(n_proc=10, compute=3.0)
+            result, _ = run_taskvine(env, wf)
+            return result.makespan, result.tasks_done
+
+        assert once() == once()
+
+
+class TestDataManagement:
+    def test_intermediates_not_routed_through_manager(self, env):
+        wf = map_reduce_workflow(n_proc=6)
+        result, _ = run_taskvine(env, wf)
+        assert result.completed
+        # only the final result flows to the manager
+        to_manager = [t for t in env.trace.transfers
+                      if t.dst == MANAGER_NODE]
+        assert all(t.kind == "result" for t in to_manager)
+        assert sum(t.nbytes for t in to_manager) == 10 * MB
+
+    def test_peer_transfers_used_for_remote_inputs(self):
+        # 6 proc tasks spread over 3 single-core workers; the reduction
+        # runs on one of them and pulls the other partials via peers.
+        env = make_env(n_workers=3, spec=NodeSpec(cores=1))
+        wf = map_reduce_workflow(n_proc=6, compute=1.0)
+        result, _ = run_taskvine(env, wf)
+        assert result.completed
+        peers = [t for t in env.trace.transfers if t.kind == "peer"]
+        assert peers, "reduction inputs should move worker-to-worker"
+        assert all(t.src != MANAGER_NODE and t.dst != MANAGER_NODE
+                   for t in peers)
+
+    def test_locality_avoids_transfers_single_worker(self):
+        env = make_env(n_workers=1, spec=NodeSpec(cores=4))
+        wf = map_reduce_workflow(n_proc=5)
+        result, _ = run_taskvine(env, wf)
+        assert result.completed
+        assert not [t for t in env.trace.transfers if t.kind == "peer"]
+
+    def test_input_files_read_from_shared_fs(self, env):
+        wf = map_reduce_workflow(n_proc=4, chunk=200 * MB)
+        run_taskvine(env, wf)
+        assert env.storage.bytes_read == pytest.approx(4 * 200 * MB)
+
+    def test_cached_input_not_refetched(self):
+        # two tasks share one input chunk on a single worker
+        files = [SimFile("shared", 100 * MB, FileKind.INPUT),
+                 SimFile("o1", MB, FileKind.INTERMEDIATE),
+                 SimFile("o2", MB, FileKind.INTERMEDIATE)]
+        tasks = [SimTask(id="t1", compute=1, inputs=("shared",),
+                         outputs=("o1",)),
+                 SimTask(id="t2", compute=1, inputs=("shared",),
+                         outputs=("o2",))]
+        wf = SimWorkflow(tasks, files)
+        env = make_env(n_workers=1)
+        result, _ = run_taskvine(env, wf)
+        assert result.completed
+        assert env.storage.bytes_read == pytest.approx(100 * MB)
+
+    def test_worker_cache_traced(self, env):
+        wf = map_reduce_workflow(n_proc=4)
+        run_taskvine(env, wf)
+        assert env.trace.cache_deltas
+        peaks = env.trace.peak_cache()
+        assert max(peaks.values()) > 0
+
+
+class TestExecutionModes:
+    def test_function_calls_faster_than_tasks(self):
+        config_tasks = SchedulerConfig(
+            mode=TASK_MODE_TASKS, dispatch_overhead=0.02,
+            collect_overhead=0.01, task_startup=1.0, import_cost=1.0)
+        config_fns = SchedulerConfig(
+            mode=TASK_MODE_FUNCTIONS, dispatch_overhead=0.004,
+            collect_overhead=0.002, function_call_overhead=0.02,
+            library_startup=1.0, import_cost=1.0)
+        wf1 = map_reduce_workflow(n_proc=30, compute=0.5)
+        env1 = make_env(n_workers=4)
+        slow, _ = run_taskvine(env1, wf1, config=config_tasks)
+        wf2 = map_reduce_workflow(n_proc=30, compute=0.5)
+        env2 = make_env(n_workers=4)
+        fast, _ = run_taskvine(env2, wf2, config=config_fns)
+        assert slow.completed and fast.completed
+        assert fast.makespan < slow.makespan
+
+    def test_library_startup_paid_once_per_worker(self):
+        config = SchedulerConfig(
+            mode=TASK_MODE_FUNCTIONS, dispatch_overhead=0.0001,
+            collect_overhead=0.0001, function_call_overhead=0.001,
+            library_startup=5.0, import_cost=1.0, hoisting=True)
+        env = make_env(n_workers=1, spec=NodeSpec(cores=1))
+        wf = map_reduce_workflow(n_proc=4, compute=0.1, chunk=MB)
+        result, _ = run_taskvine(env, wf, config=config)
+        assert result.completed
+        # 5 tasks at 0.1s-ish each plus ONE 6s library start: well under
+        # what per-task library startup (5 x 6s) would cost.
+        assert result.makespan < 13.0
+        assert result.makespan > 6.0
+
+    def test_hoisting_reduces_per_call_cost(self):
+        base = dict(mode=TASK_MODE_FUNCTIONS, dispatch_overhead=0.0001,
+                    collect_overhead=0.0001, function_call_overhead=0.001,
+                    library_startup=0.5, import_cost=2.0)
+        wf1 = map_reduce_workflow(n_proc=10, compute=0.1, chunk=MB)
+        env1 = make_env(n_workers=1, spec=NodeSpec(cores=1))
+        hoisted, _ = run_taskvine(
+            env1, wf1, config=SchedulerConfig(hoisting=True, **base))
+        wf2 = map_reduce_workflow(n_proc=10, compute=0.1, chunk=MB)
+        env2 = make_env(n_workers=1, spec=NodeSpec(cores=1))
+        unhoisted, _ = run_taskvine(
+            env2, wf2, config=SchedulerConfig(hoisting=False, **base))
+        assert hoisted.completed and unhoisted.completed
+        # 11 tasks x 2s import difference, minus the one hoisted import
+        assert unhoisted.makespan - hoisted.makespan > 15.0
+
+    def test_task_mode_exec_times_include_startup(self):
+        config = SchedulerConfig(
+            mode=TASK_MODE_TASKS, dispatch_overhead=0.001,
+            collect_overhead=0.001, task_startup=1.0, import_cost=1.0)
+        env = make_env(n_workers=2)
+        wf = map_reduce_workflow(n_proc=6, compute=1.0)
+        run_taskvine(env, wf, config=config)
+        durations = env.trace.task_durations("proc")
+        assert (durations > 1.0).all()  # startup included
+
+
+class TestFailureRecovery:
+    def test_preemption_recovers(self):
+        env = make_env(n_workers=4, seed=3)
+        wf = map_reduce_workflow(n_proc=20, compute=5.0)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage, wf,
+                                  config=TEST_CONFIG, trace=env.trace)
+        victim = env.cluster.workers[2]
+
+        def assassin():
+            yield env.sim.timeout(2.5)  # mid-run: tasks take ~5 s
+            env.cluster.preempt(victim)
+
+        env.sim.process(assassin())
+        result = manager.run(limit=1e6)
+        assert result.completed
+        assert result.tasks_done == 21
+        assert len(env.trace.failures()) == 1
+        # the preempted worker's tasks were retried and the run finished
+        failed_records = [r for r in env.trace.tasks if not r.ok]
+        assert failed_records
+        assert all(r.worker == victim.node_id for r in failed_records)
+
+    def test_lost_intermediate_reproduced(self):
+        """Kill the worker holding a partial AFTER its producer ran but
+        BEFORE the consumer starts: lineage recovery must re-run it."""
+        env = make_env(n_workers=2, spec=NodeSpec(cores=1))
+        files = [SimFile("in", MB, FileKind.INPUT),
+                 SimFile("mid", MB, FileKind.INTERMEDIATE),
+                 SimFile("slow", MB, FileKind.INTERMEDIATE),
+                 SimFile("out", MB, FileKind.OUTPUT)]
+        tasks = [
+            SimTask(id="fast", compute=1.0, inputs=("in",),
+                    outputs=("mid",)),
+            SimTask(id="slowtask", compute=30.0, inputs=("in",),
+                    outputs=("slow",)),
+            SimTask(id="join", compute=1.0, inputs=("mid", "slow"),
+                    outputs=("out",)),
+        ]
+        wf = SimWorkflow(tasks, files)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage, wf,
+                                  config=TEST_CONFIG, trace=env.trace)
+
+        def assassin():
+            # wait until "mid" exists, then kill its holder
+            while True:
+                yield env.sim.timeout(0.5)
+                holders = [n for n in manager.replicas.locations("mid")
+                           if n in manager.agents]
+                if holders:
+                    env.cluster.preempt(
+                        env.cluster.workers[holders[0]])
+                    return
+
+        env.sim.process(assassin())
+        result = manager.run(limit=1e6)
+        assert result.completed
+        # "fast" ran at least twice (original + recovery)
+        fast_runs = [r for r in env.trace.tasks if r.category == "proc"]
+        assert len(fast_runs) >= 3
+
+    def test_repeated_failures_abort(self):
+        env = make_env(n_workers=1)
+        wf = map_reduce_workflow(n_proc=1, compute=1e5)
+        config = SchedulerConfig(
+            dispatch_overhead=0.001, collect_overhead=0.001,
+            max_task_retries=1)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage, wf,
+                                  config=config, trace=env.trace)
+
+        def serial_killer():
+            while True:
+                yield env.sim.timeout(10.0)
+                workers = env.cluster.alive_workers()
+                if not workers:
+                    return
+                env.cluster.preempt(workers[0])
+
+        env.sim.process(serial_killer())
+        result = manager.run(limit=1e6)
+        assert not result.completed
+        assert result.error
+
+    def test_disk_overflow_fails_worker_and_recovers(self):
+        # one tiny-disk worker plus one large-disk worker: tasks landing
+        # on the tiny worker overflow; the run must still complete.
+        env = Env(n_workers=0)
+        env.cluster.provision(1, NodeSpec(cores=2, disk=50 * MB))
+        env.cluster.provision(1, NodeSpec(cores=2, disk=100 * GB))
+        wf = map_reduce_workflow(n_proc=4, chunk=40 * MB,
+                                 partial=30 * MB, compute=1.0)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage, wf,
+                                  config=TEST_CONFIG, trace=env.trace)
+        result = manager.run(limit=1e6)
+        assert result.completed
+        overflow_events = [e for e in env.trace.worker_events
+                           if e.kind == "preempt"]
+        assert overflow_events, "tiny worker should have overflowed"

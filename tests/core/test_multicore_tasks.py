@@ -1,0 +1,88 @@
+"""Tests for multi-core task resource accounting."""
+
+import pytest
+
+from repro.core.files import FileKind, SimFile
+from repro.core.manager import TaskVineManager
+from repro.core.spec import SimTask, SimWorkflow
+from repro.sim.cluster import NodeSpec
+
+from .conftest import TEST_CONFIG, Env, make_env
+
+MB = 1e6
+
+
+def multicore_workflow(n_tasks=4, cores=4, compute=10.0):
+    files = []
+    tasks = []
+    for i in range(n_tasks):
+        files.append(SimFile(f"in-{i}", MB, FileKind.INPUT))
+        files.append(SimFile(f"out-{i}", MB, FileKind.OUTPUT))
+        tasks.append(SimTask(id=f"t-{i}", compute=compute,
+                             inputs=(f"in-{i}",), outputs=(f"out-{i}",),
+                             cores=cores))
+    return SimWorkflow(tasks, files)
+
+
+class TestMulticoreTasks:
+    def test_cores_validated(self):
+        with pytest.raises(ValueError):
+            SimTask(id="bad", compute=1.0, cores=0)
+
+    def test_big_tasks_serialise_on_small_worker(self):
+        """Two 4-core tasks on one 4-core worker cannot overlap."""
+        env = make_env(n_workers=1, spec=NodeSpec(cores=4))
+        wf = multicore_workflow(n_tasks=2, cores=4, compute=10.0)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage, wf,
+                                  config=TEST_CONFIG, trace=env.trace)
+        result = manager.run(limit=1e6)
+        assert result.completed
+        intervals = sorted(
+            (r.t_start, r.t_end) for r in env.trace.tasks)
+        assert intervals[1][0] >= intervals[0][1] - 1e-9
+
+    def test_mixed_core_counts_pack_correctly(self):
+        """A 3-core task and a 1-core task share a 4-core worker; a
+        second 3-core task must wait."""
+        env = make_env(n_workers=1, spec=NodeSpec(cores=4))
+        files = [SimFile("in", MB, FileKind.INPUT),
+                 SimFile("a", MB, FileKind.OUTPUT),
+                 SimFile("b", MB, FileKind.OUTPUT),
+                 SimFile("c", MB, FileKind.OUTPUT)]
+        tasks = [
+            SimTask(id="big-1", compute=10.0, inputs=("in",),
+                    outputs=("a",), cores=3),
+            SimTask(id="small", compute=10.0, inputs=("in",),
+                    outputs=("b",), cores=1),
+            SimTask(id="big-2", compute=10.0, inputs=("in",),
+                    outputs=("c",), cores=3),
+        ]
+        wf = SimWorkflow(tasks, files)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage, wf,
+                                  config=TEST_CONFIG, trace=env.trace)
+        result = manager.run(limit=1e6)
+        assert result.completed
+        # peak concurrent tasks is 2 (3+1 cores), never 3
+        _, levels = env.trace.concurrency_series()
+        assert levels.max() == 2
+
+    def test_multicore_spreads_across_workers(self):
+        env = make_env(n_workers=4, spec=NodeSpec(cores=4))
+        wf = multicore_workflow(n_tasks=4, cores=4, compute=10.0)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage, wf,
+                                  config=TEST_CONFIG, trace=env.trace)
+        result = manager.run(limit=1e6)
+        assert result.completed
+        # all four run in parallel, one per worker
+        assert len(env.trace.gantt()) == 4
+        assert result.makespan < 15.0
+
+    def test_oversized_task_never_dispatches(self):
+        """A task needing more cores than any worker has stalls the
+        run (head-of-line), surfacing as a simulated-time limit."""
+        env = make_env(n_workers=2, spec=NodeSpec(cores=2))
+        wf = multicore_workflow(n_tasks=1, cores=8)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage, wf,
+                                  config=TEST_CONFIG, trace=env.trace)
+        result = manager.run(limit=100.0)
+        assert not result.completed

@@ -1,0 +1,126 @@
+"""Unit tests for SimWorkflow validation and structure."""
+
+import pytest
+
+from repro.core.files import FileKind, SimFile, cachename
+from repro.core.spec import SimTask, SimWorkflow, WorkflowError
+
+
+def make_simple():
+    files = [
+        SimFile("in", 100, FileKind.INPUT),
+        SimFile("mid", 10, FileKind.INTERMEDIATE),
+        SimFile("out", 1, FileKind.OUTPUT),
+    ]
+    tasks = [
+        SimTask(id="a", compute=1.0, inputs=("in",), outputs=("mid",)),
+        SimTask(id="b", compute=1.0, inputs=("mid",), outputs=("out",)),
+    ]
+    return SimWorkflow(tasks, files)
+
+
+class TestCachenames:
+    def test_stable(self):
+        assert cachename("f", 100) == cachename("f", 100)
+
+    def test_size_changes_name(self):
+        assert cachename("f", 100) != cachename("f", 101)
+
+    def test_lineage_changes_name(self):
+        assert (cachename("f", 100, ["a"])
+                != cachename("f", 100, ["b"]))
+        assert (cachename("f", 100, [])
+                != cachename("f", 100, ["a"]))
+
+    def test_workflow_assigns_all(self):
+        wf = make_simple()
+        assert set(wf.cachenames) == {"in", "mid", "out"}
+        # downstream names incorporate upstream identity
+        assert wf.cachenames["out"] != wf.cachenames["mid"]
+
+
+class TestValidation:
+    def test_duplicate_task_rejected(self):
+        files = [SimFile("in", 1, FileKind.INPUT)]
+        tasks = [SimTask(id="a", compute=1, inputs=("in",)),
+                 SimTask(id="a", compute=1, inputs=("in",))]
+        with pytest.raises(WorkflowError, match="duplicate task"):
+            SimWorkflow(tasks, files)
+
+    def test_duplicate_file_rejected(self):
+        with pytest.raises(WorkflowError, match="duplicate file"):
+            SimWorkflow([], [SimFile("f", 1, FileKind.INPUT),
+                             SimFile("f", 2, FileKind.INPUT)])
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(WorkflowError, match="unknown file"):
+            SimWorkflow([SimTask(id="a", compute=1, inputs=("ghost",))],
+                        [])
+
+    def test_double_producer_rejected(self):
+        files = [SimFile("mid", 1, FileKind.INTERMEDIATE)]
+        tasks = [SimTask(id="a", compute=1, outputs=("mid",)),
+                 SimTask(id="b", compute=1, outputs=("mid",))]
+        with pytest.raises(WorkflowError, match="produced twice"):
+            SimWorkflow(tasks, files)
+
+    def test_produced_input_rejected(self):
+        files = [SimFile("in", 1, FileKind.INPUT)]
+        tasks = [SimTask(id="a", compute=1, outputs=("in",))]
+        with pytest.raises(WorkflowError, match="cannot be produced"):
+            SimWorkflow(tasks, files)
+
+    def test_orphan_intermediate_rejected(self):
+        with pytest.raises(WorkflowError, match="no producer"):
+            SimWorkflow([], [SimFile("mid", 1, FileKind.INTERMEDIATE)])
+
+    def test_cycle_rejected(self):
+        files = [SimFile("x", 1, FileKind.INTERMEDIATE),
+                 SimFile("y", 1, FileKind.INTERMEDIATE)]
+        tasks = [SimTask(id="a", compute=1, inputs=("y",), outputs=("x",)),
+                 SimTask(id="b", compute=1, inputs=("x",), outputs=("y",))]
+        with pytest.raises(WorkflowError, match="cycle"):
+            SimWorkflow(tasks, files)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            SimTask(id="a", compute=-1)
+
+    def test_negative_file_size_rejected(self):
+        with pytest.raises(ValueError):
+            SimFile("f", -5)
+
+    def test_bad_file_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SimFile("f", 5, "magic")
+
+
+class TestStructure:
+    def test_dependencies(self):
+        wf = make_simple()
+        assert wf.task_dependencies("a") == set()
+        assert wf.task_dependencies("b") == {"a"}
+
+    def test_dependents(self):
+        wf = make_simple()
+        assert wf.task_dependents() == {"a": {"b"}, "b": set()}
+
+    def test_initial_ready(self):
+        wf = make_simple()
+        assert wf.initial_ready() == ["a"]
+
+    def test_final_files(self):
+        wf = make_simple()
+        assert wf.final_files() == ["out"]
+
+    def test_byte_totals(self):
+        wf = make_simple()
+        assert wf.total_input_bytes() == 100
+        assert wf.total_intermediate_bytes() == 10
+
+    def test_categories(self):
+        wf = make_simple()
+        assert wf.categories() == {"proc"}
+
+    def test_len(self):
+        assert len(make_simple()) == 2

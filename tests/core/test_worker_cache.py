@@ -1,0 +1,154 @@
+"""Unit tests for WorkerAgent cache and ReplicaMap."""
+
+import pytest
+
+from repro.core.cache import ReplicaMap
+from repro.core.worker import WorkerAgent
+from repro.sim.cluster import NodeSpec, WorkerNode
+from repro.sim.engine import Simulation
+from repro.sim.storage import DiskFullError
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture
+def agent():
+    sim = Simulation()
+    node = WorkerNode(sim, 1, NodeSpec(cores=4, disk=100.0))
+    return WorkerAgent(sim, node, TraceRecorder())
+
+
+class TestWorkerCache:
+    def test_reserve_and_has(self, agent):
+        agent.reserve("f", 40)
+        assert agent.has("f")
+        assert agent.cached_bytes() == 40
+        assert agent.node.disk.used == 40
+
+    def test_reserve_idempotent(self, agent):
+        agent.reserve("f", 40)
+        agent.reserve("f", 40)
+        assert agent.node.disk.used == 40
+
+    def test_eviction_frees_lru(self, agent):
+        sim = agent.sim
+        agent.reserve("old", 50)
+        sim._now = 10.0
+        agent.reserve("new", 40)
+        sim._now = 20.0
+        agent.reserve("big", 60)  # forces eviction of "old"
+        assert not agent.has("old")
+        assert agent.has("new") and agent.has("big")
+
+    def test_pinned_entries_survive_eviction(self, agent):
+        agent.reserve("pinned", 50, pinned=True)
+        agent.reserve("loose", 40)
+        agent.reserve("big", 45)  # must evict "loose", not "pinned"
+        assert agent.has("pinned")
+        assert not agent.has("loose")
+
+    def test_retained_entries_survive_eviction(self, agent):
+        agent.reserve("kept", 50, retain=True)
+        agent.reserve("loose", 40)
+        agent.reserve("big", 45)
+        assert agent.has("kept")
+
+    def test_overflow_when_everything_protected(self, agent):
+        agent.reserve("a", 50, retain=True)
+        agent.reserve("b", 40, pinned=True)
+        with pytest.raises(DiskFullError):
+            agent.reserve("c", 20)
+
+    def test_release_retention_enables_eviction(self, agent):
+        agent.reserve("kept", 80, retain=True)
+        agent.release_retention("kept")
+        agent.reserve("big", 90)  # now evictable
+        assert not agent.has("kept")
+
+    def test_unpin_enables_eviction(self, agent):
+        agent.reserve("p", 80, pinned=True)
+        agent.unpin("p")
+        agent.reserve("big", 90)
+        assert not agent.has("p")
+
+    def test_evict_callback_fires(self, agent):
+        evicted = []
+        agent.on_evict = evicted.append
+        agent.reserve("a", 80)
+        agent.reserve("b", 90)
+        assert evicted == ["a"]
+
+    def test_remove_frees_disk(self, agent):
+        agent.reserve("f", 70)
+        agent.remove("f")
+        assert agent.node.disk.used == 0
+        assert not agent.has("f")
+
+    def test_locality_bytes(self, agent):
+        agent.reserve("a", 30)
+        agent.reserve("b", 20)
+        sizes = {"a": 30, "b": 20, "c": 99}
+        assert agent.locality_bytes(["a", "c"], sizes) == 30
+        assert agent.locality_bytes(["a", "b"], sizes) == 50
+
+    def test_free_slots(self, agent):
+        assert agent.free_slots() == 4
+        agent.assign("t1")
+        assert agent.free_slots() == 3
+        agent.assign("t2", cores=2)
+        assert agent.free_slots() == 1
+        agent.unassign("t2")
+        assert agent.free_slots() == 3
+
+    def test_clear(self, agent):
+        agent.reserve("a", 10)
+        agent.reserve("b", 10)
+        agent.clear()
+        assert agent.cached_bytes() == 0
+        assert agent.node.disk.used == 0
+
+
+class TestReplicaMap:
+    def test_add_remove(self):
+        replicas = ReplicaMap()
+        replicas.add("f", 1)
+        replicas.add("f", 2)
+        assert replicas.locations("f") == {1, 2}
+        replicas.remove("f", 1)
+        assert replicas.locations("f") == {2}
+
+    def test_available(self):
+        replicas = ReplicaMap()
+        assert not replicas.available("f")
+        replicas.add("f", 3)
+        assert replicas.available("f")
+
+    def test_drop_node_reports_lost(self):
+        replicas = ReplicaMap()
+        replicas.add("only-here", 1)
+        replicas.add("replicated", 1)
+        replicas.add("replicated", 2)
+        lost = replicas.drop_node(1)
+        assert lost == ["only-here"]
+        assert replicas.locations("replicated") == {2}
+
+    def test_holders_among(self):
+        replicas = ReplicaMap()
+        replicas.add("f", 1)
+        replicas.add("f", 5)
+        assert replicas.holders_among("f", [1, 2, 3]) == [1]
+
+    def test_files_on(self):
+        replicas = ReplicaMap()
+        replicas.add("a", 1)
+        replicas.add("b", 1)
+        replicas.add("c", 2)
+        assert sorted(replicas.files_on(1)) == ["a", "b"]
+
+    def test_counts(self):
+        replicas = ReplicaMap()
+        replicas.add("a", 1)
+        replicas.add("a", 2)
+        assert replicas.replica_count("a") == 2
+        assert replicas.replica_count("zzz") == 0
+        assert len(replicas) == 1
+        assert "a" in replicas

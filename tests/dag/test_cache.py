@@ -1,0 +1,113 @@
+"""Tests for cross-iteration result caching."""
+
+import pytest
+
+from repro.dag.cache import GraphCache, cached_execute
+from repro.dag.graph import TaskGraph
+
+CALLS = []
+
+
+def traced_inc(x):
+    CALLS.append(("inc", x))
+    return x + 1
+
+
+def traced_sum(xs):
+    CALLS.append(("sum", tuple(xs)))
+    return sum(xs)
+
+
+@pytest.fixture(autouse=True)
+def clear_calls():
+    CALLS.clear()
+
+
+def make_graph(bump=0):
+    graph = {f"x{i}": (traced_inc, i + bump) for i in range(4)}
+    graph["total"] = (traced_sum, [f"x{i}" for i in range(4)])
+    return TaskGraph(graph, targets=["total"])
+
+
+class TestGraphCache:
+    def test_first_run_executes_everything(self):
+        cache = GraphCache()
+        out = cached_execute(make_graph(), cache)
+        assert out["total"] == 1 + 2 + 3 + 4
+        assert len(CALLS) == 5
+        assert cache.misses == 5 and cache.hits == 0
+
+    def test_second_run_fully_cached(self):
+        cache = GraphCache()
+        cached_execute(make_graph(), cache)
+        CALLS.clear()
+        out = cached_execute(make_graph(), cache)
+        assert out["total"] == 10
+        assert CALLS == []  # nothing re-ran
+        assert cache.hits == 5
+
+    def test_partial_invalidation(self):
+        """Changing one leaf re-runs that leaf and everything
+        downstream of it, nothing else."""
+        cache = GraphCache()
+        cached_execute(make_graph(bump=0), cache)
+        CALLS.clear()
+        graph = {f"x{i}": (traced_inc, i) for i in range(4)}
+        graph["x0"] = (traced_inc, 100)  # the changed cut
+        graph["total"] = (traced_sum, [f"x{i}" for i in range(4)])
+        out = cached_execute(TaskGraph(graph, targets=["total"]), cache)
+        assert out["total"] == 101 + 2 + 3 + 4
+        ran = [c[0] for c in CALLS]
+        assert ran.count("inc") == 1   # only the changed leaf
+        assert ran.count("sum") == 1   # and the reduction over it
+
+    def test_eviction_bounds_entries(self):
+        cache = GraphCache(max_entries=3)
+        for bump in range(5):
+            cached_execute(make_graph(bump=bump), cache)
+        assert len(cache) <= 3
+
+    def test_unpicklable_args_bypass_cache(self):
+        cache = GraphCache()
+
+        def use_handle(handle):
+            return 42
+
+        graph = TaskGraph({"v": (use_handle, open(__file__))},
+                          targets=["v"])
+        out = cached_execute(graph, cache)
+        assert out["v"] == 42
+        assert len(cache) == 0  # file handles are not keyable
+
+    def test_clear(self):
+        cache = GraphCache()
+        cached_execute(make_graph(), cache)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            GraphCache(max_entries=0)
+
+
+class TestRealAnalysisIteration:
+    def test_changed_cut_reuses_unchanged_processing(self, tmp_path):
+        """The near-interactive loop: identical re-run is ~free."""
+        from repro.apps import DV3Processor
+        from repro.dag.partition import build_analysis_graph
+        from repro.hep import NanoEventsFactory, write_dataset
+
+        paths = write_dataset(str(tmp_path), "dv3", 2, 500, seed=3,
+                              basket_size=250)
+        chunks = NanoEventsFactory.from_root(paths, chunks_per_file=2)
+        cache = GraphCache()
+        processor = DV3Processor()
+        graph = build_analysis_graph(processor, chunks,
+                                     reduction_arity=2)
+        first = cached_execute(graph, cache)
+        misses_first = cache.misses
+        second = cached_execute(graph, cache)
+        assert cache.misses == misses_first  # everything from cache
+        (a,) = first.values()
+        (b,) = second.values()
+        assert a["dijet_mass"] == b["dijet_mass"]

@@ -1,0 +1,56 @@
+"""Unit tests for the delayed API."""
+
+import pytest
+
+from repro.dag.delayed import Delayed, delayed
+
+
+@delayed
+def add(a, b):
+    return a + b
+
+
+@delayed
+def combine(items):
+    return sum(items)
+
+
+class TestDelayed:
+    def test_simple_compute(self):
+        assert add(1, 2).compute() == 3
+
+    def test_composition(self):
+        assert add(add(1, 2), add(3, 4)).compute() == 10
+
+    def test_list_of_delayed(self):
+        parts = [add(i, i) for i in range(5)]
+        assert combine(parts).compute() == 20
+
+    def test_graph_grows_per_call(self):
+        d = add(add(1, 2), 3)
+        assert len(d.dsk) == 2
+
+    def test_keys_unique(self):
+        a = add(1, 2)
+        b = add(1, 2)
+        assert a.key != b.key
+
+    def test_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            add(1, b=2)
+
+    def test_to_graph_targets(self):
+        d = add(1, 2)
+        graph = d.to_graph()
+        assert graph.targets == [d.key]
+
+    def test_decorator_with_name(self):
+        @delayed(name="custom")
+        def f(x):
+            return x
+
+        assert f(1).key.startswith("custom-")
+
+    def test_nested_structure_args(self):
+        d = combine([add(1, 1), 3, add(2, 2)])
+        assert d.compute() == 9

@@ -1,0 +1,138 @@
+"""Unit tests for TaskGraph."""
+
+import operator
+
+import pytest
+
+from repro.dag.graph import GraphError, TaskGraph, is_task, task_dependencies
+
+
+def inc(x):
+    return x + 1
+
+
+def add(x, y):
+    return x + y
+
+
+def total(xs):
+    return sum(xs)
+
+
+class TestIsTask:
+    def test_task_tuple(self):
+        assert is_task((inc, 1))
+        assert is_task((total, ["a", "b"]))
+
+    def test_non_tasks(self):
+        assert not is_task((1, 2))
+        assert not is_task([inc, 1])
+        assert not is_task("key")
+        assert not is_task(())
+
+
+class TestDependencies:
+    def test_direct_keys(self):
+        deps = task_dependencies((add, "a", "b"), {"a", "b", "c"})
+        assert deps == {"a", "b"}
+
+    def test_nested_lists(self):
+        deps = task_dependencies((total, ["a", ["b", 5]]), {"a", "b"})
+        assert deps == {"a", "b"}
+
+    def test_literals_ignored(self):
+        deps = task_dependencies((add, 1, "unknown"), {"a"})
+        assert deps == set()
+
+    def test_nested_task_args(self):
+        deps = task_dependencies((add, (inc, "a"), "b"), {"a", "b"})
+        assert deps == {"a", "b"}
+
+
+class TestStructure:
+    @pytest.fixture
+    def diamond(self):
+        return TaskGraph({
+            "a": 1,
+            "b": (inc, "a"),
+            "c": (inc, "a"),
+            "d": (add, "b", "c"),
+        })
+
+    def test_roots_leaves(self, diamond):
+        assert diamond.roots() == ["a"]
+        assert diamond.leaves() == ["d"]
+
+    def test_default_targets_are_leaves(self, diamond):
+        assert diamond.targets == ["d"]
+
+    def test_dependents(self, diamond):
+        deps = diamond.dependents()
+        assert deps["a"] == {"b", "c"}
+        assert deps["d"] == set()
+
+    def test_toposort_respects_deps(self, diamond):
+        order = diamond.toposort()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("c") < order.index("d")
+
+    def test_len_contains(self, diamond):
+        assert len(diamond) == 4
+        assert "b" in diamond
+        assert "z" not in diamond
+
+    def test_cycle_detected(self):
+        with pytest.raises(GraphError, match="cycle"):
+            TaskGraph({"a": (inc, "b"), "b": (inc, "a")})
+
+    def test_self_cycle_detected(self):
+        with pytest.raises(GraphError, match="cycle"):
+            TaskGraph({"a": (inc, "a")})
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(GraphError, match="targets"):
+            TaskGraph({"a": 1}, targets=["b"])
+
+    def test_width_profile(self, diamond):
+        assert diamond.width_profile() == [1, 2, 1]
+        assert diamond.critical_path_length() == 3
+
+
+class TestExecution:
+    def test_diamond_value(self):
+        g = TaskGraph({
+            "a": 1,
+            "b": (inc, "a"),
+            "c": (inc, "a"),
+            "d": (add, "b", "c"),
+        })
+        assert g.execute() == {"d": 4}
+
+    def test_list_argument_resolution(self):
+        g = TaskGraph({
+            "x": 10,
+            "y": 20,
+            "s": (total, ["x", "y", 3]),
+        })
+        assert g.execute() == {"s": 33}
+
+    def test_alias_key(self):
+        g = TaskGraph({"a": 5, "b": "a"}, targets=["b"])
+        assert g.execute() == {"b": 5}
+
+    def test_inline_nested_task(self):
+        g = TaskGraph({"a": 2, "b": (add, (inc, "a"), 10)})
+        assert g.execute() == {"b": 13}
+
+    def test_multiple_targets(self):
+        g = TaskGraph({"a": 1, "b": (inc, "a"), "c": (inc, "b")},
+                      targets=["b", "c"])
+        assert g.execute() == {"b": 2, "c": 3}
+
+    def test_operator_callables(self):
+        g = TaskGraph({"a": 6, "b": 7, "c": (operator.mul, "a", "b")})
+        assert g.execute()["c"] == 42
+
+    def test_string_literal_not_conflated_with_key(self):
+        g = TaskGraph({"word": (str.upper, "hello")})
+        assert g.execute()["word"] == "HELLO"

@@ -1,0 +1,172 @@
+"""Unit and property tests for graph optimizations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dag.graph import TaskGraph
+from repro.dag.optimize import (
+    associative,
+    cull,
+    fuse_linear,
+    is_associative,
+    rewrite_reductions,
+    tree_reduce,
+)
+
+
+def inc(x):
+    return x + 1
+
+
+@associative
+def total(xs):
+    return sum(xs)
+
+
+class TestAssociativeRegistry:
+    def test_registered(self):
+        assert is_associative(total)
+        assert not is_associative(inc)
+
+
+class TestCull:
+    def test_drops_unreachable(self):
+        g = TaskGraph({
+            "a": 1,
+            "b": (inc, "a"),
+            "orphan": (inc, "a"),
+        }, targets=["b"])
+        culled = cull(g)
+        assert "orphan" not in culled
+        assert culled.execute() == {"b": 2}
+
+    def test_keeps_transitive_deps(self):
+        g = TaskGraph({
+            "a": 1, "b": (inc, "a"), "c": (inc, "b"),
+        }, targets=["c"])
+        culled = cull(g)
+        assert set(culled.graph) == {"a", "b", "c"}
+
+
+class TestFuseLinear:
+    def test_fuses_chain(self):
+        g = TaskGraph({
+            "a": (inc, 0),
+            "b": (inc, "a"),
+            "c": (inc, "b"),
+        }, targets=["c"])
+        fused = fuse_linear(g)
+        assert len(fused) < len(g)
+        assert fused.execute() == {"c": 3}
+
+    def test_does_not_fuse_shared_node(self):
+        g = TaskGraph({
+            "a": (inc, 0),
+            "b": (inc, "a"),
+            "c": (inc, "a"),
+            "d": (total, ["b", "c"]),
+        }, targets=["d"])
+        fused = fuse_linear(g)
+        assert "a" in fused.graph  # two consumers: must stay
+        assert fused.execute() == {"d": 4}
+
+    def test_targets_never_fused_away(self):
+        g = TaskGraph({
+            "a": (inc, 0),
+            "b": (inc, "a"),
+        }, targets=["a", "b"])
+        fused = fuse_linear(g)
+        assert "a" in fused.graph and "b" in fused.graph
+
+
+class TestTreeReduce:
+    def test_single_input(self):
+        fragment, final = tree_reduce(["a"], total)
+        g = TaskGraph({"a": 5, **fragment}, targets=[final])
+        assert g.execute()[final] == 5
+
+    def test_binary_tree_structure(self):
+        inputs = [f"x{i}" for i in range(8)]
+        fragment, final = tree_reduce(inputs, total, arity=2)
+        # 8 leaves -> 4 + 2 + 1 internal nodes
+        assert len(fragment) == 7
+        base = {f"x{i}": i for i in range(8)}
+        g = TaskGraph({**base, **fragment}, targets=[final])
+        assert g.execute()[final] == sum(range(8))
+
+    def test_max_fanin_bounded(self):
+        inputs = [f"x{i}" for i in range(100)]
+        for arity in (2, 4, 8):
+            fragment, final = tree_reduce(inputs, total, arity=arity)
+            for computation in fragment.values():
+                assert len(computation[1]) <= arity
+
+    def test_uneven_input_count(self):
+        inputs = [f"x{i}" for i in range(7)]
+        fragment, final = tree_reduce(inputs, total, arity=3)
+        base = {f"x{i}": i for i in range(7)}
+        g = TaskGraph({**base, **fragment}, targets=[final])
+        assert g.execute()[final] == 21
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError):
+            tree_reduce(["a"], total, arity=1)
+
+    def test_empty_inputs(self):
+        with pytest.raises(ValueError):
+            tree_reduce([], total)
+
+    @given(st.integers(1, 60), st.integers(2, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_tree_equals_flat_for_any_shape(self, n, arity):
+        inputs = [f"x{i}" for i in range(n)]
+        base = {f"x{i}": i for i in range(n)}
+        fragment, final = tree_reduce(inputs, total, arity=arity)
+        g = TaskGraph({**base, **fragment}, targets=[final])
+        assert g.execute()[final] == sum(range(n))
+
+
+class TestRewriteReductions:
+    def make_flat(self, n):
+        graph = {f"x{i}": i for i in range(n)}
+        graph["sum"] = (total, [f"x{i}" for i in range(n)])
+        graph["result"] = (inc, "sum")
+        return TaskGraph(graph, targets=["result"])
+
+    def test_rewrites_wide_reduction(self):
+        g = self.make_flat(20)
+        rewritten = rewrite_reductions(g, arity=2)
+        assert len(rewritten) > len(g)  # tree nodes added
+        # max fan-in bounded by arity
+        for key, computation in rewritten.graph.items():
+            if isinstance(computation, tuple) and computation[0] is total:
+                assert len(computation[1]) <= 2
+        assert rewritten.execute() == {"result": sum(range(20)) + 1}
+
+    def test_small_reduction_untouched(self):
+        g = self.make_flat(2)
+        rewritten = rewrite_reductions(g, arity=8)
+        assert set(rewritten.graph) == set(g.graph)
+
+    def test_non_associative_untouched(self):
+        def fragile(xs):
+            return xs[0]
+
+        graph = {f"x{i}": i for i in range(10)}
+        graph["head"] = (fragile, [f"x{i}" for i in range(10)])
+        g = TaskGraph(graph, targets=["head"])
+        rewritten = rewrite_reductions(g, arity=2)
+        assert set(rewritten.graph) == set(g.graph)
+
+    def test_literal_args_block_rewrite(self):
+        graph = {"x0": 1,
+                 "sum": (total, ["x0", 5])}  # 5 is a literal, not a key
+        g = TaskGraph(graph, targets=["sum"])
+        rewritten = rewrite_reductions(g, arity=2)
+        assert set(rewritten.graph) == set(g.graph)
+
+    def test_targets_preserved(self):
+        g = self.make_flat(30)
+        rewritten = rewrite_reductions(g, arity=4)
+        assert rewritten.targets == g.targets

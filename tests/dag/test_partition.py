@@ -1,0 +1,68 @@
+"""Tests for the analysis-graph partitioner."""
+
+import pytest
+
+from repro.dag.graph import TaskGraph
+from repro.dag.partition import build_analysis_graph
+from repro.hep.datasets import write_dataset
+from repro.hep.hist import Hist
+from repro.hep.nanoevents import NanoEventsFactory
+from repro.hep.processor import ProcessorABC, iterative_runner
+
+
+class MetProcessor(ProcessorABC):
+    def process(self, events):
+        h = Hist.new.Reg(10, 0, 200, name="met").Double()
+        h.fill(met=events.MET.pt)
+        return {"met": h, "nevents": events.nevents}
+
+
+@pytest.fixture(scope="module")
+def chunks(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("data")
+    paths = write_dataset(str(directory), "dv3", n_files=3,
+                          events_per_file=400, seed=21, basket_size=100)
+    return NanoEventsFactory.from_root(paths, chunks_per_file=4)
+
+
+class TestBuildAnalysisGraph:
+    def test_tree_graph_shape(self, chunks):
+        g = build_analysis_graph(MetProcessor(), chunks, reduction_arity=2)
+        proc_tasks = [k for k in g.graph if "proc" in str(k)]
+        assert len(proc_tasks) == len(chunks) == 12
+        # binary tree over 12 inputs has 11 internal nodes
+        accum_tasks = [k for k in g.graph if "accum" in str(k)]
+        assert len(accum_tasks) == 11
+
+    def test_flat_graph_shape(self, chunks):
+        g = build_analysis_graph(MetProcessor(), chunks,
+                                 reduction_arity=None)
+        accum_tasks = [k for k in g.graph if "accum" in str(k)]
+        assert len(accum_tasks) == 1
+
+    def test_flat_and_tree_agree(self, chunks):
+        flat = build_analysis_graph(MetProcessor(), chunks,
+                                    reduction_arity=None).execute()
+        tree = build_analysis_graph(MetProcessor(), chunks,
+                                    reduction_arity=3).execute()
+        (flat_result,) = flat.values()
+        (tree_result,) = tree.values()
+        assert flat_result["met"] == tree_result["met"]
+        assert flat_result["nevents"] == tree_result["nevents"]
+
+    def test_matches_iterative_runner(self, chunks):
+        reference = iterative_runner(MetProcessor(), list(chunks))
+        g = build_analysis_graph(MetProcessor(), chunks, reduction_arity=4)
+        (result,) = g.execute().values()
+        assert result["met"] == reference["met"]
+        assert result["nevents"] == reference["nevents"]
+
+    def test_empty_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            build_analysis_graph(MetProcessor(), [])
+
+    def test_single_chunk(self, chunks):
+        g = build_analysis_graph(MetProcessor(), chunks[:1],
+                                 reduction_arity=2)
+        (result,) = g.execute().values()
+        assert result["nevents"] == chunks[0].nevents

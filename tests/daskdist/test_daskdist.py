@@ -1,0 +1,101 @@
+"""Tests for the Dask.Distributed baseline model."""
+
+import pytest
+
+from repro.core.config import SchedulerConfig
+from repro.core.files import FileKind, SimFile
+from repro.core.spec import SimTask, SimWorkflow
+from repro.daskdist import DASK_DISTRIBUTED_CONFIG, DaskDistributedScheduler
+from repro.sim.cluster import NodeSpec
+from repro.sim.storage import GB, MB
+
+from tests.core.conftest import Env, make_env, map_reduce_workflow
+
+FAST_DASK = SchedulerConfig(
+    dispatch_overhead=0.003, collect_overhead=0.001,
+    function_call_overhead=0.001, library_startup=0.3,
+    import_cost=0.1)
+
+
+def run_dask(env, workflow, config=FAST_DASK):
+    scheduler = DaskDistributedScheduler(
+        env.sim, env.cluster, env.storage, workflow,
+        config=config, trace=env.trace)
+    return scheduler.run(limit=1e6), scheduler
+
+
+class TestFeasibility:
+    def test_small_run_completes(self):
+        # per-core workers: 8 single-core processes
+        env = make_env(n_workers=8, spec=NodeSpec(cores=1, disk=9 * GB))
+        wf = map_reduce_workflow(n_proc=16)
+        result, _ = run_dask(env, wf)
+        assert result.completed
+        assert result.tasks_done == 17
+
+    def test_too_many_workers_crashes(self):
+        env = Env(n_workers=0)
+        env.cluster.provision(
+            DaskDistributedScheduler.max_stable_workers + 10,
+            NodeSpec(cores=1, disk=9 * GB))
+        wf = map_reduce_workflow(n_proc=4)
+        result, _ = run_dask(env, wf)
+        assert not result.completed
+        assert "crash" in result.error
+        assert result.makespan == float("inf")
+
+    def test_too_much_intermediate_data_crashes(self):
+        env = make_env(n_workers=4, spec=NodeSpec(cores=1))
+        files = [SimFile("in", MB, FileKind.INPUT),
+                 SimFile("huge", 400 * GB, FileKind.OUTPUT)]
+        tasks = [SimTask(id="t", compute=1.0, inputs=("in",),
+                         outputs=("huge",))]
+        wf = SimWorkflow(tasks, files)
+        result, _ = run_dask(env, wf)
+        assert not result.completed
+        assert "spill" in result.error
+
+    def test_feasible_returns_none_inside_envelope(self):
+        env = make_env(n_workers=2, spec=NodeSpec(cores=1))
+        wf = map_reduce_workflow(n_proc=2)
+        scheduler = DaskDistributedScheduler(
+            env.sim, env.cluster, env.storage, wf, trace=env.trace)
+        assert scheduler.feasible() is None
+
+
+class TestCostProfile:
+    def test_default_config_heavier_scheduler_than_taskvine(self):
+        from repro.core.config import SchedulerConfig as TVConfig
+        taskvine = TVConfig()
+        dask = DASK_DISTRIBUTED_CONFIG
+        assert dask.dispatch_overhead > taskvine.dispatch_overhead
+        assert dask.library_startup > 0
+
+    def test_per_core_startup_multiplies(self):
+        """12 single-core workers pay 12 startups; one 12-core TaskVine
+        worker pays one."""
+        startup_heavy = SchedulerConfig(
+            dispatch_overhead=0.0001, collect_overhead=0.0001,
+            function_call_overhead=0.001, library_startup=5.0,
+            import_cost=0.0)
+
+        # Dask-style: 4 single-core workers
+        dask_env = make_env(n_workers=4, spec=NodeSpec(cores=1))
+        wf1 = map_reduce_workflow(n_proc=4, compute=0.1, chunk=MB)
+        dask_result, _ = run_dask(dask_env, wf1, config=startup_heavy)
+
+        # TaskVine-style: 1 four-core worker
+        from repro.core.manager import TaskVineManager
+        tv_env = make_env(n_workers=1, spec=NodeSpec(cores=4))
+        wf2 = map_reduce_workflow(n_proc=4, compute=0.1, chunk=MB)
+        tv = TaskVineManager(tv_env.sim, tv_env.cluster, tv_env.storage,
+                             wf2, config=startup_heavy,
+                             trace=tv_env.trace)
+        tv_result = tv.run(limit=1e6)
+
+        assert dask_result.completed and tv_result.completed
+        # both pay the startup, but dask's startups are all on the
+        # critical path of separate processes; total CPU burned is 4x.
+        dask_busy = sum(r.exec_time for r in dask_env.trace.tasks)
+        tv_busy = sum(r.exec_time for r in tv_env.trace.tasks)
+        assert tv_busy <= dask_busy

@@ -1,0 +1,33 @@
+"""Tests for the real-machine cost measurements."""
+
+import pytest
+
+from repro.engine.calibrate import (
+    calibrate,
+    measure_fork_call,
+    measure_serialization,
+    measure_spawn_startup,
+)
+
+
+@pytest.mark.slow
+class TestCalibrate:
+    def test_spawn_startup_positive_and_sane(self):
+        startup = measure_spawn_startup(repeats=1)
+        assert 0.005 < startup < 30.0
+
+    def test_fork_call_cheaper_than_spawn(self):
+        """The paper's core claim about serverless execution, measured
+        for real: a fork invocation beats a fresh interpreter."""
+        fork = measure_fork_call(repeats=5)
+        spawn = measure_spawn_startup(repeats=1)
+        assert fork < spawn
+
+    def test_serialization_positive(self):
+        assert measure_serialization(1_000_000) > 0
+
+    def test_calibrate_keys(self):
+        results = calibrate()
+        assert set(results) == {"spawn_startup_s", "numpy_import_s",
+                                "fork_call_s", "serialize_10mb_s"}
+        assert all(v >= 0 for v in results.values())

@@ -1,0 +1,154 @@
+"""Tests for the real serverless library process."""
+
+import math
+import os
+import time
+
+import pytest
+
+from repro.engine.library import FunctionCallError, Library, LibraryError
+
+
+def double(x):
+    return 2 * x
+
+
+def boom():
+    raise ValueError("physics is broken")
+
+
+def slow_identity(x):
+    time.sleep(0.2)
+    return x
+
+
+def get_pid():
+    return os.getpid()
+
+
+class TestLifecycle:
+    def test_start_stop(self):
+        lib = Library({"double": double}).start()
+        assert lib.running
+        lib.stop()
+        assert not lib.running
+
+    def test_context_manager(self):
+        with Library({"double": double}) as lib:
+            assert lib.call("double", 21).result(timeout=30) == 42
+
+    def test_double_start_rejected(self):
+        with Library({"double": double}) as lib:
+            with pytest.raises(LibraryError):
+                lib.start()
+
+    def test_call_before_start_rejected(self):
+        lib = Library({"double": double})
+        with pytest.raises(LibraryError):
+            lib.call("double", 1)
+
+    def test_empty_functions_rejected(self):
+        with pytest.raises(LibraryError):
+            Library({})
+
+    def test_bad_slots_rejected(self):
+        with pytest.raises(LibraryError):
+            Library({"double": double}, slots=0)
+
+    def test_stop_idempotent(self):
+        lib = Library({"double": double}).start()
+        lib.stop()
+        lib.stop()
+
+
+class TestInvocation:
+    def test_basic_call(self):
+        with Library({"double": double}) as lib:
+            assert lib.call("double", 5).result(timeout=30) == 10
+
+    def test_kwargs(self):
+        def power(base, exp=2):
+            return base ** exp
+
+        with Library({"power": power}) as lib:
+            assert lib.call("power", 3, exp=3).result(timeout=30) == 27
+
+    def test_unknown_function_rejected(self):
+        with Library({"double": double}) as lib:
+            with pytest.raises(LibraryError):
+                lib.call("nope", 1)
+
+    def test_many_sequential_calls(self):
+        with Library({"double": double}) as lib:
+            futures = [lib.call("double", i) for i in range(20)]
+            assert [f.result(timeout=60) for f in futures] == [
+                2 * i for i in range(20)]
+            assert lib.calls_completed == 20
+
+    def test_concurrent_calls_use_separate_processes(self):
+        with Library({"pid": get_pid}, slots=4) as lib:
+            pids = {lib.call("pid").result(timeout=30) for _ in range(6)}
+        # Fork per invocation: children have distinct pids, none is ours.
+        assert os.getpid() not in pids
+        assert len(pids) >= 2
+
+    def test_exception_propagates(self):
+        with Library({"boom": boom}) as lib:
+            future = lib.call("boom")
+            with pytest.raises(FunctionCallError, match="physics"):
+                future.result(timeout=30)
+
+    def test_failure_does_not_kill_library(self):
+        with Library({"boom": boom, "double": double}) as lib:
+            with pytest.raises(FunctionCallError):
+                lib.call("boom").result(timeout=30)
+            assert lib.call("double", 4).result(timeout=30) == 8
+
+    def test_slots_limit_respected_without_deadlock(self):
+        with Library({"slow": slow_identity}, slots=2) as lib:
+            futures = [lib.call("slow", i) for i in range(5)]
+            assert [f.result(timeout=60) for f in futures] == list(range(5))
+
+
+class TestImportHoisting:
+    def test_hoisted_module_available(self):
+        def use_math(x):
+            import math  # resolves instantly: already in sys.modules
+            return math.sqrt(x)
+
+        with Library({"f": use_math}, import_modules=["math"],
+                     hoisting=True) as lib:
+            assert lib.call("f", 9).result(timeout=30) == 3
+
+    def test_unhoisted_mode_still_works(self):
+        def use_math(x):
+            import math
+            return math.sqrt(x)
+
+        with Library({"f": use_math}, import_modules=["math"],
+                     hoisting=False) as lib:
+            assert lib.call("f", 16).result(timeout=30) == 4
+
+    def test_numpy_roundtrip(self):
+        import numpy as np
+
+        def norm(values):
+            import numpy
+            return float(numpy.linalg.norm(values))
+
+        with Library({"norm": norm}, import_modules=["numpy"]) as lib:
+            out = lib.call("norm", np.array([3.0, 4.0])).result(timeout=60)
+            assert out == pytest.approx(5.0)
+
+    def test_stop_fails_pending_futures(self):
+        lib = Library({"slow": slow_identity}, slots=1).start()
+        futures = [lib.call("slow", i) for i in range(3)]
+        time.sleep(0.05)
+        lib.stop()
+        outcomes = []
+        for f in futures:
+            try:
+                outcomes.append(f.result(timeout=5))
+            except LibraryError:
+                outcomes.append("failed")
+        assert "failed" in outcomes or len(outcomes) == 3

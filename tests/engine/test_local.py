@@ -1,0 +1,206 @@
+"""Tests for graph executors and the DaskVine facade."""
+
+import time
+
+import pytest
+
+from repro.dag.daskvine import DaskVine
+from repro.dag.delayed import delayed
+from repro.dag.graph import TaskGraph
+from repro.engine.local import (
+    FunctionCallPool,
+    SerialExecutor,
+    StandardTaskPool,
+    run_graph,
+)
+
+
+def inc(x):
+    return x + 1
+
+
+def add(x, y):
+    return x + y
+
+
+def total(xs):
+    return sum(xs)
+
+
+def fail(x):
+    raise RuntimeError("task failed")
+
+
+DIAMOND = {
+    "a": 1,
+    "b": (inc, "a"),
+    "c": (inc, "a"),
+    "d": (add, "b", "c"),
+}
+
+
+class TestSerialExecutor:
+    def test_diamond(self):
+        out = SerialExecutor().execute(TaskGraph(DIAMOND))
+        assert out == {"d": 4}
+
+
+class TestRunGraph:
+    def test_with_inline_futures(self):
+        from concurrent.futures import Future
+
+        def submit(func, args):
+            f = Future()
+            f.set_result(func(*args))
+            return f
+
+        out = run_graph(TaskGraph(DIAMOND), submit, max_in_flight=2)
+        assert out == {"d": 4}
+
+    def test_task_failure_propagates(self):
+        from concurrent.futures import Future
+
+        def submit(func, args):
+            f = Future()
+            try:
+                f.set_result(func(*args))
+            except Exception as exc:
+                f.set_exception(exc)
+            return f
+
+        graph = TaskGraph({"a": 1, "b": (fail, "a")})
+        with pytest.raises(RuntimeError, match="task failed"):
+            run_graph(graph, submit, max_in_flight=1)
+
+    def test_literal_and_alias_keys(self):
+        from concurrent.futures import Future
+
+        def submit(func, args):
+            f = Future()
+            f.set_result(func(*args))
+            return f
+
+        graph = TaskGraph({"x": 41, "y": "x", "z": (inc, "y")},
+                          targets=["z"])
+        assert run_graph(graph, submit, 4) == {"z": 42}
+
+
+class TestFunctionCallPool:
+    def test_diamond(self):
+        out = FunctionCallPool(slots=2).execute(TaskGraph(DIAMOND))
+        assert out == {"d": 4}
+
+    def test_wide_graph(self):
+        graph = {f"x{i}": (inc, i) for i in range(12)}
+        graph["sum"] = (total, [f"x{i}" for i in range(12)])
+        out = FunctionCallPool(slots=4).execute(
+            TaskGraph(graph, targets=["sum"]))
+        assert out["sum"] == sum(range(1, 13))
+
+    def test_failure_propagates(self):
+        graph = TaskGraph({"a": 1, "b": (fail, "a")})
+        with pytest.raises(Exception, match="task failed"):
+            FunctionCallPool(slots=1).execute(graph)
+
+    def test_pure_literal_graph(self):
+        out = FunctionCallPool().execute(TaskGraph({"a": 7}))
+        assert out == {"a": 7}
+
+    def test_bad_slots(self):
+        with pytest.raises(ValueError):
+            FunctionCallPool(slots=0)
+
+
+@pytest.mark.slow
+class TestStandardTaskPool:
+    def test_small_graph(self):
+        graph = TaskGraph({"a": (inc, 0), "b": (inc, "a")})
+        out = StandardTaskPool(max_workers=2).execute(graph)
+        assert out == {"b": 2}
+
+    def test_failure_propagates(self):
+        graph = TaskGraph({"b": (fail, 1)})
+        with pytest.raises(RuntimeError, match="task failed"):
+            StandardTaskPool(max_workers=1).execute(graph)
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            StandardTaskPool(max_workers=0)
+
+
+class TestDaskVine:
+    def test_compute_delayed_serial(self):
+        lazy = delayed(add)(delayed(inc)(1), 3)
+        manager = DaskVine(name="m")
+        assert manager.compute(lazy, task_mode="serial") == 5
+
+    def test_compute_graph_function_calls(self):
+        manager = DaskVine(cores=2)
+        out = manager.compute(TaskGraph(DIAMOND),
+                              task_mode="function-calls",
+                              lib_resources={"slots": 2})
+        assert out == 4
+        assert manager.last_stats["task_mode"] == "function-calls"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DaskVine().compute(TaskGraph(DIAMOND), task_mode="quantum")
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(TypeError):
+            DaskVine().compute(42)
+
+    def test_reduction_rewrite_applied(self):
+        from repro.dag.optimize import associative
+
+        graph = {f"x{i}": i for i in range(16)}
+        graph["sum"] = (total_assoc, [f"x{i}" for i in range(16)])
+        g = TaskGraph(graph, targets=["sum"])
+        manager = DaskVine()
+        out = manager.compute(g, task_mode="serial", reduction_arity=2)
+        assert out == sum(range(16))
+        assert manager.last_stats["tasks"] > len(g)
+
+
+from repro.dag.optimize import associative  # noqa: E402
+
+
+@associative
+def total_assoc(xs):
+    return sum(xs)
+
+
+class TestThreadPool:
+    def test_diamond(self):
+        from repro.engine.local import ThreadPool
+
+        out = ThreadPool(max_workers=2).execute(TaskGraph(DIAMOND))
+        assert out == {"d": 4}
+
+    def test_failure_propagates(self):
+        from repro.engine.local import ThreadPool
+
+        graph = TaskGraph({"b": (fail, 1)})
+        with pytest.raises(RuntimeError, match="task failed"):
+            ThreadPool(max_workers=1).execute(graph)
+
+    def test_bad_workers(self):
+        from repro.engine.local import ThreadPool
+
+        with pytest.raises(ValueError):
+            ThreadPool(max_workers=0)
+
+
+class TestDaskVineCache:
+    def test_compute_with_cache_replays(self):
+        from repro.dag.cache import GraphCache
+
+        cache = GraphCache()
+        manager = DaskVine()
+        graph = TaskGraph(DIAMOND)
+        assert manager.compute(graph, cache=cache) == 4
+        first_misses = cache.misses
+        assert manager.compute(graph, cache=cache) == 4
+        assert cache.misses == first_misses
+        assert manager.last_stats["task_mode"] == "cached"
+        assert cache.hits > 0

@@ -1,0 +1,43 @@
+"""Tests for the wire (serialization) layer."""
+
+import numpy as np
+import pytest
+
+from repro.engine import wire
+from repro.hep.hist import Hist
+
+
+class TestWire:
+    def test_roundtrip_builtin(self):
+        payload = {"a": [1, 2.5, "x"], "b": (None, True)}
+        assert wire.loads(wire.dumps(payload)) == payload
+
+    def test_roundtrip_numpy(self):
+        arr = np.arange(10.0)
+        out = wire.loads(wire.dumps(arr))
+        assert np.array_equal(out, arr)
+
+    def test_roundtrip_histogram(self):
+        hist = Hist.new.Reg(10, 0, 1, name="x").Double()
+        hist.fill(x=[0.5, 0.7])
+        assert wire.loads(wire.dumps(hist)) == hist
+
+    def test_unpicklable_raises_wire_error(self):
+        with pytest.raises(wire.WireError, match="cannot serialise"):
+            wire.dumps(open(__file__))
+
+    def test_corrupt_payload_raises_wire_error(self):
+        with pytest.raises(wire.WireError, match="cannot deserialise"):
+            wire.loads(b"not a pickle")
+
+    def test_payload_size_tracks_content(self):
+        small = wire.payload_size(np.zeros(10))
+        large = wire.payload_size(np.zeros(10_000))
+        assert large > small
+        assert small > 0
+
+    def test_functions_serializable(self):
+        from repro.dag.partition import accumulate_list
+
+        out = wire.loads(wire.dumps(accumulate_list))
+        assert out is accumulate_list  # module-level: pickled by ref

@@ -1,0 +1,151 @@
+"""Tests for synthetic dataset generation and the Table II catalog."""
+
+import numpy as np
+import pytest
+
+from repro.hep import kinematics as kin
+from repro.hep.datasets import (
+    HIGGS_MASS,
+    TABLE2,
+    TRIPHOTON_MA,
+    TRIPHOTON_MX,
+    generate_dv3_events,
+    generate_triphoton_events,
+    write_dataset,
+)
+from repro.hep.nanoevents import NanoEventsFactory
+
+
+class TestDV3Generation:
+    @pytest.fixture(scope="class")
+    def branches(self):
+        rng = np.random.default_rng(1)
+        return generate_dv3_events(5000, rng, signal_fraction=0.2)
+
+    def test_expected_branches(self, branches):
+        assert {"Jet_pt", "Jet_eta", "Jet_phi", "Jet_mass", "Jet_btag",
+                "MET_pt", "MET_phi", "genWeight"} <= set(branches)
+
+    def test_structure_consistent(self, branches):
+        jets = branches["Jet_pt"]
+        assert jets.n_events == 5000
+        for name in ("Jet_eta", "Jet_phi", "Jet_mass", "Jet_btag"):
+            assert np.array_equal(branches[name].offsets, jets.offsets)
+
+    def test_physical_ranges(self, branches):
+        assert (branches["Jet_pt"].content > 0).all()
+        btag = branches["Jet_btag"].content
+        assert ((btag >= 0) & (btag <= 1)).all()
+        assert (branches["MET_pt"] >= 0).all()
+
+    def test_higgs_peak_reconstructable(self, branches):
+        """Signal dijets must reconstruct near 125 GeV."""
+        jets = branches["Jet_pt"]
+        event_of, i, j = jets.pair_indices()
+        mass = kin.invariant_mass_pairs(
+            branches["Jet_pt"].content[i], branches["Jet_eta"].content[i],
+            branches["Jet_phi"].content[i], branches["Jet_mass"].content[i],
+            branches["Jet_pt"].content[j], branches["Jet_eta"].content[j],
+            branches["Jet_phi"].content[j], branches["Jet_mass"].content[j])
+        btag_i = branches["Jet_btag"].content[i]
+        btag_j = branches["Jet_btag"].content[j]
+        candidates = mass[(btag_i > 0.7) & (btag_j > 0.7)]
+        window = ((candidates > HIGGS_MASS - 25)
+                  & (candidates < HIGGS_MASS + 25)).mean()
+        assert window > 0.5, "b-tagged dijet mass should peak at m_H"
+
+    def test_deterministic(self):
+        a = generate_dv3_events(100, np.random.default_rng(5))
+        b = generate_dv3_events(100, np.random.default_rng(5))
+        assert np.array_equal(a["Jet_pt"].content, b["Jet_pt"].content)
+
+    def test_invalid_nevents(self):
+        with pytest.raises(ValueError):
+            generate_dv3_events(0, np.random.default_rng(0))
+
+
+class TestTriphotonGeneration:
+    @pytest.fixture(scope="class")
+    def branches(self):
+        rng = np.random.default_rng(2)
+        return generate_triphoton_events(5000, rng, signal_fraction=0.3)
+
+    def test_expected_branches(self, branches):
+        assert {"Photon_pt", "Photon_eta", "Photon_phi"} <= set(branches)
+
+    def test_resonances_reconstructable(self, branches):
+        photons = branches["Photon_pt"]
+        event_of, i, j, k = photons.triple_indices()
+        pt = branches["Photon_pt"].content
+        eta = branches["Photon_eta"].content
+        phi = branches["Photon_phi"].content
+        zeros = np.zeros(len(i))
+        m3 = kin.invariant_mass_triples(
+            (pt[i], pt[j], pt[k]), (eta[i], eta[j], eta[k]),
+            (phi[i], phi[j], phi[k]), (zeros, zeros, zeros))
+        near_mx = ((m3 > 0.9 * TRIPHOTON_MX)
+                   & (m3 < 1.1 * TRIPHOTON_MX)).sum()
+        assert near_mx > 100, "triphoton mass should peak at m_X"
+
+    def test_diphoton_pair_mass(self, branches):
+        photons = branches["Photon_pt"]
+        event_of, i, j = photons.pair_indices()
+        pt = branches["Photon_pt"].content
+        eta = branches["Photon_eta"].content
+        phi = branches["Photon_phi"].content
+        m2 = kin.invariant_mass_pairs(pt[i], eta[i], phi[i], 0.0,
+                                      pt[j], eta[j], phi[j], 0.0)
+        near_ma = ((m2 > 0.9 * TRIPHOTON_MA)
+                   & (m2 < 1.1 * TRIPHOTON_MA)).sum()
+        assert near_ma > 100, "diphoton mass should peak at m_a"
+
+
+class TestWriteDataset:
+    def test_writes_readable_files(self, tmp_path):
+        paths = write_dataset(str(tmp_path), "dv3", n_files=3,
+                              events_per_file=200, seed=9, basket_size=100)
+        assert len(paths) == 3
+        chunks = NanoEventsFactory.from_root(paths, chunks_per_file=2)
+        assert len(chunks) == 6
+        events = chunks[0].load()
+        assert events.nevents == 100
+        assert "Jet" in events.collections
+
+    def test_files_differ_but_deterministic(self, tmp_path):
+        first = write_dataset(str(tmp_path / "a"), "dv3", 2, 100, seed=3)
+        second = write_dataset(str(tmp_path / "b"), "dv3", 2, 100, seed=3)
+        e1 = NanoEventsFactory.from_root(first[0])[0].load()
+        e2 = NanoEventsFactory.from_root(second[0])[0].load()
+        assert np.array_equal(e1.Jet.pt.content, e2.Jet.pt.content)
+        # different files within a dataset use different substreams
+        e3 = NanoEventsFactory.from_root(first[1])[0].load()
+        assert not np.array_equal(e1.Jet.pt.content, e3.Jet.pt.content)
+
+    def test_unknown_kind(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_dataset(str(tmp_path), "nope", 1, 10)
+
+    def test_triphoton_kind(self, tmp_path):
+        paths = write_dataset(str(tmp_path), "triphoton", 1, 150, seed=4)
+        events = NanoEventsFactory.from_root(paths)[0].load()
+        assert "Photon" in events.collections
+
+
+class TestTable2Catalog:
+    def test_all_rows_present(self):
+        assert set(TABLE2) == {"DV3-Small", "DV3-Medium", "DV3-Large",
+                               "DV3-Huge", "RS-TriPhoton"}
+
+    def test_paper_values(self):
+        assert TABLE2["DV3-Large"].n_tasks == 17_000
+        assert TABLE2["DV3-Large"].input_bytes == pytest.approx(1.2e12)
+        assert TABLE2["DV3-Huge"].n_tasks == 185_000
+        assert TABLE2["DV3-Small"].input_bytes == pytest.approx(25e9)
+        assert TABLE2["DV3-Medium"].input_bytes == pytest.approx(200e9)
+        assert TABLE2["RS-TriPhoton"].input_bytes == pytest.approx(500e9)
+        assert TABLE2["RS-TriPhoton"].n_tasks == 4_000
+
+    def test_applications_assigned(self):
+        assert TABLE2["RS-TriPhoton"].application == "triphoton"
+        assert all(spec.application == "dv3"
+                   for name, spec in TABLE2.items() if "DV3" in name)

@@ -1,0 +1,259 @@
+"""Unit and property tests for histograms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hep.hist import Hist, IntCategory, Regular, StrCategory, Variable
+from repro.hep.jagged import JaggedArray
+
+
+class TestAxes:
+    def test_regular_index(self):
+        ax = Regular(10, 0.0, 10.0, name="x")
+        idx = ax.index([-1.0, 0.0, 0.5, 9.99, 10.0, 42.0])
+        assert list(idx) == [0, 1, 1, 10, 11, 11]
+
+    def test_regular_nan_goes_to_overflow(self):
+        ax = Regular(4, 0, 4)
+        assert ax.index([np.nan])[0] == 5
+
+    def test_regular_validation(self):
+        with pytest.raises(ValueError):
+            Regular(0, 0, 1)
+        with pytest.raises(ValueError):
+            Regular(10, 1, 1)
+
+    def test_regular_edges_centers(self):
+        ax = Regular(4, 0, 8)
+        assert list(ax.edges) == [0, 2, 4, 6, 8]
+        assert list(ax.centers) == [1, 3, 5, 7]
+
+    def test_variable_index(self):
+        ax = Variable([0, 1, 10, 100])
+        idx = ax.index([-5, 0.5, 5, 50, 100, 1000])
+        assert list(idx) == [0, 1, 2, 3, 3, 4]
+
+    def test_variable_validation(self):
+        with pytest.raises(ValueError):
+            Variable([1])
+        with pytest.raises(ValueError):
+            Variable([0, 0, 1])
+
+    def test_int_category(self):
+        ax = IntCategory([4, 8, 15], name="njet")
+        assert list(ax.index([4, 15, 99])) == [1, 3, 4]
+
+    def test_str_category(self):
+        ax = StrCategory(["signal", "background"], name="dataset")
+        assert list(ax.index(["background", "unknown"])) == [2, 3]
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValueError):
+            StrCategory(["a", "a"])
+
+    def test_axis_equality(self):
+        assert Regular(10, 0, 1, name="x") == Regular(10, 0, 1, name="x")
+        assert Regular(10, 0, 1) != Regular(10, 0, 2)
+        assert Regular(2, 0, 1) != Variable([0, 0.5, 1])
+
+
+class TestBuilder:
+    def test_paper_style_chain(self):
+        # Fig 4 of the paper:
+        #   hda.Hist.new.Reg(100, 0, 200, name="met").Double()
+        h = Hist.new.Reg(100, 0, 200, name="met").Double()
+        assert len(h.axes) == 1
+        assert h.axes[0].name == "met"
+
+    def test_multi_axis_chain(self):
+        h = (Hist.new.Reg(10, 0, 1, name="x")
+             .Var([0, 1, 10], name="y")
+             .StrCat(["a", "b"], name="cat")
+             .Double())
+        assert [type(ax).__name__ for ax in h.axes] == [
+            "Regular", "Variable", "StrCategory"]
+
+    def test_each_new_is_fresh(self):
+        b1 = Hist.new.Reg(5, 0, 1, name="x")
+        h2 = Hist.new.Reg(3, 0, 1, name="y").Double()
+        assert len(h2.axes) == 1
+
+    def test_weight_storage(self):
+        h = Hist.new.Reg(4, 0, 4, name="x").Weight()
+        h.fill(x=[1.0], weight=[2.0])
+        assert h.variances().sum() == pytest.approx(4.0)
+
+
+class TestFill:
+    def test_positional_fill(self):
+        h = Hist.new.Reg(4, 0, 4, name="x").Double()
+        h.fill([0.5, 1.5, 1.7, 3.2])
+        assert list(h.values()) == [1, 2, 0, 1]
+
+    def test_named_fill(self):
+        h = Hist.new.Reg(2, 0, 2, name="x").Double()
+        h.fill(x=[0.5, 1.5])
+        assert h.sum() == 2
+
+    def test_missing_name_rejected(self):
+        h = Hist.new.Reg(2, 0, 2, name="x").Double()
+        with pytest.raises(TypeError):
+            h.fill(y=[1.0])
+
+    def test_extra_name_rejected(self):
+        h = Hist.new.Reg(2, 0, 2, name="x").Double()
+        with pytest.raises(TypeError):
+            h.fill(x=[1.0], y=[1.0])
+
+    def test_mixed_positional_named_rejected(self):
+        h = Hist.new.Reg(2, 0, 2, name="x").Double()
+        with pytest.raises(TypeError):
+            h.fill([1.0], x=[1.0])
+
+    def test_wrong_arity_rejected(self):
+        h = Hist.new.Reg(2, 0, 2, name="x").Reg(2, 0, 2, name="y").Double()
+        with pytest.raises(TypeError):
+            h.fill([1.0])
+
+    def test_length_mismatch_rejected(self):
+        h = Hist.new.Reg(2, 0, 2, name="x").Reg(2, 0, 2, name="y").Double()
+        with pytest.raises(ValueError):
+            h.fill([1.0, 1.0], [1.0])
+
+    def test_fill_with_weights(self):
+        h = Hist.new.Reg(2, 0, 2, name="x").Double()
+        h.fill(x=[0.5, 0.5, 1.5], weight=[1.0, 2.0, 0.5])
+        assert list(h.values()) == [3.0, 0.5]
+
+    def test_scalar_weight_broadcast(self):
+        h = Hist.new.Reg(1, 0, 1, name="x").Double()
+        h.fill(x=[0.5, 0.5], weight=3.0)
+        assert h.sum() == 6.0
+
+    def test_fill_accepts_jagged(self):
+        h = Hist.new.Reg(4, 0, 100, name="pt").Double()
+        arr = JaggedArray.from_lists([[10.0, 30.0], [], [60.0]])
+        h.fill(pt=arr)
+        assert h.sum() == 3
+
+    def test_empty_fill_noop(self):
+        h = Hist.new.Reg(2, 0, 2, name="x").Double()
+        h.fill(x=[])
+        assert h.sum() == 0
+
+    def test_2d_fill(self):
+        h = (Hist.new.Reg(2, 0, 2, name="x")
+             .StrCat(["sig", "bkg"], name="kind").Double())
+        h.fill(x=[0.5, 1.5], kind=["sig", "bkg"])
+        vals = h.values()
+        assert vals[0, 0] == 1  # x bin 0, sig
+        assert vals[1, 1] == 1  # x bin 1, bkg
+
+    def test_flow_bins(self):
+        h = Hist.new.Reg(2, 0, 2, name="x").Double()
+        h.fill(x=[-10.0, 10.0])
+        assert h.values().sum() == 0
+        assert h.values(flow=True).sum() == 2
+        assert h.sum(flow=True) == 2
+
+
+class TestAlgebra:
+    def make(self, values):
+        h = Hist.new.Reg(4, 0, 4, name="x").Double()
+        h.fill(x=values)
+        return h
+
+    def test_add(self):
+        a = self.make([0.5, 1.5])
+        b = self.make([1.5, 3.5])
+        c = a + b
+        assert list(c.values()) == [1, 2, 0, 1]
+        # operands unchanged
+        assert a.sum() == 2 and b.sum() == 2
+
+    def test_incompatible_add_rejected(self):
+        a = self.make([1.0])
+        b = Hist.new.Reg(5, 0, 4, name="x").Double()
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_sum_builtin(self):
+        parts = [self.make([0.5]) for _ in range(3)]
+        total = sum(parts)
+        assert total.sum() == 3
+
+    def test_iadd(self):
+        a = self.make([0.5])
+        a += self.make([1.5])
+        assert a.sum() == 2
+
+    def test_equality(self):
+        assert self.make([1.0]) == self.make([1.0])
+        assert self.make([1.0]) != self.make([2.0])
+
+    def test_project(self):
+        h = (Hist.new.Reg(2, 0, 2, name="x")
+             .Reg(2, 0, 2, name="y").Double())
+        h.fill(x=[0.5, 0.5, 1.5], y=[0.5, 1.5, 1.5])
+        px = h.project("x")
+        assert list(px.values()) == [2, 1]
+        with pytest.raises(KeyError):
+            h.project("z")
+
+    def test_density(self):
+        h = Hist.new.Reg(2, 0, 4, name="x").Double()
+        h.fill(x=[1.0, 1.0, 3.0, 3.0])
+        density = h.density()
+        assert (density * np.diff(h.axes[0].edges)).sum() == pytest.approx(1.0)
+
+    def test_axis_lookup(self):
+        h = Hist.new.Reg(2, 0, 2, name="met").Double()
+        assert h.axis("met").nbins == 2
+        with pytest.raises(KeyError):
+            h.axis("nope")
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        h = (Hist.new.Reg(4, 0, 4, name="x")
+             .StrCat(["a", "b"], name="c").Weight())
+        h.fill(x=[1.0, 2.0], c=["a", "b"], weight=[2.0, 3.0])
+        rebuilt = Hist.from_dict(h.to_dict())
+        assert rebuilt == h
+
+    def test_nbytes_positive(self):
+        h = Hist.new.Reg(100, 0, 1, name="x").Double()
+        assert h.nbytes >= 100 * 8
+
+
+class TestMergeProperties:
+    """Histogram accumulation must be commutative and associative --
+    the invariant behind the paper's hierarchical reduction (Fig 11)."""
+
+    values = st.lists(st.floats(-10, 30, allow_nan=False), max_size=30)
+
+    @given(values, values)
+    @settings(max_examples=50, deadline=None)
+    def test_commutative(self, xs, ys):
+        a = Hist.new.Reg(8, 0, 20, name="x").Double().fill(x=xs)
+        b = Hist.new.Reg(8, 0, 20, name="x").Double().fill(x=ys)
+        assert a + b == b + a
+
+    @given(values, values, values)
+    @settings(max_examples=50, deadline=None)
+    def test_associative(self, xs, ys, zs):
+        mk = lambda data: (Hist.new.Reg(8, 0, 20, name="x")
+                           .Double().fill(x=data))
+        a, b, c = mk(xs), mk(ys), mk(zs)
+        assert (a + b) + c == a + (b + c)
+
+    @given(values, values)
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_single_fill(self, xs, ys):
+        merged = (Hist.new.Reg(8, 0, 20, name="x").Double().fill(x=xs)
+                  + Hist.new.Reg(8, 0, 20, name="x").Double().fill(x=ys))
+        single = Hist.new.Reg(8, 0, 20, name="x").Double().fill(
+            x=list(xs) + list(ys))
+        assert merged == single

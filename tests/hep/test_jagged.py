@@ -1,0 +1,261 @@
+"""Unit and property-based tests for JaggedArray."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hep.jagged import JaggedArray
+
+
+@st.composite
+def jagged_arrays(draw, max_events=20, max_count=8, elements=None):
+    if elements is None:
+        elements = st.floats(-1e6, 1e6, allow_nan=False)
+    n = draw(st.integers(0, max_events))
+    lists = [draw(st.lists(elements, max_size=max_count)) for _ in range(n)]
+    return JaggedArray.from_lists(lists), lists
+
+
+class TestConstruction:
+    def test_from_lists_roundtrip(self):
+        data = [[1.0, 2.0], [], [3.0]]
+        arr = JaggedArray.from_lists(data)
+        assert arr.tolist() == data
+        assert arr.n_events == 3
+        assert list(arr.counts) == [2, 0, 1]
+
+    def test_from_counts(self):
+        arr = JaggedArray.from_counts([2, 1], [10, 20, 30])
+        assert arr.tolist() == [[10, 20], [30]]
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            JaggedArray([1, 2], [1, 2])     # doesn't start at 0
+        with pytest.raises(ValueError):
+            JaggedArray([1, 2], [0, 3, 2])  # decreasing
+        with pytest.raises(ValueError):
+            JaggedArray([1, 2], [0, 1])     # doesn't cover content
+
+    def test_content_must_be_1d(self):
+        with pytest.raises(ValueError):
+            JaggedArray(np.zeros((2, 2)), [0, 4])
+
+    def test_empty(self):
+        arr = JaggedArray.from_lists([])
+        assert arr.n_events == 0
+        assert arr.size == 0
+
+
+class TestIndexing:
+    @pytest.fixture
+    def arr(self):
+        return JaggedArray.from_lists([[1, 2, 3], [], [4, 5], [6]])
+
+    def test_int_index_returns_event(self, arr):
+        assert list(arr[0]) == [1, 2, 3]
+        assert list(arr[1]) == []
+        assert list(arr[-1]) == [6]
+
+    def test_out_of_range(self, arr):
+        with pytest.raises(IndexError):
+            arr[4]
+
+    def test_slice(self, arr):
+        sliced = arr[1:3]
+        assert sliced.tolist() == [[], [4, 5]]
+
+    def test_strided_slice(self, arr):
+        assert arr[::2].tolist() == [[1, 2, 3], [4, 5]]
+
+    def test_event_boolean_mask(self, arr):
+        masked = arr[np.array([True, False, True, False])]
+        assert masked.tolist() == [[1, 2, 3], [4, 5]]
+
+    def test_event_integer_index(self, arr):
+        assert arr.select_events([3, 0]).tolist() == [[6], [1, 2, 3]]
+
+    def test_jagged_element_mask(self, arr):
+        mask = arr > 2
+        assert arr[mask].tolist() == [[3], [], [4, 5], [6]]
+
+    def test_mask_structure_mismatch_rejected(self, arr):
+        other = JaggedArray.from_lists([[True], [], [], []])
+        with pytest.raises(ValueError):
+            arr.mask_elements(other)
+
+
+class TestArithmetic:
+    def test_scalar_ops(self):
+        arr = JaggedArray.from_lists([[1.0, 2.0], [3.0]])
+        assert (arr + 1).tolist() == [[2, 3], [4]]
+        assert (arr * 2).tolist() == [[2, 4], [6]]
+        assert (2 * arr).tolist() == [[2, 4], [6]]
+        assert (-arr).tolist() == [[-1, -2], [-3]]
+        assert abs(arr - 2).tolist() == [[1, 0], [1]]
+
+    def test_jagged_jagged_ops(self):
+        a = JaggedArray.from_lists([[1, 2], [3]])
+        b = JaggedArray.from_lists([[10, 20], [30]])
+        assert (a + b).tolist() == [[11, 22], [33]]
+
+    def test_structure_mismatch_rejected(self):
+        a = JaggedArray.from_lists([[1, 2], [3]])
+        b = JaggedArray.from_lists([[1], [2, 3]])
+        with pytest.raises(ValueError):
+            a + b
+
+    def test_per_event_broadcast(self):
+        arr = JaggedArray.from_lists([[1, 2], [3], []])
+        weights = np.array([10.0, 100.0, 5.0])
+        assert (arr * weights).tolist() == [[10, 20], [300], []]
+
+    def test_comparison_produces_jagged_bool(self):
+        arr = JaggedArray.from_lists([[1, 5], [3]])
+        mask = arr >= 3
+        assert isinstance(mask, JaggedArray)
+        assert mask.tolist() == [[False, True], [True]]
+
+    def test_logical_combinators(self):
+        arr = JaggedArray.from_lists([[1, 5, 10]])
+        both = (arr > 2) & (arr < 8)
+        assert both.tolist() == [[False, True, False]]
+        either = (arr < 2) | (arr > 8)
+        assert either.tolist() == [[True, False, True]]
+        neither = ~either
+        assert neither.tolist() == [[False, True, False]]
+
+
+class TestReductions:
+    def test_sum(self):
+        arr = JaggedArray.from_lists([[1.0, 2.0], [], [3.0]])
+        assert list(arr.sum()) == [3, 0, 3]
+
+    def test_max_min_with_empties(self):
+        arr = JaggedArray.from_lists([[1.0, 5.0], [], [-2.0]])
+        assert list(arr.max()) == [5, -np.inf, -2]
+        assert list(arr.min()) == [1, np.inf, -2]
+
+    def test_max_consecutive_empties(self):
+        arr = JaggedArray.from_lists([[], [], [7.0], [], [1.0, 9.0], []])
+        out = arr.max(empty_value=-1.0)
+        assert list(out) == [-1, -1, 7, -1, 9, -1]
+
+    def test_count_nonzero_any_all(self):
+        arr = JaggedArray.from_lists([[1, 0], [0], [], [2, 3]])
+        assert list(arr.count_nonzero()) == [1, 0, 0, 2]
+        assert list(arr.any()) == [True, False, False, True]
+        assert list(arr.all()) == [False, False, True, True]
+
+    def test_first(self):
+        arr = JaggedArray.from_lists([[7.0, 1.0], []])
+        out = arr.first(fill=-1.0)
+        assert list(out) == [7, -1]
+
+    def test_argmax_local(self):
+        arr = JaggedArray.from_lists([[1.0, 9.0, 3.0], [], [5.0]])
+        assert list(arr.argmax_local()) == [1, -1, 0]
+
+
+class TestOrdering:
+    def test_sort_local(self):
+        arr = JaggedArray.from_lists([[3.0, 1.0, 2.0], [5.0, 4.0]])
+        assert arr.sort_local().tolist() == [[1, 2, 3], [4, 5]]
+        assert arr.sort_local(ascending=False).tolist() == [[3, 2, 1], [5, 4]]
+
+    def test_take_local_reorders(self):
+        arr = JaggedArray.from_lists([[10.0, 20.0], [30.0]])
+        idx = JaggedArray.from_lists([[1, 0], [0]])
+        assert arr.take_local(idx).tolist() == [[20, 10], [30]]
+
+    def test_leading(self):
+        arr = JaggedArray.from_lists([[9.0, 8.0, 7.0], [1.0], []])
+        assert arr.leading(2).tolist() == [[9, 8], [1], []]
+
+    def test_leading_zero(self):
+        arr = JaggedArray.from_lists([[1.0]])
+        assert arr.leading(0).tolist() == [[]]
+
+
+class TestCombinations:
+    def test_pairs_simple(self):
+        arr = JaggedArray.from_lists([[10, 20, 30], [40], [50, 60]])
+        event_of, i, j = arr.pair_indices()
+        pairs = sorted(zip(event_of.tolist(),
+                           arr.content[i].tolist(),
+                           arr.content[j].tolist()))
+        assert pairs == [(0, 10, 20), (0, 10, 30), (0, 20, 30), (2, 50, 60)]
+
+    def test_pairs_empty_events(self):
+        arr = JaggedArray.from_lists([[], [1], []])
+        event_of, i, j = arr.pair_indices()
+        assert len(event_of) == 0
+
+    def test_triples(self):
+        arr = JaggedArray.from_lists([[1, 2, 3, 4], [5, 6]])
+        event_of, i, j, k = arr.triple_indices()
+        assert len(event_of) == 4  # C(4,3)
+        assert set(event_of.tolist()) == {0}
+        triples = sorted(zip(arr.content[i], arr.content[j], arr.content[k]))
+        assert triples == [(1, 2, 3), (1, 2, 4), (1, 3, 4), (2, 3, 4)]
+
+    def test_pair_counts_match_formula(self):
+        arr = JaggedArray.from_lists(
+            [list(range(c)) for c in [0, 1, 2, 5, 3]])
+        event_of, _, _ = arr.pair_indices()
+        expected = {2: 1, 3: 10, 4: 3}
+        observed = {}
+        for e in event_of:
+            observed[int(e)] = observed.get(int(e), 0) + 1
+        assert observed == expected
+
+
+class TestProperties:
+    @given(jagged_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_counts_sum_to_size(self, pair):
+        arr, lists = pair
+        assert int(arr.counts.sum()) == arr.size
+
+    @given(jagged_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_tolist_roundtrip(self, pair):
+        arr, lists = pair
+        rebuilt = JaggedArray.from_lists(arr.tolist())
+        assert np.array_equal(rebuilt.offsets, arr.offsets)
+        assert np.allclose(rebuilt.content.astype(float),
+                           arr.content.astype(float))
+
+    @given(jagged_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_matches_python(self, pair):
+        arr, lists = pair
+        expected = [sum(lst) for lst in lists]
+        assert np.allclose(arr.sum(), expected)
+
+    @given(jagged_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_mask_then_counts_consistent(self, pair):
+        arr, lists = pair
+        mask = arr > 0
+        kept = arr[mask]
+        expected = [[v for v in lst if v > 0] for lst in lists]
+        assert kept.tolist() == expected
+
+    @given(jagged_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_sort_preserves_multiset(self, pair):
+        arr, lists = pair
+        sorted_arr = arr.sort_local()
+        for got, lst in zip(sorted_arr.tolist(), lists):
+            assert got == sorted(lst)
+
+    @given(jagged_arrays(max_events=10, max_count=6))
+    @settings(max_examples=40, deadline=None)
+    def test_pair_count_formula(self, pair):
+        arr, lists = pair
+        event_of, i, j = arr.pair_indices()
+        expected = sum(len(lst) * (len(lst) - 1) // 2 for lst in lists)
+        assert len(event_of) == expected
+        # All pairs are within-event and strictly ordered.
+        assert np.all(i < j)

@@ -1,0 +1,116 @@
+"""Unit tests for four-vector kinematics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hep import kinematics as kin
+
+
+finite_pt = st.floats(1.0, 1e3)
+finite_eta = st.floats(-3.0, 3.0)
+finite_phi = st.floats(-np.pi, np.pi)
+finite_mass = st.floats(0.0, 100.0)
+
+
+class TestComponents:
+    def test_px_py_pz_basics(self):
+        assert kin.px(10.0, 0.0) == pytest.approx(10.0)
+        assert kin.py(10.0, np.pi / 2) == pytest.approx(10.0)
+        assert kin.pz(10.0, 0.0) == pytest.approx(0.0)
+
+    def test_energy_massless(self):
+        # eta=0, m=0: E = pt
+        assert kin.energy(50.0, 0.0, 0.0) == pytest.approx(50.0)
+
+    def test_energy_with_mass(self):
+        e = kin.energy(3.0, 0.0, 4.0)
+        assert e == pytest.approx(5.0)
+
+    @given(finite_pt, finite_eta, finite_mass)
+    @settings(max_examples=50, deadline=None)
+    def test_energy_at_least_momentum(self, pt, eta, m):
+        p = pt * np.cosh(eta)
+        assert kin.energy(pt, eta, m) >= p - 1e-9
+
+
+class TestDeltaPhi:
+    def test_wrapping(self):
+        assert kin.delta_phi(np.pi - 0.1, -np.pi + 0.1) == pytest.approx(-0.2)
+        assert kin.delta_phi(0.1, -0.1) == pytest.approx(0.2)
+
+    @given(finite_phi, finite_phi)
+    @settings(max_examples=50, deadline=None)
+    def test_range(self, a, b):
+        d = kin.delta_phi(a, b)
+        assert -np.pi - 1e-12 <= d <= np.pi + 1e-12
+
+    def test_delta_r_pythagorean(self):
+        # d_eta = 3, d_phi = 0.0 -> dR = 3
+        assert kin.delta_r(3.0, 0.5, 0.0, 0.5) == pytest.approx(3.0)
+
+    def test_delta_r_wraps_phi(self):
+        # phi legs on either side of the -pi/pi seam: separation 0.2
+        assert kin.delta_r(0.0, np.pi - 0.1, 0.0,
+                           -np.pi + 0.1) == pytest.approx(0.2)
+
+
+class TestInvariantMass:
+    def test_back_to_back_massless_pair(self):
+        # pt = m/2 each, opposite phi, same eta: mass = m exactly.
+        m = kin.invariant_mass_pairs(
+            62.5, 0.0, 0.0, 0.0,
+            62.5, 0.0, np.pi, 0.0)
+        assert m == pytest.approx(125.0)
+
+    def test_collinear_massless_pair_is_zero(self):
+        m = kin.invariant_mass_pairs(50.0, 1.0, 0.3, 0.0,
+                                     70.0, 1.0, 0.3, 0.0)
+        # catastrophic cancellation limits precision to ~sqrt(eps)*E
+        assert m == pytest.approx(0.0, abs=1e-3)
+
+    def test_vectorised(self):
+        pt = np.array([62.5, 100.0])
+        m = kin.invariant_mass_pairs(pt, 0.0, 0.0, 0.0, pt, 0.0, np.pi, 0.0)
+        assert m == pytest.approx([125.0, 200.0])
+
+    @given(finite_pt, finite_eta, finite_phi, finite_mass,
+           finite_pt, finite_eta, finite_phi, finite_mass)
+    @settings(max_examples=60, deadline=None)
+    def test_mass_at_least_sum_of_masses(self, pt1, eta1, phi1, m1,
+                                         pt2, eta2, phi2, m2):
+        m = kin.invariant_mass_pairs(pt1, eta1, phi1, m1,
+                                     pt2, eta2, phi2, m2)
+        assert m >= (m1 + m2) * (1 - 1e-6) - 1e-6
+
+    def test_symmetric_in_legs(self):
+        a = kin.invariant_mass_pairs(30, 1.0, 0.5, 5, 40, -0.5, 2.0, 10)
+        b = kin.invariant_mass_pairs(40, -0.5, 2.0, 10, 30, 1.0, 0.5, 5)
+        assert a == pytest.approx(b)
+
+
+class TestTriples:
+    def test_triphoton_construction(self):
+        """The exact construction from the dataset generator docstring."""
+        m_a, m_x = 200.0, 1000.0
+        p = m_a / 2.0
+        q = (m_x ** 2 - m_a ** 2) / (2.0 * m_a)
+        pt = [np.array([p]), np.array([p]), np.array([q])]
+        eta = [np.zeros(1)] * 3
+        phi = [np.zeros(1), np.full(1, np.pi), np.full(1, np.pi / 2)]
+        mass = [np.zeros(1)] * 3
+        m3 = kin.invariant_mass_triples(pt, eta, phi, mass)
+        assert m3[0] == pytest.approx(m_x)
+        # and the photon pair reconstructs m_a
+        m2 = kin.invariant_mass_pairs(p, 0, 0, 0, p, 0, np.pi, 0)
+        assert m2 == pytest.approx(m_a)
+
+
+class TestTransverseMass:
+    def test_opposite_legs(self):
+        mt = kin.transverse_mass(50.0, 0.0, 50.0, np.pi)
+        assert mt == pytest.approx(100.0)
+
+    def test_aligned_legs_zero(self):
+        assert kin.transverse_mass(50.0, 1.0, 30.0, 1.0) == pytest.approx(0.0)

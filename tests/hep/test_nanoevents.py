@@ -1,0 +1,98 @@
+"""Unit tests for NanoEvents and the factory."""
+
+import numpy as np
+import pytest
+
+from repro.hep.jagged import JaggedArray
+from repro.hep.nanoevents import NanoEventsFactory
+from repro.hep.records import JaggedRecord
+from repro.hep.root import write_root_file
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    paths = []
+    for i in range(2):
+        path = str(tmp_path / f"file{i}")
+        jets = JaggedArray.from_lists(
+            [[30.0 + i, 20.0], [50.0], [], [40.0, 10.0]])
+        etas = JaggedArray.from_lists([[0.1, 0.2], [0.3], [], [0.4, 0.5]])
+        write_root_file(path, "Events", {
+            "Jet_pt": jets,
+            "Jet_eta": etas,
+            "MET_pt": np.array([5.0, 6.0, 7.0, 8.0]) + i,
+            "MET_phi": np.zeros(4),
+            "genWeight": np.ones(4),
+        }, basket_size=2)
+        paths.append(path + ".npz")
+    return paths
+
+
+class TestFactory:
+    def test_chunks_per_file(self, dataset):
+        chunks = NanoEventsFactory.from_root(dataset, chunks_per_file=2)
+        assert len(chunks) == 4
+        assert all(c.nevents == 2 for c in chunks)
+
+    def test_single_path_accepted(self, dataset):
+        chunks = NanoEventsFactory.from_root(dataset[0])
+        assert len(chunks) == 1
+        assert chunks[0].nevents == 4
+
+    def test_metadata_propagates(self, dataset):
+        chunks = NanoEventsFactory.from_root(
+            dataset, metadata={"dataset": "SingleMu"})
+        assert all(c.metadata["dataset"] == "SingleMu" for c in chunks)
+        events = chunks[0].load()
+        assert events.metadata["dataset"] == "SingleMu"
+
+    def test_chunks_cover_all_entries(self, dataset):
+        chunks = NanoEventsFactory.from_root(dataset, chunks_per_file=2)
+        total = sum(c.nevents for c in chunks)
+        assert total == 8
+
+
+class TestNanoEvents:
+    def test_collections_discovered(self, dataset):
+        events = NanoEventsFactory.from_root(dataset)[0].load()
+        assert events.collections == ["Jet", "MET"]
+
+    def test_jagged_collection_access(self, dataset):
+        events = NanoEventsFactory.from_root(dataset)[0].load()
+        jets = events.Jet
+        assert isinstance(jets, JaggedRecord)
+        assert set(jets.fields) == {"pt", "eta"}
+        assert jets.pt.tolist()[1] == [50.0]
+
+    def test_flat_record_access(self, dataset):
+        events = NanoEventsFactory.from_root(dataset)[0].load()
+        assert list(events.MET.pt) == [5, 6, 7, 8]
+        with pytest.raises(AttributeError):
+            events.MET.nonsense
+
+    def test_scalar_branch_access(self, dataset):
+        events = NanoEventsFactory.from_root(dataset)[0].load()
+        assert list(events.genWeight) == [1, 1, 1, 1]
+
+    def test_unknown_collection(self, dataset):
+        events = NanoEventsFactory.from_root(dataset)[0].load()
+        with pytest.raises(AttributeError):
+            events.Muon
+
+    def test_chunk_restricts_entries(self, dataset):
+        chunk = NanoEventsFactory.from_root(dataset, chunks_per_file=2)[1]
+        events = chunk.load()
+        assert events.nevents == 2
+        assert events.Jet.pt.tolist() == [[], [40.0, 10.0]]
+        assert list(events.MET.pt) == [7, 8]
+
+    def test_column_pruning_tracked(self, dataset):
+        events = NanoEventsFactory.from_root(dataset)[0].load()
+        _ = events.MET.pt
+        assert events.branches_read == ["MET_pt"]
+        _ = events.Jet.pt
+        assert set(events.branches_read) == {"MET_pt", "Jet_pt", "Jet_eta"}
+
+    def test_collection_cached(self, dataset):
+        events = NanoEventsFactory.from_root(dataset)[0].load()
+        assert events.Jet is events.Jet

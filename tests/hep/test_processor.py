@@ -1,0 +1,104 @@
+"""Tests for processors and accumulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hep.hist import Hist
+from repro.hep.nanoevents import NanoEventsFactory
+from repro.hep.processor import ProcessorABC, accumulate, iterative_runner
+from repro.hep.datasets import write_dataset
+
+
+class CountingProcessor(ProcessorABC):
+    """Counts events and histograms MET."""
+
+    def process(self, events):
+        h = Hist.new.Reg(20, 0, 200, name="met").Double()
+        h.fill(met=events.MET.pt)
+        return {"nevents": events.nevents, "met": h,
+                "files": {events.metadata.get("dataset", "?")}}
+
+    def postprocess(self, accumulator):
+        accumulator["done"] = True
+        return accumulator
+
+
+class TestAccumulate:
+    def test_numbers(self):
+        assert accumulate([1, 2, 3]) == 6
+
+    def test_dicts_union(self):
+        out = accumulate([{"a": 1}, {"b": 2}, {"a": 10}])
+        assert out == {"a": 11, "b": 2}
+
+    def test_nested_dicts(self):
+        out = accumulate([{"x": {"y": 1}}, {"x": {"y": 2, "z": 3}}])
+        assert out == {"x": {"y": 3, "z": 3}}
+
+    def test_hists(self):
+        a = Hist.new.Reg(2, 0, 2, name="x").Double().fill(x=[0.5])
+        b = Hist.new.Reg(2, 0, 2, name="x").Double().fill(x=[1.5])
+        merged = accumulate([a, b])
+        assert merged.sum() == 2
+
+    def test_lists_and_sets(self):
+        assert accumulate([[1], [2]]) == [1, 2]
+        assert accumulate([{1}, {2}]) == {1, 2}
+
+    def test_arrays(self):
+        out = accumulate([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        assert list(out) == [4, 6]
+
+    def test_none_identity(self):
+        assert accumulate([None, 5]) == 5
+        assert accumulate([5, None]) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accumulate([])
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            accumulate([{"a": 1}, 5])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            accumulate([object(), object()])
+
+    @given(st.lists(st.integers(-100, 100), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_order_invariance_for_numbers(self, xs):
+        import random
+        shuffled = list(xs)
+        random.Random(0).shuffle(shuffled)
+        assert accumulate(xs) == accumulate(shuffled)
+
+
+class TestIterativeRunner:
+    def test_runs_and_accumulates(self, tmp_path):
+        paths = write_dataset(str(tmp_path), "dv3", 2, 300, seed=11)
+        chunks = NanoEventsFactory.from_root(
+            paths, chunks_per_file=3, metadata={"dataset": "test"})
+        out = iterative_runner(CountingProcessor(), chunks)
+        assert out["nevents"] == 600
+        assert out["met"].sum(flow=True) == 600
+        assert out["files"] == {"test"}
+        assert out["done"] is True
+
+    def test_empty_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            iterative_runner(CountingProcessor(), [])
+
+    def test_chunking_invariance(self, tmp_path):
+        """The accumulated result must not depend on partitioning."""
+        paths = write_dataset(str(tmp_path), "dv3", 2, 200, seed=12)
+        coarse = iterative_runner(
+            CountingProcessor(),
+            NanoEventsFactory.from_root(paths, chunks_per_file=1))
+        fine = iterative_runner(
+            CountingProcessor(),
+            NanoEventsFactory.from_root(paths, chunks_per_file=5))
+        assert coarse["nevents"] == fine["nevents"]
+        assert coarse["met"] == fine["met"]

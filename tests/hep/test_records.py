@@ -1,0 +1,107 @@
+"""Unit tests for JaggedRecord."""
+
+import numpy as np
+import pytest
+
+from repro.hep.jagged import JaggedArray
+from repro.hep.records import JaggedRecord
+
+
+@pytest.fixture
+def jets():
+    return JaggedRecord({
+        "pt": JaggedArray.from_lists([[50.0, 30.0, 10.0], [], [70.0]]),
+        "eta": JaggedArray.from_lists([[0.1, 2.9, -1.0], [], [0.5]]),
+        "btag": JaggedArray.from_lists([[0.9, 0.2, 0.5], [], [0.95]]),
+    })
+
+
+class TestConstruction:
+    def test_fields(self, jets):
+        assert set(jets.fields) == {"pt", "eta", "btag"}
+        assert jets.n_events == 3
+        assert list(jets.counts) == [3, 0, 1]
+
+    def test_structure_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            JaggedRecord({
+                "a": JaggedArray.from_lists([[1.0], []]),
+                "b": JaggedArray.from_lists([[], [1.0]]),
+            })
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            JaggedRecord({})
+
+    def test_non_jagged_rejected(self):
+        with pytest.raises(TypeError):
+            JaggedRecord({"a": np.zeros(3)})
+
+    def test_from_arrays(self):
+        rec = JaggedRecord.from_arrays([2, 1], pt=[1.0, 2.0, 3.0],
+                                       eta=[0.0, 0.1, 0.2])
+        assert rec.pt.tolist() == [[1, 2], [3]]
+
+
+class TestAccess:
+    def test_attribute_and_item(self, jets):
+        assert jets.pt.tolist() == jets["pt"].tolist()
+
+    def test_missing_field(self, jets):
+        with pytest.raises(AttributeError):
+            jets.mass
+
+    def test_with_field(self, jets):
+        extended = jets.with_field(
+            "pt2", jets.pt * 2)
+        assert extended.pt2.tolist()[0] == [100, 60, 20]
+        # original untouched
+        assert "pt2" not in jets.fields
+
+    def test_with_field_structure_checked(self, jets):
+        with pytest.raises(ValueError):
+            jets.with_field("x", JaggedArray.from_lists([[1.0]]))
+
+
+class TestSelection:
+    def test_mask_elements_applies_to_all_fields(self, jets):
+        good = jets[jets.pt > 20]
+        assert good.pt.tolist() == [[50, 30], [], [70]]
+        assert good.eta.tolist() == [[0.1, 2.9], [], [0.5]]
+
+    def test_select_events(self, jets):
+        sub = jets.select_events([2, 0])
+        assert sub.pt.tolist() == [[70], [50, 30, 10]]
+
+    def test_event_slice(self, jets):
+        assert jets[0:2].pt.tolist() == [[50, 30, 10], []]
+
+    def test_sort_by_descending_default(self):
+        rec = JaggedRecord({
+            "pt": JaggedArray.from_lists([[10.0, 50.0, 30.0]]),
+            "idx": JaggedArray.from_lists([[0, 1, 2]]),
+        })
+        by_pt = rec.sort_by("pt")
+        assert by_pt.pt.tolist() == [[50, 30, 10]]
+        assert by_pt.idx.tolist() == [[1, 2, 0]]
+
+    def test_leading(self, jets):
+        top = jets.sort_by("pt").leading(2)
+        assert top.pt.tolist() == [[50, 30], [], [70]]
+
+
+class TestCombinatorics:
+    def test_pairs(self, jets):
+        event_of, first, second = jets.pairs(["pt"])
+        assert list(event_of) == [0, 0, 0]
+        got = sorted(zip(first["pt"], second["pt"]))
+        assert got == [(30, 10), (50, 30), (50, 10)] or got == sorted(
+            [(50, 30), (50, 10), (30, 10)])
+
+    def test_triples(self):
+        rec = JaggedRecord({
+            "pt": JaggedArray.from_lists([[1.0, 2.0, 3.0], [4.0]]),
+        })
+        event_of, a, b, c = rec.triples(["pt"])
+        assert list(event_of) == [0]
+        assert (a["pt"][0], b["pt"][0], c["pt"][0]) == (1, 2, 3)

@@ -1,0 +1,105 @@
+"""Tests for the skimming layer."""
+
+import numpy as np
+import pytest
+
+from repro.hep.datasets import write_dataset
+from repro.hep.nanoevents import NanoEventsFactory
+from repro.hep.skim import SkimStats, skim_chunk, skim_dataset
+
+
+@pytest.fixture(scope="module")
+def chunks(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("skim-in")
+    paths = write_dataset(str(directory), "dv3", n_files=2,
+                          events_per_file=1_000, seed=5,
+                          basket_size=250)
+    return NanoEventsFactory.from_root(paths, chunks_per_file=2)
+
+
+def high_met(events):
+    return events.MET.pt > 50.0
+
+
+class TestSkimChunk:
+    def test_selection_applied(self, chunks, tmp_path):
+        out = str(tmp_path / "out")
+        stats = skim_chunk(chunks[0], high_met, out)
+        assert 0 < stats.events_out < stats.events_in
+        skimmed = NanoEventsFactory.from_root(out + ".npz")[0].load()
+        assert skimmed.nevents == stats.events_out
+        assert (skimmed.MET.pt > 50.0).all()
+
+    def test_jagged_branches_survive(self, chunks, tmp_path):
+        out = str(tmp_path / "out")
+        skim_chunk(chunks[0], high_met, out)
+        skimmed = NanoEventsFactory.from_root(out + ".npz")[0].load()
+        assert "Jet" in skimmed.collections
+        # jets of the kept events match the original
+        original = chunks[0].load()
+        keep = np.nonzero(high_met(original))[0]
+        assert (skimmed.Jet.pt.tolist()
+                == original.Jet.pt.select_events(keep).tolist())
+
+    def test_column_pruning(self, chunks, tmp_path):
+        out = str(tmp_path / "out")
+        skim_chunk(chunks[0], high_met, out,
+                   branches=["MET_pt", "Jet_pt"])
+        from repro.hep.root import ROOTFile
+
+        f = ROOTFile(out + ".npz")
+        assert "MET_phi" not in f.branch_names
+        assert "Jet_eta" not in f.branch_names
+        assert "Jet_pt" in f.branch_names
+
+    def test_empty_selection_writes_nothing(self, chunks, tmp_path):
+        out = str(tmp_path / "none")
+        stats = skim_chunk(chunks[0], lambda e: e.MET.pt > 1e12, out)
+        assert stats.events_out == 0
+        import os
+
+        assert not os.path.exists(out + ".npz")
+
+    def test_bad_selection_shape_rejected(self, chunks, tmp_path):
+        with pytest.raises(ValueError, match="shape"):
+            skim_chunk(chunks[0], lambda e: np.array([True]),
+                       str(tmp_path / "bad"))
+
+
+class TestSkimDataset:
+    def test_all_chunks_processed(self, chunks, tmp_path):
+        paths, stats = skim_dataset(chunks, high_met,
+                                    str(tmp_path / "skim"))
+        assert stats.events_in == sum(c.nevents for c in chunks)
+        assert len(paths) >= 1
+        assert 0 < stats.efficiency < 1
+        assert stats.size_reduction > 0
+
+    def test_skim_then_analyse(self, chunks, tmp_path):
+        """A skimmed dataset produces the same selected physics."""
+        from repro.apps import DV3Processor
+        from repro.hep.processor import iterative_runner
+
+        paths, _ = skim_dataset(chunks, high_met,
+                                str(tmp_path / "skim2"))
+        skim_chunks = NanoEventsFactory.from_root(paths)
+        out = iterative_runner(DV3Processor(), skim_chunks)
+        # every event in the skim passes the MET cut, so the MET
+        # histogram is empty below 50 GeV
+        hist = out["met"]
+        centers = hist.axes[0].centers
+        assert hist.values()[centers < 50].sum() == 0
+
+
+class TestSkimStats:
+    def test_accumulation(self):
+        a = SkimStats(100, 10, 1000, 100)
+        b = SkimStats(200, 50, 2000, 400)
+        total = sum([a, b])
+        assert total.events_in == 300
+        assert total.events_out == 60
+        assert total.efficiency == pytest.approx(0.2)
+
+    def test_empty_efficiency(self):
+        assert SkimStats().efficiency == 0.0
+        assert SkimStats().size_reduction == 0.0

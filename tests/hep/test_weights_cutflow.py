@@ -1,0 +1,175 @@
+"""Tests for event weights and structured cutflows."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hep.cutflow import Cutflow
+from repro.hep.processor import accumulate
+from repro.hep.weights import Weights
+
+
+class TestWeights:
+    def test_starts_at_unity(self):
+        w = Weights(4)
+        assert list(w.weight()) == [1, 1, 1, 1]
+
+    def test_product_of_corrections(self):
+        w = Weights(3)
+        w.add("gen", [2.0, 2.0, 2.0])
+        w.add("pu", [0.5, 1.0, 1.5])
+        assert list(w.weight()) == [1.0, 2.0, 3.0]
+
+    def test_scalar_broadcast(self):
+        w = Weights(3)
+        w.add("lumi", 2.0)
+        assert list(w.weight()) == [2, 2, 2]
+
+    def test_variations(self):
+        w = Weights(2)
+        w.add("pu", [1.0, 1.0], up=[1.2, 1.2], down=[0.8, 0.8])
+        assert w.variations == ["puDown", "puUp"]
+        assert list(w.weight("puUp")) == pytest.approx([1.2, 1.2])
+        assert list(w.weight("puDown")) == pytest.approx([0.8, 0.8])
+
+    def test_variation_tracks_later_corrections(self):
+        w = Weights(2)
+        w.add("pu", [1.0, 1.0], up=[1.5, 1.5])
+        w.add("trig", [2.0, 2.0])
+        # the puUp weight must include the trigger correction
+        assert list(w.weight("puUp")) == pytest.approx([3.0, 3.0])
+        assert list(w.weight()) == pytest.approx([2.0, 2.0])
+
+    def test_unknown_variation(self):
+        w = Weights(1)
+        with pytest.raises(KeyError, match="no variation"):
+            w.weight("jesUp")
+
+    def test_non_finite_rejected(self):
+        w = Weights(2)
+        with pytest.raises(ValueError):
+            w.add("bad", [1.0, np.nan])
+
+    def test_negative_events_rejected(self):
+        with pytest.raises(ValueError):
+            Weights(-1)
+
+    @given(st.lists(st.floats(0.1, 3.0), min_size=1, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_order_independent_product(self, factors):
+        n = 4
+        a = Weights(n)
+        b = Weights(n)
+        for i, f in enumerate(factors):
+            a.add(f"c{i}", np.full(n, f))
+        for i, f in reversed(list(enumerate(factors))):
+            b.add(f"c{i}", np.full(n, f))
+        assert np.allclose(a.weight(), b.weight())
+
+
+class TestCutflow:
+    def test_fill_with_booleans(self):
+        flow = Cutflow()
+        mask = np.array([True, True, False, True])
+        flow.fill("trigger", mask)
+        assert flow.count("trigger") == 3
+
+    def test_fill_with_weights(self):
+        flow = Cutflow()
+        flow.fill("sel", np.array([True, False]),
+                  weights=np.array([2.0, 5.0]))
+        assert flow.count("sel") == 1
+        assert flow.weighted("sel") == 2.0
+
+    def test_fill_with_counts(self):
+        flow = Cutflow()
+        flow.fill("all", 100)
+        assert flow.count("all") == 100
+
+    def test_efficiency_vs_first_stage(self):
+        flow = Cutflow()
+        flow.fill("all", 100)
+        flow.fill("sel", 25)
+        assert flow.efficiency("sel") == 0.25
+        assert flow.efficiency("sel", relative_to="sel") == 1.0
+
+    def test_stage_order_preserved(self):
+        flow = Cutflow()
+        for name in ("a", "b", "c"):
+            flow.fill(name, 1)
+        assert flow.stages == ["a", "b", "c"]
+
+    def test_merge_adds_counts(self):
+        a = Cutflow()
+        a.fill("all", 10)
+        a.fill("sel", 5)
+        b = Cutflow()
+        b.fill("all", 20)
+        b.fill("sel", 3)
+        merged = a + b
+        assert merged.count("all") == 30
+        assert merged.count("sel") == 8
+        # operands untouched
+        assert a.count("all") == 10
+
+    def test_merge_union_of_stages(self):
+        a = Cutflow()
+        a.fill("x", 1)
+        b = Cutflow()
+        b.fill("y", 2)
+        merged = a + b
+        assert merged.stages == ["x", "y"]
+
+    def test_sum_builtin(self):
+        flows = []
+        for _ in range(3):
+            f = Cutflow()
+            f.fill("all", 5)
+            flows.append(f)
+        assert sum(flows).count("all") == 15
+
+    def test_accumulate_integration(self):
+        a = {"cutflow": Cutflow()}
+        a["cutflow"].fill("all", 7)
+        b = {"cutflow": Cutflow()}
+        b["cutflow"].fill("all", 3)
+        merged = accumulate([a, b])
+        assert merged["cutflow"].count("all") == 10
+
+    def test_equality(self):
+        a = Cutflow()
+        a.fill("s", 1)
+        b = Cutflow()
+        b.fill("s", 1)
+        assert a == b
+        b.fill("s", 1)
+        assert a != b
+
+    def test_to_table(self):
+        flow = Cutflow()
+        flow.fill("all", 100)
+        flow.fill("sel", 40)
+        table = flow.to_table()
+        assert "all" in table and "40" in table and "%" in table
+
+    def test_merge_type_error(self):
+        with pytest.raises(TypeError):
+            Cutflow() + "nope"
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_associative(self, counts):
+        def make(c):
+            f = Cutflow()
+            f.fill("stage", c)
+            return f
+
+        flows = [make(c) for c in counts]
+        left = flows[0]
+        for f in flows[1:]:
+            left = left + f
+        right = flows[-1]
+        for f in reversed(flows[:-1]):
+            right = f + right
+        assert left == right

@@ -1,0 +1,125 @@
+"""Unit tests for the cluster / batch-system model."""
+
+import pytest
+
+from repro.sim.cluster import CAMPUS_WORKER, Cluster, NodeSpec
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.storage import GB
+from repro.sim.trace import TraceRecorder
+
+
+def make_cluster(**kwargs):
+    sim = Simulation()
+    trace = TraceRecorder()
+    net = Network(sim, trace, latency=0.0)
+    cluster = Cluster(sim, net, trace, RngRegistry(seed=7), **kwargs)
+    return sim, net, trace, cluster
+
+
+class TestProvisioning:
+    def test_manager_is_node_zero(self):
+        _, net, _, _ = make_cluster()
+        assert Cluster.MANAGER_NODE in net.pipes
+        assert Cluster.MANAGER_NODE == 0
+
+    def test_provision_assigns_sequential_ids(self):
+        _, _, _, cluster = make_cluster()
+        nodes = cluster.provision(5)
+        assert [n.node_id for n in nodes] == [1, 2, 3, 4, 5]
+
+    def test_workers_registered_on_network(self):
+        _, net, _, cluster = make_cluster()
+        cluster.provision(3)
+        assert set(net.pipes) == {0, 1, 2, 3}
+
+    def test_spawn_events_traced(self):
+        _, _, trace, cluster = make_cluster()
+        cluster.provision(4)
+        spawns = [e for e in trace.worker_events if e.kind == "spawn"]
+        assert len(spawns) == 4
+
+    def test_total_cores(self):
+        _, _, _, cluster = make_cluster()
+        cluster.provision(10, NodeSpec(cores=12))
+        assert cluster.total_cores() == 120
+
+    def test_campus_spec_matches_paper(self):
+        # Section IV: 12-core workers, 96 GB RAM, 108 GB disk.
+        assert CAMPUS_WORKER.cores == 12
+        assert CAMPUS_WORKER.ram == pytest.approx(96 * GB)
+        assert CAMPUS_WORKER.disk == pytest.approx(108 * GB)
+
+    def test_heterogeneity_varies_speed(self):
+        _, _, _, cluster = make_cluster(heterogeneity=0.3)
+        nodes = cluster.provision(20)
+        speeds = {n.spec.speed_factor for n in nodes}
+        assert len(speeds) > 1
+
+    def test_homogeneous_by_default(self):
+        _, _, _, cluster = make_cluster()
+        nodes = cluster.provision(5)
+        assert all(n.spec.speed_factor == 1.0 for n in nodes)
+
+    def test_startup_delay_defers_alive(self):
+        sim, _, _, cluster = make_cluster(worker_startup_delay=10.0)
+        nodes = cluster.provision(5)
+        assert not any(n.alive for n in nodes)
+        sim.run()
+        assert all(n.alive for n in nodes)
+        assert sim.now > 0
+
+    def test_scale_runtime_uses_speed_factor(self):
+        _, _, _, cluster = make_cluster()
+        node = cluster.provision(1, NodeSpec(speed_factor=2.0))[0]
+        assert node.scale_runtime(10.0) == pytest.approx(5.0)
+
+
+class TestPreemption:
+    def test_preemption_notifies_handler_and_removes_node(self):
+        sim, net, trace, cluster = make_cluster(preemption_rate=0.01)
+        nodes = cluster.provision(20)
+        lost = []
+        cluster.on_preemption(lambda node: lost.append(node.node_id))
+        sim.run(until=10000)
+        assert lost, "with rate 0.01/s over 10000 s, preemptions expected"
+        for node_id in lost:
+            assert not cluster.workers[node_id].alive
+            assert node_id not in net.pipes
+        preempt_events = [e for e in trace.worker_events
+                          if e.kind == "preempt"]
+        assert len(preempt_events) == len(lost)
+
+    def test_no_preemption_when_rate_zero(self):
+        sim, _, _, cluster = make_cluster(preemption_rate=0.0)
+        cluster.provision(10)
+        sim.run(until=100000)
+        assert len(cluster.alive_workers()) == 10
+
+    def test_manual_preempt_idempotent(self):
+        sim, _, trace, cluster = make_cluster()
+        node = cluster.provision(1)[0]
+        cluster.preempt(node)
+        cluster.preempt(node)  # second call is a no-op
+        assert len([e for e in trace.worker_events
+                    if e.kind == "preempt"]) == 1
+
+    def test_alive_workers_excludes_preempted(self):
+        sim, _, _, cluster = make_cluster()
+        nodes = cluster.provision(5)
+        cluster.preempt(nodes[2])
+        alive_ids = [w.node_id for w in cluster.alive_workers()]
+        assert alive_ids == [1, 2, 4, 5]
+
+
+class TestDeterminism:
+    def test_same_seed_same_preemptions(self):
+        def run():
+            sim, _, trace, cluster = make_cluster(preemption_rate=0.001)
+            cluster.provision(50)
+            sim.run(until=5000)
+            return [(e.worker, e.t) for e in trace.worker_events
+                    if e.kind == "preempt"]
+
+        assert run() == run()

@@ -1,0 +1,49 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        reg = RngRegistry(1)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_same_seed_reproduces_draws(self):
+        first = RngRegistry(42).stream("tasks").random(5)
+        second = RngRegistry(42).stream("tasks").random(5)
+        assert (first == second).all()
+
+    def test_different_names_independent(self):
+        reg = RngRegistry(42)
+        a = reg.stream("a").random(5)
+        b = reg.stream("b").random(5)
+        assert (a != b).any()
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random(5)
+        b = RngRegistry(2).stream("x").random(5)
+        assert (a != b).any()
+
+    def test_new_stream_does_not_perturb_existing(self):
+        reg1 = RngRegistry(7)
+        first_half = reg1.stream("main").random(3)
+        reg1.stream("other")  # new consumer appears mid-run
+        second_half = reg1.stream("main").random(3)
+
+        reg2 = RngRegistry(7)
+        expected = reg2.stream("main").random(6)
+        assert (list(first_half) + list(second_half)
+                == list(expected))
+
+    def test_spawn_namespaces_children(self):
+        parent = RngRegistry(9)
+        child_a = parent.spawn("a")
+        child_b = parent.spawn("b")
+        assert child_a.seed != child_b.seed
+        assert (child_a.stream("x").random(3)
+                != child_b.stream("x").random(3)).any()
+
+    def test_spawn_deterministic(self):
+        a = RngRegistry(9).spawn("child").stream("s").random(4)
+        b = RngRegistry(9).spawn("child").stream("s").random(4)
+        assert (a == b).all()

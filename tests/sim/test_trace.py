@@ -1,0 +1,149 @@
+"""Unit tests for trace recording and figure-level aggregations."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import (
+    TaskRecord,
+    TraceRecorder,
+    TransferRecord,
+    step_series,
+)
+
+
+def record(trace, task_id, worker, ready, dispatch, start, end,
+           category="proc", ok=True):
+    trace.task(TaskRecord(task_id=task_id, category=category, worker=worker,
+                          t_ready=ready, t_dispatch=dispatch,
+                          t_start=start, t_end=end, ok=ok))
+
+
+class TestStepSeries:
+    def test_empty(self):
+        ts, levels = step_series([], [])
+        assert list(ts) == [0.0]
+        assert list(levels) == [0.0]
+
+    def test_basic_cumsum(self):
+        ts, levels = step_series([1, 3, 5], [1, 1, -2])
+        assert list(ts) == [1, 3, 5]
+        assert list(levels) == [1, 2, 0]
+
+    def test_merges_identical_times(self):
+        ts, levels = step_series([2, 2, 2], [1, 1, 1])
+        assert list(ts) == [2]
+        assert list(levels) == [3]
+
+    def test_unsorted_input(self):
+        ts, levels = step_series([5, 1, 3], [-2, 1, 1])
+        assert list(levels) == [1, 2, 0]
+
+    def test_extends_to_t_end(self):
+        ts, levels = step_series([1], [1], t_end=10)
+        assert ts[-1] == 10
+        assert levels[-1] == 1
+
+
+class TestTaskAggregations:
+    def test_durations_by_category(self):
+        trace = TraceRecorder()
+        record(trace, 1, 1, 0, 0, 1, 4, category="proc")
+        record(trace, 2, 2, 0, 0, 1, 2, category="accum")
+        assert list(trace.task_durations("proc")) == [3]
+        assert list(trace.task_durations("accum")) == [1]
+        assert sorted(trace.task_durations()) == [1, 3]
+
+    def test_failed_tasks_excluded_by_default(self):
+        trace = TraceRecorder()
+        record(trace, 1, 1, 0, 0, 0, 5, ok=False)
+        assert len(trace.task_durations()) == 0
+        assert len(trace.task_durations(ok_only=False)) == 1
+
+    def test_makespan_tracks_latest_end(self):
+        trace = TraceRecorder()
+        record(trace, 1, 1, 0, 0, 0, 5)
+        record(trace, 2, 1, 0, 0, 2, 17)
+        assert trace.makespan == 17
+
+    def test_concurrency_series(self):
+        trace = TraceRecorder()
+        record(trace, 1, 1, 0, 0, 0, 10)
+        record(trace, 2, 2, 0, 0, 5, 15)
+        ts, levels = trace.concurrency_series()
+        sampled = trace.sample_series(ts, levels, [1, 7, 12, 20])
+        assert list(sampled) == [1, 2, 1, 0]
+
+    def test_waiting_series(self):
+        trace = TraceRecorder()
+        # ready at 0, starts at 5
+        record(trace, 1, 1, 0, 1, 5, 10)
+        ts, levels = trace.waiting_series()
+        sampled = trace.sample_series(ts, levels, [2, 6])
+        assert list(sampled) == [1, 0]
+
+    def test_gantt_rows_sorted(self):
+        trace = TraceRecorder()
+        record(trace, 1, 3, 0, 0, 5, 6)
+        record(trace, 2, 3, 0, 0, 1, 2)
+        rows = trace.gantt()
+        assert rows[3] == [(1, 2), (5, 6)]
+
+    def test_utilization(self):
+        trace = TraceRecorder()
+        record(trace, 1, 1, 0, 0, 0, 10)  # one slot busy 10 of 10s
+        assert trace.utilization(n_slots=2) == pytest.approx(0.5)
+
+    def test_summary_keys(self):
+        trace = TraceRecorder()
+        record(trace, 1, 1, 0, 0, 0, 4)
+        summary = trace.summary()
+        assert summary["tasks"] == 1
+        assert summary["makespan"] == 4
+        assert summary["mean_exec"] == 4
+
+
+class TestTransferAggregations:
+    def test_matrix_shape_and_sum(self):
+        trace = TraceRecorder()
+        trace.transfer(TransferRecord(0, 1, 100, 0, 1))
+        trace.transfer(TransferRecord(1, 2, 50, 0, 1, kind="peer"))
+        mat = trace.transfer_matrix(3)
+        assert mat.shape == (3, 3)
+        assert mat.sum() == 150
+
+    def test_matrix_kind_filter(self):
+        trace = TraceRecorder()
+        trace.transfer(TransferRecord(0, 1, 100, 0, 1, kind="data"))
+        trace.transfer(TransferRecord(0, 1, 7, 0, 1, kind="task"))
+        assert trace.transfer_matrix(2, kinds=["task"]).sum() == 7
+
+    def test_negative_pseudonodes_skipped(self):
+        trace = TraceRecorder()
+        trace.transfer(TransferRecord(-1, 1, 100, 0, 1))
+        assert trace.transfer_matrix(2).sum() == 0
+
+
+class TestCacheAggregations:
+    def test_cache_series_per_worker(self):
+        trace = TraceRecorder()
+        trace.cache(1, 0.0, 100)
+        trace.cache(1, 5.0, -40)
+        trace.cache(2, 1.0, 7)
+        ts, levels = trace.cache_series(1)
+        assert list(levels)[:2] == [100, 60]
+
+    def test_peak_cache(self):
+        trace = TraceRecorder()
+        trace.cache(1, 0, 100)
+        trace.cache(1, 1, 200)
+        trace.cache(1, 2, -250)
+        trace.cache(2, 0, 10)
+        peaks = trace.peak_cache()
+        assert peaks[1] == 300
+        assert peaks[2] == 10
+
+    def test_failures_listed(self):
+        trace = TraceRecorder()
+        trace.worker(3, 10.0, "preempt")
+        trace.worker(4, 11.0, "spawn")
+        assert [e.worker for e in trace.failures()] == [3]

@@ -1,0 +1,74 @@
+"""Tests for ASCII trace visualisation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.viz import render_gantt, render_heatmap, render_timeline
+
+
+class TestHeatmap:
+    def test_small_matrix(self):
+        mat = np.array([[0.0, 10.0], [0.0, 0.0]])
+        out = render_heatmap(mat, title="T")
+        assert out.startswith("T")
+        lines = out.splitlines()
+        assert len(lines) == 4  # title + header + 2 rows
+        # the hot cell is the densest shade, zeros are blank
+        assert "@" in lines[2]
+        assert lines[3].strip() == ""
+
+    def test_downsampling(self):
+        mat = np.zeros((100, 100))
+        mat[0, 99] = 5.0
+        out = render_heatmap(mat, max_cells=10)
+        body = out.splitlines()[1:]  # drop the src\dst header
+        assert len(body) == 10
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            render_heatmap(np.zeros((2, 3)))
+
+    def test_all_zero(self):
+        out = render_heatmap(np.zeros((3, 3)))
+        assert "@" not in out
+
+
+class TestTimeline:
+    def test_shape(self):
+        ts = np.array([0.0, 5.0, 10.0])
+        values = np.array([0.0, 10.0, 0.0])
+        out = render_timeline(ts, values, width=20, height=5,
+                              title="conc")
+        lines = out.splitlines()
+        assert lines[0] == "conc"
+        assert any("#" in line for line in lines)
+
+    def test_empty(self):
+        out = render_timeline([], [], title="x")
+        assert "(empty)" in out
+
+    def test_peak_visible_at_top(self):
+        ts = np.array([0.0, 1.0, 2.0, 3.0])
+        values = np.array([1.0, 5.0, 10.0, 10.0])
+        out = render_timeline(ts, values, width=20, height=4)
+        top_row = out.splitlines()[0]
+        assert "#" in top_row
+
+
+class TestGantt:
+    def test_rows_rendered(self):
+        rows = {1: [(0.0, 5.0)], 2: [(5.0, 10.0)]}
+        out = render_gantt(rows, width=20, title="g")
+        lines = out.splitlines()
+        assert lines[0] == "g"
+        assert lines[1].startswith("  w1")
+        # worker 1 busy early, worker 2 late
+        assert lines[1].index("#") < lines[2].index("#")
+
+    def test_sampling_many_workers(self):
+        rows = {i: [(0.0, 1.0)] for i in range(100)}
+        out = render_gantt(rows, max_rows=10)
+        assert len(out.splitlines()) == 11  # 10 rows + footer
+
+    def test_empty(self):
+        assert "(no tasks)" in render_gantt({}, title="x")

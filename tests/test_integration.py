@@ -1,0 +1,125 @@
+"""Cross-layer integration tests.
+
+These exercise the whole stack end to end:
+
+* real world: dataset generation -> NanoEvents -> analysis graph ->
+  serverless execution -> physics result;
+* simulated world: workload -> cluster -> scheduler -> trace, under
+  preemption;
+* and agreement between execution paradigms.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import DV3Processor, TriPhotonProcessor
+from repro.bench import calibration as cal
+from repro.bench.runners import build_environment, run_scheduler
+from repro.bench.workloads import build_workflow
+from repro.dag import DaskVine, build_analysis_graph
+from repro.hep import HIGGS_MASS, NanoEventsFactory, write_dataset
+from repro.hep.processor import iterative_runner
+from repro.hep.datasets import TABLE2
+
+
+@pytest.fixture(scope="module")
+def dv3_chunks(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("integration")
+    paths = write_dataset(str(directory), "dv3", n_files=3,
+                          events_per_file=2_000, seed=99,
+                          basket_size=500, signal_fraction=0.2)
+    return NanoEventsFactory.from_root(paths, chunks_per_file=4)
+
+
+class TestRealEndToEnd:
+    def test_serverless_pipeline_finds_higgs(self, dv3_chunks):
+        graph = build_analysis_graph(DV3Processor(), dv3_chunks,
+                                     reduction_arity=3)
+        result = DaskVine(cores=3).compute(
+            graph, task_mode="function-calls",
+            lib_resources={"slots": 3}, import_modules=["numpy"])
+        assert abs(result["higgs_peak_gev"] - HIGGS_MASS) < 20
+
+    def test_all_paradigms_agree(self, dv3_chunks):
+        processor = DV3Processor()
+        reference = iterative_runner(processor, list(dv3_chunks))
+        graph = build_analysis_graph(processor, dv3_chunks,
+                                     reduction_arity=4)
+        manager = DaskVine(cores=2)
+        serial = manager.compute(graph, task_mode="serial")
+        serverless = manager.compute(graph, task_mode="function-calls",
+                                     lib_resources={"slots": 2})
+        for result in (serial, serverless):
+            assert result["dijet_mass"] == reference["dijet_mass"]
+            assert result["cutflow"] == reference["cutflow"]
+
+    def test_reduction_rewrite_preserves_physics(self, dv3_chunks):
+        processor = DV3Processor()
+        flat_graph = build_analysis_graph(processor, dv3_chunks,
+                                          reduction_arity=None)
+        manager = DaskVine()
+        flat = manager.compute(flat_graph, task_mode="serial")
+        rewritten = manager.compute(flat_graph, task_mode="serial",
+                                    reduction_arity=2)
+        assert flat["dijet_mass"] == rewritten["dijet_mass"]
+
+
+class TestSimulatedEndToEnd:
+    def test_taskvine_under_preemption_completes(self):
+        spec = dataclasses.replace(TABLE2["DV3-Small"], name="it",
+                                   n_tasks=300)
+        env = build_environment(10, seed=4, preemption_rate=5e-3)
+        workflow = build_workflow(spec, arity=8, seed=4)
+        result = run_scheduler(env, workflow, "taskvine",
+                               cal.TASKVINE_FUNCTIONS_CONFIG)
+        assert result.completed
+        assert len(env.trace.failures()) > 0, \
+            "rate 2e-4/s should preempt someone"
+
+    def test_trace_consistency(self):
+        """Conservation laws of a completed run."""
+        spec = dataclasses.replace(TABLE2["DV3-Small"], name="it2",
+                                   n_tasks=200)
+        env = build_environment(5, seed=6, preemption_rate=0.0)
+        workflow = build_workflow(spec, arity=4, seed=6)
+        result = run_scheduler(env, workflow, "taskvine",
+                               cal.TASKVINE_FUNCTIONS_CONFIG)
+        assert result.completed
+        ok_records = [r for r in env.trace.tasks if r.ok]
+        # exactly one successful record per task
+        assert len(ok_records) == len(workflow)
+        # time ordering within each record
+        for r in ok_records:
+            assert r.t_ready <= r.t_dispatch <= r.t_start <= r.t_end
+        # concurrency never exceeds total cores
+        _, levels = env.trace.concurrency_series()
+        assert levels.max() <= env.total_cores
+        # all input bytes were read from shared storage exactly once
+        assert env.storage.bytes_read == pytest.approx(
+            workflow.total_input_bytes())
+
+    def test_schedulers_rank_as_in_paper(self):
+        """WQ slowest, TaskVine tasks middle, serverless fastest."""
+        spec = dataclasses.replace(TABLE2["DV3-Large"], name="rank",
+                                   n_tasks=600, input_bytes=40e9)
+        times = {}
+        from repro.bench.stacks import run_stack
+        for stack in (2, 3, 4):
+            times[stack] = run_stack(stack, spec=spec, n_workers=8,
+                                     seed=9).makespan
+        assert times[4] < times[3] < times[2]
+
+    def test_triphoton_workflow_on_cluster(self):
+        spec = dataclasses.replace(TABLE2["RS-TriPhoton"], name="3g-it",
+                                   n_tasks=200, input_bytes=25e9,
+                                   intermediate_bytes_per_task=200e6)
+        env = build_environment(
+            6, node=cal.campus_node(disk=spec.worker_disk), seed=8)
+        workflow = build_workflow(spec, arity=8, n_datasets=4, seed=8)
+        result = run_scheduler(env, workflow, "taskvine",
+                               cal.TASKVINE_FUNCTIONS_CONFIG)
+        assert result.completed
+        peers = [t for t in env.trace.transfers if t.kind == "peer"]
+        assert peers, "tree reduction should move partials via peers"

@@ -1,0 +1,96 @@
+"""Tests for the Work Queue baseline: all data through the manager."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")  # reuse the core test harness
+
+from repro.core.config import SchedulerConfig, TASK_MODE_TASKS
+from repro.core.manager import MANAGER_NODE, TaskVineManager
+from repro.sim.cluster import NodeSpec
+from repro.sim.storage import MB
+from repro.workqueue import WORK_QUEUE_CONFIG, WorkQueueManager
+
+from tests.core.conftest import Env, make_env, map_reduce_workflow
+
+FAST_WQ = SchedulerConfig(
+    mode=TASK_MODE_TASKS, hoisting=False,
+    dispatch_overhead=0.002, collect_overhead=0.001,
+    task_startup=0.1, import_cost=0.05,
+    peer_transfers=False, locality_scheduling=False,
+    results_to_manager=True, inputs_via_manager=True)
+
+
+def run_wq(env, workflow, config=FAST_WQ):
+    manager = WorkQueueManager(env.sim, env.cluster, env.storage,
+                               workflow, config=config, trace=env.trace)
+    return manager.run(limit=1e6), manager
+
+
+class TestWorkQueueExecution:
+    def test_completes(self, ):
+        env = make_env(n_workers=3)
+        wf = map_reduce_workflow(n_proc=6)
+        result, _ = run_wq(env, wf)
+        assert result.completed
+        assert result.tasks_done == 7
+
+    def test_default_config_is_manager_centric(self):
+        assert WORK_QUEUE_CONFIG.results_to_manager
+        assert WORK_QUEUE_CONFIG.inputs_via_manager
+        assert not WORK_QUEUE_CONFIG.peer_transfers
+        assert WORK_QUEUE_CONFIG.mode == TASK_MODE_TASKS
+
+    def test_all_worker_traffic_touches_manager(self):
+        """The Fig 7 (left) shape: node pairs (i, j) with i, j != 0
+        exchange nothing."""
+        env = make_env(n_workers=4)
+        wf = map_reduce_workflow(n_proc=8)
+        result, _ = run_wq(env, wf)
+        assert result.completed
+        n_nodes = 5  # manager + 4 workers
+        mat = env.trace.transfer_matrix(n_nodes)
+        for i in range(1, n_nodes):
+            for j in range(1, n_nodes):
+                assert mat[i, j] == 0, (
+                    f"workers {i}->{j} exchanged data directly")
+        # and the manager column/row is hot
+        assert mat[0, 1:].sum() > 0
+        assert mat[1:, 0].sum() > 0
+
+    def test_inputs_staged_to_manager_once(self):
+        env = make_env(n_workers=2)
+        wf = map_reduce_workflow(n_proc=4, chunk=50 * MB)
+        result, manager = run_wq(env, wf)
+        assert result.completed
+        # manager read each chunk exactly once from the filesystem
+        assert env.storage.bytes_read == pytest.approx(4 * 50 * MB)
+        assert manager.manager_bytes == pytest.approx(4 * 50 * MB)
+
+    def test_results_return_to_manager(self):
+        env = make_env(n_workers=2)
+        wf = map_reduce_workflow(n_proc=4, partial=5 * MB)
+        result, manager = run_wq(env, wf)
+        assert result.completed
+        for i in range(4):
+            assert MANAGER_NODE in manager.replicas.locations(
+                f"partial-{i}")
+
+    def test_slower_than_taskvine_on_data_heavy_workflow(self):
+        """The Stack 2 -> 3 transition: same workflow, same cluster."""
+        wq_env = make_env(n_workers=4, manager_nic=1.25e9)
+        wf1 = map_reduce_workflow(n_proc=24, chunk=500 * MB,
+                                  partial=100 * MB, compute=1.0)
+        wq_result, _ = run_wq(wq_env, wf1)
+
+        tv_env = make_env(n_workers=4, manager_nic=1.25e9)
+        wf2 = map_reduce_workflow(n_proc=24, chunk=500 * MB,
+                                  partial=100 * MB, compute=1.0)
+        from tests.core.conftest import TEST_CONFIG
+        tv = TaskVineManager(tv_env.sim, tv_env.cluster, tv_env.storage,
+                             wf2, config=TEST_CONFIG, trace=tv_env.trace)
+        tv_result = tv.run(limit=1e6)
+
+        assert wq_result.completed and tv_result.completed
+        assert tv_result.makespan < wq_result.makespan

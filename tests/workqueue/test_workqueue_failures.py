@@ -1,0 +1,79 @@
+"""Failure handling in the Work Queue baseline."""
+
+import sys
+
+import pytest
+
+sys.path.insert(0, "tests")
+
+from repro.core.manager import MANAGER_NODE
+from repro.sim.cluster import NodeSpec
+from repro.workqueue import WorkQueueManager
+
+from tests.core.conftest import Env, make_env, map_reduce_workflow
+from tests.workqueue.test_workqueue import FAST_WQ
+
+
+class TestWorkQueueRecovery:
+    def test_preemption_mid_run_recovers(self):
+        env = make_env(n_workers=3, spec=NodeSpec(cores=2))
+        wf = map_reduce_workflow(n_proc=10, compute=5.0)
+        manager = WorkQueueManager(env.sim, env.cluster, env.storage,
+                                   wf, config=FAST_WQ, trace=env.trace)
+        victim = env.cluster.workers[1]
+
+        def assassin():
+            yield env.sim.timeout(2.5)
+            env.cluster.preempt(victim)
+
+        env.sim.process(assassin())
+        result = manager.run(limit=1e6)
+        assert result.completed
+        assert result.tasks_done == 11
+        assert result.task_failures >= 1
+
+    def test_manager_copy_survives_worker_loss(self):
+        """Results stream to the manager, so losing the producing
+        worker after completion costs nothing (the WQ upside)."""
+        env = make_env(n_workers=2, spec=NodeSpec(cores=2))
+        wf = map_reduce_workflow(n_proc=4, compute=1.0)
+        manager = WorkQueueManager(env.sim, env.cluster, env.storage,
+                                   wf, config=FAST_WQ, trace=env.trace)
+
+        def late_assassin():
+            # strike after the proc wave finished but (likely) before
+            # the whole run is done
+            yield env.sim.timeout(3.0)
+            workers = env.cluster.alive_workers()
+            if workers:
+                env.cluster.preempt(workers[0])
+
+        env.sim.process(late_assassin())
+        result = manager.run(limit=1e6)
+        assert result.completed
+        # all partials still live at the manager
+        for i in range(4):
+            assert MANAGER_NODE in manager.replicas.locations(
+                f"partial-{i}")
+
+    def test_inflight_manager_staging_dedup_under_concurrency(self):
+        """Many tasks needing the same chunk trigger exactly one
+        manager-side FS read even when dispatched concurrently."""
+        from repro.core.files import FileKind, SimFile
+        from repro.core.spec import SimTask, SimWorkflow
+        from repro.sim.storage import MB
+
+        files = [SimFile("shared", 100 * MB, FileKind.INPUT)]
+        tasks = []
+        for i in range(6):
+            files.append(SimFile(f"o{i}", MB, FileKind.OUTPUT))
+            tasks.append(SimTask(id=f"t{i}", compute=1.0,
+                                 inputs=("shared",),
+                                 outputs=(f"o{i}",)))
+        wf = SimWorkflow(tasks, files)
+        env = make_env(n_workers=3, spec=NodeSpec(cores=2))
+        manager = WorkQueueManager(env.sim, env.cluster, env.storage,
+                                   wf, config=FAST_WQ, trace=env.trace)
+        result = manager.run(limit=1e6)
+        assert result.completed
+        assert env.storage.bytes_read == pytest.approx(100 * MB)
