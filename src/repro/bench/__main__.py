@@ -6,9 +6,13 @@ Usage::
     python -m repro.bench table1
     python -m repro.bench fig14b --out results/
     python -m repro.bench fig11 --seed 7
+    python -m repro.bench run --workload DV3-Small --scale 0.05 \\
+        --workers 4 --txlog results/run.jsonl
 
 Each command runs the corresponding experiment driver and prints the
-paper-style report (optionally archiving it under ``--out``).
+paper-style report (optionally archiving it under ``--out``).  The
+``run`` command executes a single scheduler run and can persist its
+transaction log for ``python -m repro.obs``.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from typing import Callable, Dict, Optional
 
 from ..sim.viz import render_heatmap, render_timeline
 from . import experiments as ex
-from .report import format_series, format_table
+from .report import format_series, format_table, write_report
 
 
 def _table1(args) -> str:
@@ -136,11 +140,50 @@ def _fig15(args) -> str:
             f"{data['tasks']} tasks on {data['cores']} cores")
 
 
+def _run(args) -> str:
+    """One observable scheduler run (``--txlog`` feeds repro.obs)."""
+    import dataclasses
+
+    from ..hep.datasets import TABLE2
+    from . import calibration as cal
+    from .runners import build_environment, run_scheduler
+    from .workloads import build_workflow
+
+    try:
+        spec = TABLE2[args.workload]
+    except KeyError:
+        raise SystemExit(f"unknown workload {args.workload!r}; "
+                         f"have {sorted(TABLE2)}")
+    if args.scale != 1.0:
+        spec = dataclasses.replace(
+            spec, name=f"{spec.name}-x{args.scale:g}",
+            n_tasks=max(1, int(spec.n_tasks * args.scale)),
+            input_bytes=spec.input_bytes * args.scale)
+    node = (cal.dask_sharded_node()
+            if args.scheduler == "dask.distributed" else None)
+    env = build_environment(args.workers, node=node, seed=args.seed)
+    workflow = build_workflow(spec, arity=cal.REDUCTION_ARITY,
+                              seed=args.seed)
+    result = run_scheduler(env, workflow, args.scheduler,
+                           txlog_path=args.txlog)
+    table = format_table(
+        ["Workload", "Scheduler", "Workers", "Tasks done", "Failures",
+         "Makespan (s)"],
+        [(spec.name, args.scheduler, args.workers, result.tasks_done,
+          result.task_failures,
+          round(result.makespan, 1) if result.completed else "DNF")],
+        title="RUN: single scheduler run")
+    if args.txlog:
+        table += (f"\ntransaction log -> {args.txlog} "
+                  f"(analyze: python -m repro.obs {args.txlog})")
+    return table
+
+
 COMMANDS: Dict[str, Callable] = {
     "table1": _table1, "table2": _table2, "fig7": _fig7,
     "fig8": _fig8, "fig10": _fig10, "fig11": _fig11, "fig12": _fig12,
     "fig13": _fig13, "fig14a": _fig14a, "fig14b": _fig14b,
-    "fig15": _fig15,
+    "fig15": _fig15, "run": _run,
 }
 
 
@@ -157,6 +200,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--out", default=None,
                         help="directory to archive the report into")
+    group = parser.add_argument_group("run", "options for the `run` "
+                                             "command")
+    group.add_argument("--workload", default="DV3-Small",
+                       help="Table II configuration name "
+                            "(default DV3-Small)")
+    group.add_argument("--scheduler", default="taskvine",
+                       choices=("taskvine", "workqueue",
+                                "dask.distributed"))
+    group.add_argument("--scale", type=float, default=1.0,
+                       help="scale n_tasks and input bytes by this "
+                            "factor (e.g. 0.05 for a smoke run)")
+    group.add_argument("--txlog", default=None,
+                       help="write the run's JSONL transaction log "
+                            "here")
     return parser
 
 
@@ -166,15 +223,16 @@ def main(argv: Optional[list] = None) -> int:
         for name in sorted(COMMANDS):
             print(name)
         return 0
-    names = sorted(COMMANDS) if args.command == "all" else [args.command]
+    if args.command == "all":  # every figure/table; not the ad-hoc run
+        names = sorted(n for n in COMMANDS if n != "run")
+    else:
+        names = [args.command]
     for name in names:
         report = COMMANDS[name](args)
         print(report)
         print()
         if args.out:
-            os.makedirs(args.out, exist_ok=True)
-            with open(os.path.join(args.out, f"{name}.txt"), "w") as fh:
-                fh.write(report + "\n")
+            write_report(args.out, name, report)
     return 0
 
 

@@ -6,9 +6,20 @@ keep the output uniform and terminal-friendly.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, List, Optional, Sequence
 
-__all__ = ["format_table", "format_series", "format_histogram", "banner"]
+__all__ = ["format_table", "format_series", "format_histogram", "banner",
+           "write_report"]
+
+
+def write_report(out_dir: str, name: str, text: str) -> str:
+    """Archive one rendered report under ``out_dir``; returns its path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    return path
 
 
 def banner(title: str, width: int = 72) -> str:

@@ -62,11 +62,16 @@ def build_environment(n_workers: int,
                       preemption_rate: float = cal.PREEMPTION_RATE,
                       heterogeneity: float = cal.HETEROGENEITY,
                       manager_nic_bw: float = cal.MANAGER_NIC_BW,
+                      bus=None,
                       ) -> SimEnvironment:
-    """Build the campus cluster of Section IV with ``n_workers``."""
+    """Build the campus cluster of Section IV with ``n_workers``.
+
+    Pass an :class:`~repro.obs.events.EventBus` as ``bus`` to mirror
+    every trace record onto the observability bus as it is recorded.
+    """
     node = node or cal.campus_node()
     sim = Simulation()
-    trace = TraceRecorder()
+    trace = TraceRecorder(bus=bus)
     network = Network(sim, trace, latency=0.0005)
     cluster = Cluster(sim, network, trace, RngRegistry(seed),
                       manager_nic_bw=manager_nic_bw,
@@ -84,13 +89,79 @@ def build_environment(n_workers: int,
 def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
                   scheduler: str = "taskvine",
                   config: Optional[SchedulerConfig] = None,
-                  limit: float = 5e5) -> RunResult:
-    """Run one scheduler over a workflow in the given environment."""
+                  limit: float = 5e5,
+                  txlog_path: Optional[str] = None,
+                  txlog_meta: Optional[dict] = None,
+                  metrics=None,
+                  sample_interval: Optional[float] = None) -> RunResult:
+    """Run one scheduler over a workflow in the given environment.
+
+    Observability hooks (all optional, zero cost when unused):
+
+    * ``txlog_path`` -- write a JSONL transaction log of every
+      lifecycle edge (readable with ``python -m repro.obs``).
+    * ``metrics`` -- a :class:`~repro.obs.metrics.MetricsRegistry` to
+      bind to the run's event bus; standard scheduler-health gauges are
+      installed over the live manager.
+    * ``sample_interval`` -- seconds of sim time between gauge
+      snapshots (requires or creates a metrics registry).
+    """
     try:
         scheduler_cls = SCHEDULERS[scheduler]
     except KeyError:
         raise ValueError(f"unknown scheduler {scheduler!r}; "
                          f"have {sorted(SCHEDULERS)}") from None
+
+    observing = (txlog_path is not None or metrics is not None
+                 or sample_interval is not None)
+    txlog = None
+    sampler = None
+    if observing:
+        # imported lazily so plain benchmark runs never touch obs
+        from ..obs import (EventBus, MetricsRegistry, Sampler,
+                           TransactionLog, install_standard_gauges)
+        bus = env.trace.bus
+        if bus is None or not bus.enabled:
+            bus = EventBus()
+            env.trace.bus = bus
+        if txlog_path is not None:
+            meta = {"scheduler": scheduler,
+                    "n_workers": env.n_workers,
+                    "cores_per_worker": env.cores_per_worker,
+                    "tasks": len(workflow.tasks)}
+            meta.update(txlog_meta or {})
+            txlog = TransactionLog(txlog_path, meta=meta)
+            txlog.attach(bus)
+        if metrics is None and sample_interval is not None:
+            metrics = MetricsRegistry()
+        if metrics is not None:
+            metrics.bind(bus)
+
+    # built after the bus is in place: the manager adopts trace.bus
     manager = scheduler_cls(env.sim, env.cluster, env.storage, workflow,
                             config=config, trace=env.trace)
-    return manager.run(limit=limit)
+
+    if metrics is not None:
+        install_standard_gauges(metrics, manager)
+        if sample_interval is not None:
+            sampler = Sampler(env.sim, metrics,
+                              interval=sample_interval, bus=manager.bus)
+            sampler.start()
+
+    try:
+        result = manager.run(limit=limit)
+    except Exception as exc:
+        if sampler is not None:
+            sampler.stop()
+        if txlog is not None:
+            txlog.close(completed=False, error=repr(exc))
+        raise
+    if sampler is not None:
+        sampler.stop()
+    if txlog is not None:
+        txlog.close(completed=result.completed,
+                    makespan=result.makespan,
+                    tasks_done=result.tasks_done,
+                    task_failures=result.task_failures,
+                    error=result.error)
+    return result

@@ -11,16 +11,24 @@ node (0) may also hold copies.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from ..obs.events import NULL_BUS, REPLICA_LOST
 
 __all__ = ["ReplicaMap"]
 
 
 class ReplicaMap:
-    """Tracks which nodes hold a copy of each file."""
+    """Tracks which nodes hold a copy of each file.
 
-    def __init__(self):
+    When given an event bus and a clock, emits ``REPLICA_LOST`` the
+    moment the final copy of a file disappears from the cluster.
+    """
+
+    def __init__(self, bus=None, clock: Optional[Callable[[], float]] = None):
         self._locations: Dict[str, Set[int]] = {}
+        self.bus = bus if bus is not None else NULL_BUS
+        self._clock = clock if clock is not None else (lambda: 0.0)
 
     def add(self, name: str, node: int) -> None:
         self._locations.setdefault(name, set()).add(node)
@@ -31,6 +39,9 @@ class ReplicaMap:
             nodes.discard(node)
             if not nodes:
                 del self._locations[name]
+                if self.bus.enabled:
+                    self.bus.emit(REPLICA_LOST, self._clock(),
+                                  file=name, node=node)
 
     def drop_node(self, node: int) -> List[str]:
         """Remove every replica on ``node``; returns files that now have
@@ -43,6 +54,10 @@ class ReplicaMap:
                 if not nodes:
                     del self._locations[name]
                     lost.append(name)
+        if lost and self.bus.enabled:
+            t = self._clock()
+            for name in lost:
+                self.bus.emit(REPLICA_LOST, t, file=name, node=node)
         return lost
 
     def locations(self, name: str) -> Set[int]:

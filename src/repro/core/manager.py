@@ -29,6 +29,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..obs import events as obs
 from ..sim.cluster import Cluster, WorkerNode
 from ..sim.engine import Event, Interrupt, Resource, Simulation
 from ..sim.storage import DiskFullError, SharedFilesystem
@@ -79,7 +80,8 @@ class TaskVineManager:
                  storage: SharedFilesystem, workflow: SimWorkflow,
                  config: Optional[SchedulerConfig] = None,
                  trace: Optional[TraceRecorder] = None,
-                 policy: Optional["PlacementPolicy"] = None):
+                 policy: Optional["PlacementPolicy"] = None,
+                 bus=None):
         self.sim = sim
         self.cluster = cluster
         self.storage = storage
@@ -89,7 +91,17 @@ class TaskVineManager:
         #: (locality when config.locality_scheduling, else round-robin).
         self.policy = policy
         self.trace = trace if trace is not None else cluster.trace
-        self.replicas = ReplicaMap()
+        #: observability bus for lifecycle edges (defaults to the
+        #: trace's bus, else the zero-cost null bus).  When a bus is
+        #: passed explicitly, the trace forwards onto it too so the
+        #: transaction log sees transfers/cache/worker records as well.
+        if bus is None:
+            bus = getattr(self.trace, "bus", None) or obs.NULL_BUS
+        elif getattr(self.trace, "bus", None) is None:
+            self.trace.bus = bus
+        self.bus = bus
+        self.replicas = ReplicaMap(bus=self.bus,
+                                   clock=lambda: self.sim.now)
         self.manager_cpu = Resource(sim, capacity=1)
         self.manager_pipe = Resource(
             sim, capacity=self.config.manager_transfer_slots)
@@ -201,6 +213,9 @@ class TaskVineManager:
         (self.queue_high if downstream else self.queue).append(task_id)
         self.queued.add(task_id)
         self.ready_time.setdefault(task_id, self.sim.now)
+        if self.bus.enabled:
+            self.bus.emit(obs.READY, self.sim.now, task=task_id,
+                          category=task.category)
         self._wake_dispatcher()
 
     def _wake_dispatcher(self) -> None:
@@ -261,6 +276,11 @@ class TaskVineManager:
 
     def _assign(self, task_id: str, agent: WorkerAgent) -> None:
         self.running.add(task_id)
+        if self.bus.enabled:
+            now = self.sim.now
+            self.bus.emit(obs.DISPATCH, now, task=task_id,
+                          worker=agent.node_id,
+                          waited=now - self.ready_time.get(task_id, now))
         agent.assign(task_id, self.workflow.tasks[task_id].cores)
         if agent.free_slots() <= 0:
             self.free_workers.pop(agent.node_id, None)
@@ -336,6 +356,9 @@ class TaskVineManager:
             # execution time as the worker observes it includes the
             # wrapper/startup cost (Fig 8 compares exactly this)
             t_start = self.sim.now
+            if self.bus.enabled:
+                self.bus.emit(obs.EXEC_START, t_start, task=task.id,
+                              worker=agent.node_id)
             yield from self._startup(task, agent)
             yield self.sim.timeout(
                 agent.node.scale_runtime(task.compute))
@@ -474,14 +497,24 @@ class TaskVineManager:
                        key=lambda n: -self.workflow.files[n].size)
         for name in names:
             # _fetch_to_worker leaves the file present AND pinned once.
-            yield from self._fetch_to_worker(name, agent)
+            yield from self._fetch_to_worker(name, agent,
+                                             task_id=task.id)
             pinned.append(name)
 
-    def _fetch_to_worker(self, name: str, agent: WorkerAgent):
+    def _fetch_to_worker(self, name: str, agent: WorkerAgent,
+                         task_id: Optional[str] = None):
         """Ensure ``name`` is cached on ``agent`` with one pin held."""
+        t_fetch = self.sim.now
         while True:
             if agent.has(name):
                 agent.pin(name)
+                if self.bus.enabled:
+                    self.bus.emit(
+                        obs.STAGE_IN, self.sim.now, task=task_id,
+                        worker=agent.node_id, file=name,
+                        nbytes=self.workflow.files[name].size,
+                        source=agent.node_id, t_start=t_fetch,
+                        cached=True)
                 return
             pending = agent.inflight.get(name)
             if pending is None:
@@ -514,6 +547,12 @@ class TaskVineManager:
                         yield self.cluster.network.transfer(
                             source, agent.node_id, size, kind="peer")
                     self.replicas.add(name, agent.node_id)
+                    if self.bus.enabled:
+                        self.bus.emit(
+                            obs.STAGE_IN, self.sim.now, task=task_id,
+                            worker=agent.node_id, file=name,
+                            nbytes=size, source=source,
+                            t_start=t_fetch, cached=False)
                     return
                 except ConnectionError:
                     # source (or we) died mid-transfer; if we are dead
@@ -554,6 +593,10 @@ class TaskVineManager:
                     cost += cfg.import_cost
                 yield self.sim.timeout(agent.node.scale_runtime(cost))
                 agent.library_ready = True
+                if self.bus.enabled:
+                    self.bus.emit(obs.LIBRARY_START, self.sim.now,
+                                  worker=agent.node_id,
+                                  startup_s=agent.node.scale_runtime(cost))
         overhead = cfg.function_call_overhead
         if not cfg.hoisting:
             overhead += cfg.import_cost
@@ -567,9 +610,18 @@ class TaskVineManager:
             yield agent.node.disk.write(size)
             self.replicas.add(name, agent.node_id)
             if self.config.results_to_manager or name in self.final_files:
+                t_retr = self.sim.now
                 yield from self._manager_transfer(
                     agent.node_id, MANAGER_NODE, size, "result")
                 self.replicas.add(name, MANAGER_NODE)
+                # the manager's disk is a cache node too (Fig 7)
+                self.trace.cache(MANAGER_NODE, self.sim.now, size,
+                                 name=name)
+                if self.bus.enabled:
+                    self.bus.emit(obs.RETRIEVE, self.sim.now,
+                                  task=task.id, worker=agent.node_id,
+                                  file=name, nbytes=size,
+                                  t_start=t_retr)
 
     def _manager_transfer(self, src: int, dst: int, size: float,
                           kind: str):
@@ -668,6 +720,9 @@ class TaskVineManager:
         if producer in self.running or producer in self.queued:
             return
         self.done.discard(producer)
+        if self.bus.enabled:
+            self.bus.emit(obs.RECOVERY, self.sim.now, file=name,
+                          task=producer)
         missing = [g for g in self.workflow.tasks[producer].inputs
                    if not self._available(g)]
         if missing:

@@ -111,7 +111,7 @@ class WorkerAgent:
             entry.pins = 1
         entry.retain = retain
         self.cache[name] = entry
-        self.trace.cache(self.node_id, self.sim.now, size)
+        self.trace.cache(self.node_id, self.sim.now, size, name=name)
 
     def _evict(self, need: float) -> None:
         """Drop least-recently-used unpinned, unretained replicas."""
@@ -130,7 +130,8 @@ class WorkerAgent:
         entry = self.cache.pop(name, None)
         if entry is not None:
             self.node.disk.free(entry.size)
-            self.trace.cache(self.node_id, self.sim.now, -entry.size)
+            self.trace.cache(self.node_id, self.sim.now, -entry.size,
+                             name=name)
             if notify and self.on_evict is not None:
                 self.on_evict(name)
 

@@ -27,6 +27,7 @@ from typing import Optional
 
 from ..core.config import TASK_MODE_FUNCTIONS, SchedulerConfig
 from ..core.manager import RunResult, TaskVineManager
+from ..obs import events as obs
 
 __all__ = ["DaskDistributedScheduler", "DASK_DISTRIBUTED_CONFIG",
            "DaskCrashed"]
@@ -66,10 +67,11 @@ class DaskDistributedScheduler(TaskVineManager):
     max_stable_intermediate_bytes = 300e9
 
     def __init__(self, sim, cluster, storage, workflow,
-                 config: Optional[SchedulerConfig] = None, trace=None):
+                 config: Optional[SchedulerConfig] = None, trace=None,
+                 bus=None):
         super().__init__(sim, cluster, storage, workflow,
                          config=config or DASK_DISTRIBUTED_CONFIG,
-                         trace=trace)
+                         trace=trace, bus=bus)
 
     def feasible(self) -> Optional[str]:
         """None if the run is inside the envelope, else the reason."""
@@ -89,6 +91,10 @@ class DaskDistributedScheduler(TaskVineManager):
     def run(self, limit: Optional[float] = None) -> RunResult:
         reason = self.feasible()
         if reason is not None:
+            if self.bus.enabled:
+                self.bus.emit(obs.CRASH, self.sim.now,
+                              scheduler=self.scheduler_name,
+                              reason=reason)
             return RunResult(
                 completed=False, makespan=float("inf"), trace=self.trace,
                 tasks_done=0, task_failures=0,

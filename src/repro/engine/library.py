@@ -27,9 +27,11 @@ import select
 import struct
 import tempfile
 import threading
+import time
 from concurrent.futures import Future
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs import events as obs
 from . import wire
 
 __all__ = ["Library", "LibraryError", "FunctionCallError"]
@@ -140,7 +142,7 @@ class Library:
     def __init__(self, functions: Dict[str, Callable],
                  import_modules: Sequence[str] = (),
                  hoisting: bool = True, slots: int = 4,
-                 name: str = "library"):
+                 name: str = "library", bus=obs.NULL_BUS):
         if not functions:
             raise LibraryError("a library needs at least one function")
         if slots < 1:
@@ -150,6 +152,9 @@ class Library:
         self.hoisting = hoisting
         self.slots = slots
         self.name = name
+        #: event bus for real (wall-clock) lifecycle edges; timestamps
+        #: are ``time.monotonic()``, not simulation time.
+        self.bus = bus
         self._proc: Optional[mp.process.BaseProcess] = None
         self._conn = None
         self._signal_read_fd: Optional[int] = None
@@ -166,6 +171,7 @@ class Library:
     def start(self) -> "Library":
         if self._proc is not None:
             raise LibraryError("library already started")
+        t_start = time.monotonic()
         ctx = mp.get_context("fork")
         parent_conn, child_conn = ctx.Pipe()
         read_fd, write_fd = os.pipe()
@@ -190,6 +196,11 @@ class Library:
         self._collector = threading.Thread(target=self._collect_loop,
                                            daemon=True)
         self._collector.start()
+        if self.bus.enabled:
+            self.bus.emit(obs.LIBRARY_START, time.monotonic(),
+                          library=self.name, slots=self.slots,
+                          hoisting=self.hoisting,
+                          startup_s=time.monotonic() - t_start)
         return self
 
     def stop(self) -> None:
@@ -243,6 +254,10 @@ class Library:
         payload = wire.dumps((args, kwargs))
         self._conn.send((call_id, name, payload))
         self.calls_submitted += 1
+        if self.bus.enabled:
+            self.bus.emit(obs.FUNCTION_CALL, time.monotonic(),
+                          library=self.name, call=call_id,
+                          function=name, nbytes=len(payload))
         return future
 
     # -- internal -----------------------------------------------------------
@@ -286,6 +301,12 @@ class Library:
             future.set_exception(LibraryError(f"result lost: {exc}"))
             return
         self.calls_completed += 1
+        if self.bus.enabled:
+            # runs on the collector thread; the transaction log's
+            # write lock makes this safe.
+            self.bus.emit(obs.FUNCTION_RESULT, time.monotonic(),
+                          library=self.name, call=call_id,
+                          nbytes=len(payload), ok=status == _OK)
         if status == _OK:
             future.set_result(value)
         else:

@@ -1,0 +1,55 @@
+"""Observability layer: event bus, transaction log, metrics, analysis.
+
+The measurement substrate for every scheduler stack (Table 1):
+
+* :mod:`repro.obs.events` -- typed event bus; producers default to the
+  zero-cost :data:`~repro.obs.events.NULL_BUS`.
+* :mod:`repro.obs.txlog` -- TaskVine-style JSONL transaction log with a
+  replay reader that reconstructs a live
+  :class:`~repro.sim.trace.TraceRecorder` from disk.
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms plus a
+  periodic sampler driven by the simulation clock.
+* :mod:`repro.obs.analyze` -- straggler, transfer-hotspot,
+  cache-pressure and critical-path reports (``python -m repro.obs``).
+
+This ``__init__`` deliberately imports only the dependency-free modules
+so the schedulers can import :data:`NULL_BUS` without dragging in the
+benchmark harness; :mod:`repro.obs.analyze` is loaded lazily.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    NULL_BUS,
+    EventBus,
+    NullBus,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sampler,
+    install_standard_gauges,
+)
+from .txlog import TransactionLog, read_records, replay, run_meta
+
+__all__ = [
+    "EventBus", "NullBus", "NULL_BUS", "EVENT_TYPES",
+    "TransactionLog", "read_records", "replay", "run_meta",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "Sampler",
+    "install_standard_gauges",
+    # lazily resolved from repro.obs.analyze:
+    "RunLog", "load", "straggler_report", "transfer_hotspots",
+    "cache_pressure", "critical_path", "render_report",
+]
+
+_ANALYZE_NAMES = {"RunLog", "load", "straggler_report",
+                  "transfer_hotspots", "cache_pressure",
+                  "critical_path", "render_report"}
+
+
+def __getattr__(name):
+    if name in _ANALYZE_NAMES:
+        from . import analyze
+        return getattr(analyze, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

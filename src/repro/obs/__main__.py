@@ -1,0 +1,89 @@
+"""Run analyzer CLI.
+
+Usage::
+
+    python -m repro.obs results/run.jsonl
+    python -m repro.obs results/run.jsonl --section stragglers --top 20
+    python -m repro.obs results/run.jsonl --summary-only
+    python -m repro.obs --demo /tmp/run.jsonl    # tiny run, then report
+
+Reads a transaction log written by ``repro.obs.txlog`` (see
+``python -m repro.bench run --txlog ...``) and prints the straggler,
+transfer-hotspot, cache-pressure and critical-path reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from . import analyze
+
+SECTIONS = ("summary", "critical-path", "stragglers", "transfers",
+            "cache")
+
+
+def _demo_run(path: str) -> None:
+    """Generate a tiny DV3 run with the transaction log enabled."""
+    import dataclasses
+
+    from ..bench.runners import build_environment, run_scheduler
+    from ..bench.workloads import build_workflow
+    from ..hep.datasets import TABLE2
+
+    spec = dataclasses.replace(TABLE2["DV3-Small"], name="DV3-demo",
+                               n_tasks=40, input_bytes=1.5e9)
+    env = build_environment(3, seed=5)
+    workflow = build_workflow(spec, arity=4, seed=5)
+    result = run_scheduler(env, workflow, "taskvine", txlog_path=path)
+    print(f"demo run: {result.tasks_done} tasks, makespan "
+          f"{result.makespan:.1f} s -> {path}", file=sys.stderr)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Analyze a scheduler run's transaction log.")
+    parser.add_argument("log", help="path to the run's JSONL "
+                                    "transaction log")
+    parser.add_argument("--section", action="append",
+                        choices=SECTIONS, default=None,
+                        help="report section(s) to print "
+                             "(default: all)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows per ranking table (default 10)")
+    parser.add_argument("--summary-only", action="store_true",
+                        help="print only the run summary")
+    parser.add_argument("--demo", action="store_true",
+                        help="first generate a tiny simulated run "
+                             "into LOG, then analyze it")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.demo:
+        _demo_run(args.log)
+    sections = args.section
+    if args.summary_only:
+        sections = ["summary"]
+    try:
+        log = analyze.load(args.log)
+    except OSError as exc:
+        print(f"cannot read {args.log}: {exc}", file=sys.stderr)
+        return 2
+    if not log.records:
+        print(f"{args.log}: no records (not a transaction log?)",
+              file=sys.stderr)
+        return 2
+    try:
+        print(analyze.render_report(log, top=args.top,
+                                    sections=sections))
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,330 @@
+"""Post-hoc run analysis: why was this run slow?
+
+Answers the diagnostic questions the paper answers with TaskVine's
+transaction logs, from one JSONL file:
+
+* :func:`straggler_report` -- which tasks ran far beyond their
+  category's median, and which workers are systematically slow
+  (Fig 8 / Fig 13 territory).
+* :func:`transfer_hotspots` -- which node pairs moved the most bytes
+  and how much traffic funnels through the manager (Fig 7).
+* :func:`cache_pressure` -- per-worker peak cache occupancy, eviction
+  volume, replica losses and lineage recoveries (Fig 11).
+* :func:`critical_path` -- where a task's turnaround goes: manager
+  queueing vs. stage-in vs. execution (the Table I decomposition).
+
+Each function takes a :class:`RunLog` (or anything :func:`load`
+accepts: a path or an iterable of record dicts) and returns a plain
+dict; :func:`render_report` formats them for terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from . import events as ev
+from .txlog import read_records
+
+__all__ = [
+    "RunLog",
+    "load",
+    "straggler_report",
+    "transfer_hotspots",
+    "cache_pressure",
+    "critical_path",
+    "render_report",
+]
+
+MANAGER_NODE = 0
+
+
+class RunLog:
+    """A parsed transaction log: records indexed by type."""
+
+    def __init__(self, records: Iterable[dict]):
+        self.records: List[dict] = list(records)
+        self.by_type: Dict[str, List[dict]] = {}
+        for record in self.records:
+            self.by_type.setdefault(record.get("type", "?"),
+                                    []).append(record)
+        headers = self.by_type.get(ev.RUN, [])
+        self.meta: dict = headers[0] if headers else {}
+
+    def completions(self, ok: Optional[bool] = True) -> List[dict]:
+        rows = self.by_type.get(ev.EXEC_END, [])
+        if ok is None:
+            return rows
+        return [r for r in rows if r.get("ok", True) == ok]
+
+    @property
+    def makespan(self) -> float:
+        rows = self.by_type.get(ev.EXEC_END, [])
+        return max((r["t_end"] for r in rows), default=0.0)
+
+
+Source = Union[str, Iterable[dict], RunLog]
+
+
+def load(source: Source) -> RunLog:
+    if isinstance(source, RunLog):
+        return source
+    if isinstance(source, str):
+        return RunLog(read_records(source))
+    return RunLog(source)
+
+
+# -- stragglers -------------------------------------------------------------
+
+def straggler_report(source: Source, top: int = 10,
+                     slow_factor: float = 2.0) -> dict:
+    """Tasks far beyond their category median, and slow workers.
+
+    A task is a straggler when its execution time is at least
+    ``slow_factor`` times its category's median; a worker is slow when
+    its tasks average at least 1.5x their category medians.
+    """
+    log = load(source)
+    rows = log.completions(ok=True)
+    by_category: Dict[str, List[float]] = {}
+    for r in rows:
+        by_category.setdefault(r.get("category", ""), []).append(
+            r["t_end"] - r["t_start"])
+    medians = {c: float(np.median(v)) for c, v in by_category.items()}
+
+    stragglers = []
+    worker_ratios: Dict[int, List[float]] = {}
+    for r in rows:
+        exec_time = r["t_end"] - r["t_start"]
+        median = medians[r.get("category", "")]
+        ratio = exec_time / median if median > 0 else 1.0
+        worker_ratios.setdefault(r["worker"], []).append(ratio)
+        if median > 0 and ratio >= slow_factor:
+            stragglers.append({
+                "task": r["task"], "category": r.get("category", ""),
+                "worker": r["worker"], "exec_s": exec_time,
+                "ratio": ratio, "t_end": r["t_end"]})
+    stragglers.sort(key=lambda s: -s["ratio"])
+
+    slow_workers = []
+    for worker, ratios in worker_ratios.items():
+        mean_ratio = float(np.mean(ratios))
+        if mean_ratio >= 1.5 and len(ratios) >= 2:
+            slow_workers.append({"worker": worker,
+                                 "mean_ratio": mean_ratio,
+                                 "tasks": len(ratios)})
+    slow_workers.sort(key=lambda w: -w["mean_ratio"])
+
+    return {
+        "tasks_ok": len(rows),
+        "category_median_s": medians,
+        "stragglers": stragglers[:top],
+        "straggler_count": len(stragglers),
+        "slow_workers": slow_workers[:top],
+    }
+
+
+# -- transfers --------------------------------------------------------------
+
+def transfer_hotspots(source: Source, top: int = 10) -> dict:
+    """Per-node and per-pair byte totals; the manager's traffic share."""
+    log = load(source)
+    rows = log.by_type.get(ev.TRANSFER, [])
+    pair_bytes: Dict[tuple, float] = {}
+    node_in: Dict[int, float] = {}
+    node_out: Dict[int, float] = {}
+    kind_bytes: Dict[str, float] = {}
+    total = 0.0
+    manager_touched = 0.0
+    for r in rows:
+        src, dst, nbytes = r["src"], r["dst"], r["nbytes"]
+        total += nbytes
+        pair_bytes[(src, dst)] = pair_bytes.get((src, dst), 0.0) + nbytes
+        node_out[src] = node_out.get(src, 0.0) + nbytes
+        node_in[dst] = node_in.get(dst, 0.0) + nbytes
+        kind = r.get("kind", "data")
+        kind_bytes[kind] = kind_bytes.get(kind, 0.0) + nbytes
+        if MANAGER_NODE in (src, dst):
+            manager_touched += nbytes
+
+    def top_nodes(table: Dict[int, float]) -> List[dict]:
+        ranked = sorted(table.items(), key=lambda kv: -kv[1])[:top]
+        return [{"node": n, "bytes": b} for n, b in ranked]
+
+    top_pairs = sorted(pair_bytes.items(), key=lambda kv: -kv[1])[:top]
+    return {
+        "transfers": len(rows),
+        "total_bytes": total,
+        "manager_share": manager_touched / total if total else 0.0,
+        "by_kind": kind_bytes,
+        "top_pairs": [{"src": s, "dst": d, "bytes": b}
+                      for (s, d), b in top_pairs],
+        "top_receivers": top_nodes(node_in),
+        "top_senders": top_nodes(node_out),
+    }
+
+
+# -- cache ------------------------------------------------------------------
+
+def cache_pressure(source: Source, top: int = 10) -> dict:
+    """Peak occupancy, eviction volume, and recovery activity."""
+    log = load(source)
+    level: Dict[int, float] = {}
+    peak: Dict[int, float] = {}
+    evicted_bytes = 0.0
+    evictions = 0
+    put_bytes = 0.0
+    # interleave puts and evictions in time order for exact peaks
+    deltas = ([(r["t"], r["worker"], r["nbytes"])
+               for r in log.by_type.get(ev.CACHE_PUT, [])]
+              + [(r["t"], r["worker"], -r["nbytes"])
+                 for r in log.by_type.get(ev.CACHE_EVICT, [])])
+    deltas.sort(key=lambda row: row[0])
+    for _t, worker, delta in deltas:
+        level[worker] = level.get(worker, 0.0) + delta
+        if delta < 0:
+            evicted_bytes += -delta
+            evictions += 1
+        else:
+            put_bytes += delta
+            if level[worker] > peak.get(worker, 0.0):
+                peak[worker] = level[worker]
+    top_peaks = sorted(peak.items(), key=lambda kv: -kv[1])[:top]
+    preempted = [r["worker"]
+                 for r in log.by_type.get(ev.WORKER_PREEMPT, [])]
+    return {
+        "bytes_cached": put_bytes,
+        "evictions": evictions,
+        "evicted_bytes": evicted_bytes,
+        "peak_by_worker": [{"worker": w, "bytes": b}
+                           for w, b in top_peaks],
+        "replica_losses": len(log.by_type.get(ev.REPLICA_LOST, [])),
+        "recoveries": len(log.by_type.get(ev.RECOVERY, [])),
+        "workers_preempted": preempted,
+    }
+
+
+# -- critical path ----------------------------------------------------------
+
+def critical_path(source: Source) -> dict:
+    """Where turnaround time goes: queueing vs. stage-in vs. exec.
+
+    Uses the phase timestamps carried by every EXEC_END record:
+    ``t_ready -> t_dispatch`` is manager queueing, ``t_dispatch ->
+    t_start`` is input staging, ``t_start -> t_end`` is worker-observed
+    execution (startup + compute + output store).
+    """
+    log = load(source)
+    rows = log.completions(ok=True)
+    phases = {"queued": 0.0, "stage_in": 0.0, "exec": 0.0}
+    for r in rows:
+        phases["queued"] += max(0.0, r["t_dispatch"] - r["t_ready"])
+        phases["stage_in"] += max(0.0, r["t_start"] - r["t_dispatch"])
+        phases["exec"] += max(0.0, r["t_end"] - r["t_start"])
+    turnaround = sum(phases.values())
+    n = len(rows)
+    return {
+        "tasks": n,
+        "makespan": log.makespan,
+        "total_s": dict(phases),
+        "mean_s": {k: v / n if n else 0.0 for k, v in phases.items()},
+        "fraction": {k: v / turnaround if turnaround else 0.0
+                     for k, v in phases.items()},
+        "dominant": (max(phases, key=phases.get) if turnaround
+                     else None),
+    }
+
+
+# -- rendering --------------------------------------------------------------
+
+def _gb(nbytes: float) -> float:
+    return nbytes / 1e9
+
+
+def render_report(source: Source, top: int = 10,
+                  sections: Optional[Iterable[str]] = None) -> str:
+    """Terminal report over a transaction log (the ``python -m
+    repro.obs`` output)."""
+    from ..bench.report import banner, format_table  # lazy: avoids
+    # importing the bench package (and its experiment drivers) when obs
+    # is used as a library inside the schedulers.
+
+    log = load(source)
+    wanted = set(sections) if sections else {
+        "summary", "critical-path", "stragglers", "transfers", "cache"}
+    parts: List[str] = []
+    meta = {k: v for k, v in log.meta.items()
+            if k not in ("type", "t", "schema")}
+    if "summary" in wanted:
+        failed = len(log.completions(ok=False))
+        parts.append(banner("RUN SUMMARY"))
+        if meta:
+            parts.append(format_table(
+                ["Key", "Value"], sorted(meta.items())))
+        parts.append(format_table(
+            ["Tasks ok", "Tasks failed", "Makespan (s)", "Records"],
+            [[len(log.completions(ok=True)), failed,
+              log.makespan, len(log.records)]]))
+    if "critical-path" in wanted:
+        cp = critical_path(log)
+        parts.append(banner("CRITICAL PATH: where turnaround goes"))
+        parts.append(format_table(
+            ["Phase", "Total (s)", "Mean (s)", "Fraction"],
+            [(k, cp["total_s"][k], cp["mean_s"][k],
+              f"{cp['fraction'][k]:.1%}")
+             for k in ("queued", "stage_in", "exec")]))
+        if cp["dominant"]:
+            parts.append(f"dominant phase: {cp['dominant']}")
+    if "stragglers" in wanted:
+        sr = straggler_report(log, top=top)
+        parts.append(banner(
+            f"STRAGGLERS: {sr['straggler_count']} of "
+            f"{sr['tasks_ok']} tasks >= 2x category median"))
+        if sr["stragglers"]:
+            parts.append(format_table(
+                ["Task", "Category", "Worker", "Exec (s)", "x median"],
+                [(s["task"], s["category"], s["worker"], s["exec_s"],
+                  f"{s['ratio']:.1f}") for s in sr["stragglers"]]))
+        if sr["slow_workers"]:
+            parts.append(format_table(
+                ["Slow worker", "Mean x median", "Tasks"],
+                [(w["worker"], f"{w['mean_ratio']:.2f}", w["tasks"])
+                 for w in sr["slow_workers"]],
+                title="workers averaging >= 1.5x category median"))
+    if "transfers" in wanted:
+        th = transfer_hotspots(log, top=top)
+        parts.append(banner(
+            f"TRANSFER HOTSPOTS: {th['transfers']} transfers, "
+            f"{_gb(th['total_bytes']):.2f} GB total, "
+            f"{th['manager_share']:.1%} touching the manager"))
+        if th["top_pairs"]:
+            parts.append(format_table(
+                ["Src", "Dst", "GB"],
+                [(p["src"], p["dst"], _gb(p["bytes"]))
+                 for p in th["top_pairs"]],
+                title="hottest node pairs"))
+        if th["by_kind"]:
+            parts.append(format_table(
+                ["Kind", "GB"],
+                [(k, _gb(b)) for k, b
+                 in sorted(th["by_kind"].items(),
+                           key=lambda kv: -kv[1])]))
+    if "cache" in wanted:
+        cp = cache_pressure(log, top=top)
+        parts.append(banner(
+            f"CACHE PRESSURE: {_gb(cp['bytes_cached']):.2f} GB cached, "
+            f"{cp['evictions']} evictions "
+            f"({_gb(cp['evicted_bytes']):.2f} GB), "
+            f"{cp['replica_losses']} replica losses, "
+            f"{cp['recoveries']} recoveries"))
+        if cp["peak_by_worker"]:
+            parts.append(format_table(
+                ["Worker", "Peak cache (GB)"],
+                [(p["worker"], _gb(p["bytes"]))
+                 for p in cp["peak_by_worker"]],
+                title="highest peak occupancy"))
+        if cp["workers_preempted"]:
+            parts.append("workers preempted: "
+                         + ", ".join(map(str, cp["workers_preempted"])))
+    return "\n\n".join(parts)

@@ -1,0 +1,164 @@
+"""Typed event bus: the spine of the observability layer.
+
+Every instrumented component (schedulers, worker agents, the replica
+map, the network via :class:`~repro.sim.trace.TraceRecorder`, the real
+serverless :class:`~repro.engine.library.Library`) publishes *lifecycle
+edges* to a bus.  Consumers -- the JSONL transaction log
+(:mod:`repro.obs.txlog`) and the metrics registry
+(:mod:`repro.obs.metrics`) -- subscribe without the producers knowing
+they exist.
+
+Observability is opt-in: producers default to :data:`NULL_BUS`, whose
+``enabled`` flag is ``False``.  Hot paths guard their emissions with::
+
+    bus = self.bus
+    if bus.enabled:
+        bus.emit(DISPATCH, t, task=task_id, worker=node_id)
+
+so a run without observers pays one attribute read and one branch per
+edge -- no dict building, no callback dispatch.
+
+Event types mirror TaskVine's transaction log (the source of every
+figure in the paper): one record per edge of a task's life plus data-
+movement and worker-membership changes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+__all__ = [
+    "EventBus",
+    "NullBus",
+    "NULL_BUS",
+    "EVENT_TYPES",
+    "READY",
+    "DISPATCH",
+    "STAGE_IN",
+    "EXEC_START",
+    "EXEC_END",
+    "RETRIEVE",
+    "CACHE_PUT",
+    "CACHE_EVICT",
+    "TRANSFER",
+    "WORKER_JOIN",
+    "WORKER_PREEMPT",
+    "WORKER_LEAVE",
+    "REPLICA_LOST",
+    "RECOVERY",
+    "CRASH",
+    "LIBRARY_START",
+    "FUNCTION_CALL",
+    "FUNCTION_RESULT",
+    "METRIC_SAMPLE",
+    "RUN",
+    "RUN_END",
+]
+
+# -- task lifecycle edges ---------------------------------------------------
+READY = "READY"              # task entered the ready queue
+DISPATCH = "DISPATCH"        # manager assigned the task to a worker
+STAGE_IN = "STAGE_IN"        # one input file became resident on the worker
+EXEC_START = "EXEC_START"    # worker-observed execution began
+EXEC_END = "EXEC_END"        # attempt finished (ok field: success/failure)
+RETRIEVE = "RETRIEVE"        # an output was fetched back to the manager
+
+# -- data movement ----------------------------------------------------------
+CACHE_PUT = "CACHE_PUT"      # bytes entered a node's local cache
+CACHE_EVICT = "CACHE_EVICT"  # bytes left a node's local cache
+TRANSFER = "TRANSFER"        # a network/storage flow completed
+REPLICA_LOST = "REPLICA_LOST"  # last copy of a file vanished
+RECOVERY = "RECOVERY"        # lineage recovery re-queued a producer
+CRASH = "CRASH"              # a scheduler aborted the whole run
+
+# -- cluster membership -----------------------------------------------------
+WORKER_JOIN = "WORKER_JOIN"
+WORKER_PREEMPT = "WORKER_PREEMPT"
+WORKER_LEAVE = "WORKER_LEAVE"
+
+# -- serverless path --------------------------------------------------------
+LIBRARY_START = "LIBRARY_START"    # a library instance became ready
+FUNCTION_CALL = "FUNCTION_CALL"    # an invocation was submitted
+FUNCTION_RESULT = "FUNCTION_RESULT"  # an invocation's result arrived
+
+# -- bookkeeping ------------------------------------------------------------
+METRIC_SAMPLE = "METRIC_SAMPLE"  # periodic gauge snapshot
+RUN = "RUN"                  # transaction-log header
+RUN_END = "RUN_END"          # transaction-log footer
+
+EVENT_TYPES = (
+    READY, DISPATCH, STAGE_IN, EXEC_START, EXEC_END, RETRIEVE,
+    CACHE_PUT, CACHE_EVICT, TRANSFER, REPLICA_LOST, RECOVERY, CRASH,
+    WORKER_JOIN, WORKER_PREEMPT, WORKER_LEAVE,
+    LIBRARY_START, FUNCTION_CALL, FUNCTION_RESULT,
+    METRIC_SAMPLE, RUN, RUN_END,
+)
+
+#: subscriber signature: (event_type, sim_time, fields_dict)
+Subscriber = Callable[[str, float, dict], None]
+
+
+class NullBus:
+    """The disabled bus: every emission is a no-op.
+
+    ``enabled`` is ``False`` so instrumented code can skip building the
+    event's field dict entirely.  ``emit`` still exists (and does
+    nothing) for call sites that do not bother guarding.
+    """
+
+    enabled = False
+
+    def emit(self, type: str, t: float, **fields) -> None:
+        pass
+
+    def subscribe(self, types, fn: Subscriber) -> None:
+        raise RuntimeError("cannot subscribe to the null bus; "
+                           "create an EventBus instead")
+
+    def subscribe_all(self, fn: Subscriber) -> None:
+        raise RuntimeError("cannot subscribe to the null bus; "
+                           "create an EventBus instead")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullBus>"
+
+
+#: shared disabled bus; safe because it holds no state.
+NULL_BUS = NullBus()
+
+
+class EventBus:
+    """Synchronous pub/sub dispatch for observability events."""
+
+    enabled = True
+
+    def __init__(self):
+        self._subscribers: Dict[str, List[Subscriber]] = {}
+        self._wildcard: List[Subscriber] = []
+        #: events published, by type (cheap built-in accounting)
+        self.counts: Dict[str, int] = {}
+
+    def subscribe(self, types, fn: Subscriber) -> None:
+        """Call ``fn(type, t, fields)`` for each event of the given
+        type(s).  ``types`` is one event-type string or a sequence."""
+        if isinstance(types, str):
+            types = (types,)
+        for type_ in types:
+            self._subscribers.setdefault(type_, []).append(fn)
+
+    def subscribe_all(self, fn: Subscriber) -> None:
+        """Call ``fn`` for every event regardless of type."""
+        self._wildcard.append(fn)
+
+    def emit(self, type: str, t: float, **fields) -> None:
+        self.counts[type] = self.counts.get(type, 0) + 1
+        for fn in self._wildcard:
+            fn(type, t, fields)
+        for fn in self._subscribers.get(type, ()):
+            fn(type, t, fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n = sum(self.counts.values())
+        return (f"<EventBus {len(self._wildcard)} wildcard + "
+                f"{sum(map(len, self._subscribers.values()))} typed "
+                f"subscribers, {n} events>")

@@ -1,0 +1,270 @@
+"""Live metrics: counters, gauges, histograms, and a sim-clock sampler.
+
+A :class:`MetricsRegistry` holds three instrument kinds:
+
+* :class:`Counter` -- monotonically increasing totals (bytes moved,
+  evictions, preemptions).  Fed from the event bus via :meth:`bind`.
+* :class:`Gauge` -- instantaneous values read on demand (queue depth,
+  slots in use, cache occupancy).  Registered with a callable so the
+  registry never holds stale copies of scheduler state.
+* :class:`Histogram` -- fixed-bucket distributions (dispatch latency,
+  task execution time) with O(1) memory.
+
+The :class:`Sampler` is a simulation *process*: driven by the sim clock,
+it snapshots every gauge on a fixed interval, appends the row to
+``registry.samples``, and (when a bus is attached) publishes it as a
+``METRIC_SAMPLE`` event so the time series lands in the transaction log
+alongside the lifecycle edges.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import events as ev
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sampler",
+    "install_standard_gauges",
+    "DEFAULT_BUCKETS",
+]
+
+#: latency-style bucket upper bounds (seconds); final bucket is +inf.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0,
+                   5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 900.0, 3600.0)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous value, either set directly or read via callback."""
+
+    __slots__ = ("name", "_fn", "_value")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def read(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket distribution with cumulative quantile estimates."""
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # +1: overflow
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the q-quantile."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target:
+                return (self.buckets[i] if i < len(self.buckets)
+                        else float("inf"))
+        return float("inf")
+
+    def snapshot(self) -> dict:
+        return {"count": self.count, "mean": self.mean,
+                "p50": self.quantile(0.5), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99)}
+
+
+class MetricsRegistry:
+    """Named instruments plus the sampled gauge time series."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: rows appended by the sampler: {"t": ..., gauge_name: value}
+        self.samples: List[dict] = []
+
+    # -- instrument accessors (get-or-create) -------------------------------
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            self.gauges[name]._fn = fn
+        return self.gauges[name]
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name, buckets)
+        return self.histograms[name]
+
+    # -- event-bus integration ----------------------------------------------
+    def bind(self, bus: ev.EventBus) -> "MetricsRegistry":
+        """Derive the standard counters/histograms from bus events."""
+        dispatch_latency = self.histogram("dispatch_latency_s")
+        exec_time = self.histogram("task_exec_s")
+        dispatches = self.counter("tasks_dispatched")
+        done = self.counter("tasks_done")
+        failed = self.counter("tasks_failed")
+        moved = self.counter("transfer_bytes")
+        transfers = self.counter("transfers")
+        evicted = self.counter("cache_evicted_bytes")
+        evictions = self.counter("cache_evictions")
+        preemptions = self.counter("worker_preemptions")
+        recoveries = self.counter("recoveries")
+
+        def on_dispatch(type_, t, fields):
+            dispatches.inc()
+            dispatch_latency.observe(fields.get("waited", 0.0))
+
+        def on_exec_end(type_, t, fields):
+            if fields.get("ok", True):
+                done.inc()
+                exec_time.observe(fields["t_end"] - fields["t_start"])
+            else:
+                failed.inc()
+
+        def on_transfer(type_, t, fields):
+            transfers.inc()
+            moved.inc(fields["nbytes"])
+
+        def on_evict(type_, t, fields):
+            evictions.inc()
+            evicted.inc(fields["nbytes"])
+
+        bus.subscribe(ev.DISPATCH, on_dispatch)
+        bus.subscribe(ev.EXEC_END, on_exec_end)
+        bus.subscribe(ev.TRANSFER, on_transfer)
+        bus.subscribe(ev.CACHE_EVICT, on_evict)
+        bus.subscribe(ev.WORKER_PREEMPT,
+                      lambda *_args: preemptions.inc())
+        bus.subscribe(ev.RECOVERY, lambda *_args: recoveries.inc())
+        return self
+
+    # -- reporting -----------------------------------------------------------
+    def read_gauges(self) -> Dict[str, float]:
+        return {name: g.read() for name, g in self.gauges.items()}
+
+    def snapshot(self) -> dict:
+        """Current value of every instrument, JSON-ready."""
+        out: Dict[str, object] = {}
+        for name, counter in self.counters.items():
+            out[name] = counter.value
+        out.update(self.read_gauges())
+        for name, hist in self.histograms.items():
+            out[name] = hist.snapshot()
+        return out
+
+    def series(self, name: str) -> List[tuple]:
+        """Sampled (t, value) pairs for one gauge."""
+        return [(row["t"], row[name]) for row in self.samples
+                if name in row]
+
+
+class Sampler:
+    """Periodic gauge snapshotter driven by the simulation clock."""
+
+    def __init__(self, sim, registry: MetricsRegistry,
+                 interval: float = 5.0, bus=ev.NULL_BUS):
+        if interval <= 0:
+            raise ValueError("sampler interval must be positive")
+        self.sim = sim
+        self.registry = registry
+        self.interval = interval
+        self.bus = bus
+        self._running = False
+
+    def sample(self) -> dict:
+        """Take one snapshot now (also called by the periodic loop)."""
+        row = {"t": self.sim.now}
+        row.update(self.registry.read_gauges())
+        self.registry.samples.append(row)
+        if self.bus.enabled:
+            fields = dict(row)
+            t = fields.pop("t")
+            self.bus.emit(ev.METRIC_SAMPLE, t, **fields)
+        return row
+
+    def start(self):
+        """Launch the sampling process; returns the sim process."""
+        self._running = True
+        return self.sim.process(self._loop(), name="metrics-sampler")
+
+    def stop(self) -> None:
+        """Stop after taking one final snapshot."""
+        if self._running:
+            self._running = False
+            self.sample()
+
+    def _loop(self):
+        while self._running:
+            self.sample()
+            yield self.sim.timeout(self.interval)
+
+
+def install_standard_gauges(registry: MetricsRegistry, manager) -> None:
+    """Register the scheduler-health gauges over a live manager.
+
+    Works for any :class:`~repro.core.manager.TaskVineManager`
+    subclass (all three stacks share the relevant state).
+    """
+    agents = manager.agents
+    network = manager.cluster.network
+    registry.gauge("queue_depth",
+                   lambda: len(manager.queue) + len(manager.queue_high))
+    registry.gauge("running_tasks", lambda: len(manager.running))
+    registry.gauge("workers_alive",
+                   lambda: sum(1 for a in agents.values() if a.alive))
+    registry.gauge("slots_in_use", lambda: sum(
+        sum(a.assigned.values()) for a in agents.values() if a.alive))
+    registry.gauge("slots_total", lambda: sum(
+        a.cores for a in agents.values() if a.alive))
+    registry.gauge("cache_bytes_total", lambda: sum(
+        a.cached_bytes() for a in agents.values()))
+    registry.gauge("transfer_bytes_in_flight", lambda: sum(
+        f.remaining for f in network.active_flows))
+    registry.gauge("active_flows", network.active_flow_count)

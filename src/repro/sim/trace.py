@@ -110,29 +110,64 @@ def step_series(times: Sequence[float], deltas: Sequence[float],
 
 
 class TraceRecorder:
-    """Accumulates simulation records and answers figure-level queries."""
+    """Accumulates simulation records and answers figure-level queries.
 
-    def __init__(self):
+    When ``bus`` is set (an :class:`repro.obs.events.EventBus`), every
+    record is also forwarded as an observability event -- this is how
+    network transfers, cache deltas, worker events, and completed task
+    attempts reach the transaction log without each producer being
+    instrumented twice.  Event-type names are string literals here (not
+    imports from :mod:`repro.obs.events`) to keep the sim substrate
+    dependency-free; the two must stay in sync.
+    """
+
+    def __init__(self, bus=None):
         self.tasks: List[TaskRecord] = []
         self.transfers: List[TransferRecord] = []
         self.cache_deltas: List[CacheDelta] = []
         self.worker_events: List[WorkerEvent] = []
         self.makespan: float = 0.0
+        #: optional observability bus; ``None`` means no forwarding.
+        self.bus = bus
 
     # -- recording ----------------------------------------------------------
     def task(self, record: TaskRecord) -> None:
         self.tasks.append(record)
         if record.t_end > self.makespan:
             self.makespan = record.t_end
+        if self.bus is not None:
+            self.bus.emit(
+                "EXEC_END", record.t_end, task=record.task_id,
+                category=record.category, worker=record.worker,
+                t_ready=record.t_ready, t_dispatch=record.t_dispatch,
+                t_start=record.t_start, t_end=record.t_end,
+                ok=record.ok)
 
     def transfer(self, record: TransferRecord) -> None:
         self.transfers.append(record)
+        if self.bus is not None:
+            self.bus.emit(
+                "TRANSFER", record.t_end, src=record.src, dst=record.dst,
+                nbytes=record.nbytes, t_start=record.t_start,
+                t_end=record.t_end, kind=record.kind)
 
-    def cache(self, worker: int, t: float, delta: float) -> None:
+    def cache(self, worker: int, t: float, delta: float,
+              name: Optional[str] = None) -> None:
         self.cache_deltas.append(CacheDelta(worker, t, delta))
+        if self.bus is not None:
+            self.bus.emit(
+                "CACHE_PUT" if delta >= 0 else "CACHE_EVICT", t,
+                worker=worker, nbytes=abs(delta), file=name)
+
+    _WORKER_EVENT_TYPES = {"spawn": "WORKER_JOIN",
+                           "preempt": "WORKER_PREEMPT"}
 
     def worker(self, worker: int, t: float, kind: str) -> None:
         self.worker_events.append(WorkerEvent(worker, t, kind))
+        if self.bus is not None:
+            self.bus.emit(
+                self._WORKER_EVENT_TYPES.get(kind, "WORKER_LEAVE"), t,
+                worker=worker, kind=kind)
 
     # -- aggregations -------------------------------------------------------
     def task_durations(self, category: Optional[str] = None,

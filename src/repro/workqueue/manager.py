@@ -46,20 +46,23 @@ class WorkQueueManager(TaskVineManager):
     scheduler_name = "workqueue"
 
     def __init__(self, sim, cluster, storage, workflow,
-                 config: Optional[SchedulerConfig] = None, trace=None):
+                 config: Optional[SchedulerConfig] = None, trace=None,
+                 bus=None):
         super().__init__(sim, cluster, storage, workflow,
-                         config=config or WORK_QUEUE_CONFIG, trace=trace)
+                         config=config or WORK_QUEUE_CONFIG, trace=trace,
+                         bus=bus)
         self._manager_inflight: Dict[str, Event] = {}
         #: bytes of workflow data staged on the manager's disk
         self.manager_bytes = 0.0
 
     # -- staging: bounce dataset files off the manager ----------------------
-    def _fetch_to_worker(self, name: str, agent: WorkerAgent):
+    def _fetch_to_worker(self, name: str, agent: WorkerAgent,
+                         task_id: Optional[str] = None):
         file = self.workflow.files[name]
         if (file.kind == FileKind.INPUT
                 and MANAGER_NODE not in self.replicas.locations(name)):
             yield from self._stage_to_manager(name)
-        yield from super()._fetch_to_worker(name, agent)
+        yield from super()._fetch_to_worker(name, agent, task_id=task_id)
 
     def _stage_to_manager(self, name: str):
         """Read a dataset file from shared storage onto the manager,
@@ -77,6 +80,9 @@ class WorkQueueManager(TaskVineManager):
             self._manager_inflight.pop(name, None)
         self.replicas.add(name, MANAGER_NODE)
         self.manager_bytes += size
+        # record the manager's disk as a cache node, matching the
+        # TaskVineManager result-retrieval path (Fig 7 heatmaps)
+        self.trace.cache(MANAGER_NODE, self.sim.now, size, name=name)
         pending.succeed()
 
     # -- source preference: the manager, always -------------------------------

@@ -11,7 +11,7 @@ class TestParser:
     def test_all_commands_registered(self):
         assert set(COMMANDS) == {
             "table1", "table2", "fig7", "fig8", "fig10", "fig11",
-            "fig12", "fig13", "fig14a", "fig14b", "fig15"}
+            "fig12", "fig13", "fig14a", "fig14b", "fig15", "run"}
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -152,3 +152,45 @@ class TestImportHoisting:
             except LibraryError:
                 outcomes.append("failed")
         assert "failed" in outcomes or len(outcomes) == 3
+
+
+class TestObservability:
+    def test_lifecycle_events_on_bus(self):
+        from repro.obs.events import (
+            FUNCTION_CALL,
+            FUNCTION_RESULT,
+            LIBRARY_START,
+            EventBus,
+        )
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(lambda ty, t, f: seen.append((ty, f)))
+        with Library({"double": double}, name="obs-lib",
+                     bus=bus) as lib:
+            assert lib.call("double", 21).result(timeout=60) == 42
+        types = [ty for ty, _ in seen]
+        assert types[0] == LIBRARY_START
+        assert FUNCTION_CALL in types
+        assert FUNCTION_RESULT in types
+        call = dict(seen)[FUNCTION_CALL]
+        assert call["function"] == "double"
+        assert call["library"] == "obs-lib"
+        result = dict(seen)[FUNCTION_RESULT]
+        assert result["ok"] is True
+
+    def test_failed_call_marked_not_ok(self):
+        from repro.obs.events import FUNCTION_RESULT, EventBus
+
+        bus = EventBus()
+        results = []
+        bus.subscribe(FUNCTION_RESULT,
+                      lambda ty, t, f: results.append(f))
+        with Library({"boom": boom}, bus=bus) as lib:
+            with pytest.raises(FunctionCallError):
+                lib.call("boom").result(timeout=60)
+        assert results and results[0]["ok"] is False
+
+    def test_default_bus_is_null(self):
+        lib = Library({"double": double})
+        assert lib.bus.enabled is False

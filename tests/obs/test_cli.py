@@ -1,0 +1,83 @@
+"""Tests for the python -m repro.obs CLI and its bench integration."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.obs.__main__ import build_parser, main
+from repro.obs.txlog import TransactionLog
+
+
+def write_log(path):
+    with TransactionLog(str(path), meta={"scheduler": "taskvine"}) as log:
+        log.record("EXEC_END", 5.0, task="a", category="p", worker=1,
+                   t_ready=0.0, t_dispatch=0.1, t_start=0.5, t_end=5.0,
+                   ok=True)
+        log.record("TRANSFER", 1.0, src=0, dst=1, nbytes=1e6,
+                   t_start=0.0, t_end=1.0, kind="data")
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["run.jsonl"])
+        assert args.log == "run.jsonl"
+        assert args.top == 10
+        assert args.section is None
+        assert not args.demo
+
+    def test_sections_append(self):
+        args = build_parser().parse_args(
+            ["x", "--section", "cache", "--section", "stragglers"])
+        assert args.section == ["cache", "stragglers"]
+
+    def test_bad_section_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["x", "--section", "nope"])
+
+
+class TestMain:
+    def test_report_over_log(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_log(path)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "RUN SUMMARY" in out
+        assert "TRANSFER HOTSPOTS" in out
+
+    def test_summary_only(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_log(path)
+        assert main([str(path), "--summary-only"]) == 0
+        out = capsys.readouterr().out
+        assert "RUN SUMMARY" in out
+        assert "STRAGGLERS" not in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_demo_generates_then_analyzes(self, tmp_path, capsys):
+        path = str(tmp_path / "demo.jsonl")
+        assert main([path, "--demo"]) == 0
+        captured = capsys.readouterr()
+        assert "demo run:" in captured.err
+        assert "CRITICAL PATH" in captured.out
+
+
+class TestBenchRunIntegration:
+    def test_bench_run_writes_txlog(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert bench_main([
+            "run", "--workload", "DV3-Small", "--scale", "0.02",
+            "--workers", "3", "--txlog", path]) == 0
+        out = capsys.readouterr().out
+        assert "transaction log ->" in out
+        # the log it wrote is analyzable
+        assert main([path, "--summary-only"]) == 0

@@ -1,0 +1,77 @@
+"""Tests for the typed event bus."""
+
+import pytest
+
+from repro.obs.events import (
+    DISPATCH,
+    EVENT_TYPES,
+    EXEC_END,
+    NULL_BUS,
+    READY,
+    EventBus,
+    NullBus,
+)
+
+
+class TestNullBus:
+    def test_disabled(self):
+        assert NULL_BUS.enabled is False
+
+    def test_emit_is_noop(self):
+        NULL_BUS.emit(READY, 0.0, task="t1")  # must not raise
+
+    def test_subscribe_rejected(self):
+        with pytest.raises(RuntimeError):
+            NULL_BUS.subscribe(READY, lambda *a: None)
+        with pytest.raises(RuntimeError):
+            NULL_BUS.subscribe_all(lambda *a: None)
+
+    def test_singleton_shared(self):
+        assert isinstance(NULL_BUS, NullBus)
+
+
+class TestEventBus:
+    def test_typed_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(READY, lambda ty, t, f: seen.append((ty, t, f)))
+        bus.emit(READY, 1.5, task="a")
+        bus.emit(DISPATCH, 2.0, task="a")  # not subscribed
+        assert seen == [(READY, 1.5, {"task": "a"})]
+
+    def test_multiple_types_one_subscriber(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe((READY, DISPATCH), lambda ty, t, f: seen.append(ty))
+        bus.emit(READY, 0.0)
+        bus.emit(DISPATCH, 0.1)
+        assert seen == [READY, DISPATCH]
+
+    def test_wildcard_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(lambda ty, t, f: seen.append(ty))
+        bus.emit(READY, 0.0)
+        bus.emit(EXEC_END, 1.0, ok=True)
+        assert seen == [READY, EXEC_END]
+
+    def test_wildcard_called_before_typed(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe_all(lambda *a: order.append("wild"))
+        bus.subscribe(READY, lambda *a: order.append("typed"))
+        bus.emit(READY, 0.0)
+        assert order == ["wild", "typed"]
+
+    def test_counts(self):
+        bus = EventBus()
+        bus.emit(READY, 0.0)
+        bus.emit(READY, 1.0)
+        bus.emit(DISPATCH, 2.0)
+        assert bus.counts == {READY: 2, DISPATCH: 1}
+
+    def test_enabled(self):
+        assert EventBus().enabled is True
+
+    def test_event_types_unique(self):
+        assert len(EVENT_TYPES) == len(set(EVENT_TYPES))

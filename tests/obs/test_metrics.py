@@ -1,0 +1,155 @@
+"""Tests for counters, gauges, histograms, registry, and the sampler."""
+
+import pytest
+
+from repro.obs.events import (
+    CACHE_EVICT,
+    DISPATCH,
+    EXEC_END,
+    METRIC_SAMPLE,
+    RECOVERY,
+    TRANSFER,
+    WORKER_PREEMPT,
+    EventBus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sampler,
+)
+from repro.sim.engine import Simulation
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_set(self):
+        g = Gauge("depth")
+        assert g.read() == 0.0
+        g.set(7)
+        assert g.read() == 7
+
+    def test_gauge_callback(self):
+        state = {"v": 3}
+        g = Gauge("depth", fn=lambda: state["v"])
+        assert g.read() == 3.0
+        state["v"] = 9
+        assert g.read() == 9.0
+
+    def test_histogram_quantiles(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(5.5 / 4)
+        assert h.quantile(0.5) == 1.0   # 2 of 4 fall in the first bucket
+        assert h.quantile(1.0) == 4.0
+
+    def test_histogram_overflow_bucket(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(100.0)
+        assert h.quantile(0.5) == float("inf")
+
+    def test_histogram_empty(self):
+        h = Histogram("lat")
+        assert h.mean == 0.0
+        assert h.quantile(0.95) == 0.0
+        assert h.snapshot()["count"] == 0
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_bind_derives_standard_metrics(self):
+        reg = MetricsRegistry()
+        bus = EventBus()
+        reg.bind(bus)
+        bus.emit(DISPATCH, 1.0, task="a", worker=1, waited=0.25)
+        bus.emit(EXEC_END, 5.0, task="a", worker=1, ok=True,
+                 t_ready=0.0, t_dispatch=1.0, t_start=1.5, t_end=5.0)
+        bus.emit(EXEC_END, 6.0, task="b", worker=1, ok=False,
+                 t_ready=0.0, t_dispatch=1.0, t_start=1.5, t_end=6.0)
+        bus.emit(TRANSFER, 2.0, src=0, dst=1, nbytes=1e6,
+                 t_start=1.0, t_end=2.0, kind="data")
+        bus.emit(CACHE_EVICT, 3.0, worker=1, nbytes=5e5, file="f")
+        bus.emit(WORKER_PREEMPT, 4.0, worker=2, kind="preempt")
+        bus.emit(RECOVERY, 4.5, file="f", task="p")
+        snap = reg.snapshot()
+        assert snap["tasks_dispatched"] == 1
+        assert snap["tasks_done"] == 1
+        assert snap["tasks_failed"] == 1
+        assert snap["transfer_bytes"] == 1e6
+        assert snap["transfers"] == 1
+        assert snap["cache_evicted_bytes"] == 5e5
+        assert snap["cache_evictions"] == 1
+        assert snap["worker_preemptions"] == 1
+        assert snap["recoveries"] == 1
+        assert snap["dispatch_latency_s"]["count"] == 1
+        assert snap["task_exec_s"]["count"] == 1
+        assert snap["task_exec_s"]["mean"] == pytest.approx(3.5)
+
+    def test_series(self):
+        reg = MetricsRegistry()
+        reg.samples.append({"t": 0.0, "queue_depth": 4})
+        reg.samples.append({"t": 5.0, "queue_depth": 2})
+        assert reg.series("queue_depth") == [(0.0, 4), (5.0, 2)]
+
+
+class TestSampler:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            Sampler(Simulation(), MetricsRegistry(), interval=0)
+
+    def test_periodic_sampling(self):
+        sim = Simulation()
+        reg = MetricsRegistry()
+        state = {"v": 0}
+        reg.gauge("depth", fn=lambda: state["v"])
+        sampler = Sampler(sim, reg, interval=2.0)
+        sampler.start()
+
+        def mutate():
+            yield sim.timeout(3.0)
+            state["v"] = 10
+            yield sim.timeout(10.0)
+
+        sim.process(mutate())
+        sim.run(until=9.0)
+        sampler.stop()
+        series = reg.series("depth")
+        # samples at 0, 2, 4, 6, 8 plus the stop() snapshot at 9
+        assert [t for t, _ in series] == [0.0, 2.0, 4.0, 6.0, 8.0, 9.0]
+        assert [v for _, v in series] == [0, 0, 10, 10, 10, 10]
+
+    def test_stop_idempotent(self):
+        sim = Simulation()
+        reg = MetricsRegistry()
+        sampler = Sampler(sim, reg, interval=1.0)
+        sampler.start()
+        sim.run(until=0.5)
+        sampler.stop()
+        sampler.stop()
+        assert len(reg.samples) == 2  # t=0 sample + final snapshot
+
+    def test_samples_published_to_bus(self):
+        sim = Simulation()
+        reg = MetricsRegistry()
+        reg.gauge("depth", fn=lambda: 3)
+        bus = EventBus()
+        seen = []
+        bus.subscribe(METRIC_SAMPLE, lambda ty, t, f: seen.append(f))
+        sampler = Sampler(sim, reg, interval=1.0, bus=bus)
+        sampler.start()
+        sim.run(until=0.5)
+        sampler.stop()
+        assert seen and seen[0] == {"depth": 3.0}

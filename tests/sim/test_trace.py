@@ -147,3 +147,62 @@ class TestCacheAggregations:
         trace.worker(3, 10.0, "preempt")
         trace.worker(4, 11.0, "spawn")
         assert [e.worker for e in trace.failures()] == [3]
+
+
+class TestEdgeCases:
+    def test_step_series_interleaved_unsorted_duplicates(self):
+        # unsorted AND duplicated times together: stable merge first
+        ts, levels = step_series([4, 1, 4, 1], [1, 2, -1, 3])
+        assert list(ts) == [1, 4]
+        assert list(levels) == [5, 5]
+
+    def test_summary_on_empty_trace(self):
+        summary = TraceRecorder().summary()
+        assert summary["tasks"] == 0
+        assert summary["makespan"] == 0
+        assert summary["mean_exec"] == 0
+        assert summary["bytes_moved"] == 0
+        assert summary["preemptions"] == 0
+
+    def test_transfer_matrix_manager_node_traffic(self):
+        # node 0 is the manager; its row/column must participate
+        trace = TraceRecorder()
+        trace.transfer(TransferRecord(0, 2, 100, 0, 1, kind="data"))
+        trace.transfer(TransferRecord(2, 0, 30, 1, 2, kind="result"))
+        mat = trace.transfer_matrix(3)
+        assert mat[0, 2] == 100
+        assert mat[2, 0] == 30
+        assert mat.sum() == 130
+
+    def test_cache_series_empty_worker(self):
+        trace = TraceRecorder()
+        ts, levels = trace.cache_series(99)
+        assert list(levels) == [0.0]
+
+    def test_utilization_zero_makespan(self):
+        assert TraceRecorder().utilization(4) == 0.0
+
+
+class TestBusForwarding:
+    def test_records_forwarded_as_events(self):
+        from repro.obs import EventBus
+
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(lambda type_, t, fields: seen.append(type_))
+        trace = TraceRecorder(bus=bus)
+        record(trace, 1, 2, 0, 0, 1, 4)
+        trace.transfer(TransferRecord(0, 1, 10, 0, 1))
+        trace.cache(1, 0.0, 100, name="f")
+        trace.cache(1, 1.0, -100, name="f")
+        trace.worker(1, 0.0, "spawn")
+        trace.worker(1, 5.0, "preempt")
+        trace.worker(1, 6.0, "remove")
+        assert seen == ["EXEC_END", "TRANSFER", "CACHE_PUT",
+                        "CACHE_EVICT", "WORKER_JOIN", "WORKER_PREEMPT",
+                        "WORKER_LEAVE"]
+
+    def test_no_bus_is_silent(self):
+        trace = TraceRecorder()
+        record(trace, 1, 2, 0, 0, 1, 4)  # must not raise
+        assert trace.bus is None

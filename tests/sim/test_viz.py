@@ -32,6 +32,33 @@ class TestHeatmap:
         out = render_heatmap(np.zeros((3, 3)))
         assert "@" not in out
 
+    def test_non_divisible_downsampling_keeps_trailing_block(self):
+        # 101 nodes at max_cells=10 -> factor 11, last block is 2 wide;
+        # a hot corner cell must survive into the shrunken picture
+        mat = np.zeros((101, 101))
+        mat[100, 100] = 1e9
+        out = render_heatmap(mat, max_cells=10)
+        body = out.splitlines()[1:]
+        assert any("@" in line for line in body)
+        assert "@" in body[-1]  # in the final (partial) block row
+
+    def test_downsampled_row_count_non_divisible(self):
+        for n in (41, 100, 101, 201):
+            out = render_heatmap(np.zeros((n, n)), max_cells=40)
+            factor = int(np.ceil(n / 40))
+            body = out.splitlines()[1:]
+            assert len(body) == int(np.ceil(n / factor))
+
+    def test_downsampling_preserves_block_sums(self):
+        # block sums drive the shades: a cell in the interior and one
+        # in the trailing partial block get the same shade when equal
+        mat = np.zeros((25, 25))
+        mat[0, 0] = 7.0
+        mat[24, 24] = 7.0
+        out = render_heatmap(mat, max_cells=10, log_scale=False)
+        body = out.splitlines()[1:]
+        assert body[0].strip()[0] == body[-1].strip()[-1] == "@"
+
 
 class TestTimeline:
     def test_shape(self):
@@ -53,6 +80,16 @@ class TestTimeline:
         out = render_timeline(ts, values, width=20, height=4)
         top_row = out.splitlines()[0]
         assert "#" in top_row
+
+    def test_footer_shows_time_extent(self):
+        out = render_timeline([0.0, 50.0], [1.0, 0.0], width=30,
+                              height=3)
+        assert "t=50s" in out.splitlines()[-1].replace(" ", "")
+
+    def test_constant_zero_series(self):
+        out = render_timeline([0.0, 10.0], [0.0, 0.0], width=20,
+                              height=4)
+        assert "#" not in out
 
 
 class TestGantt:
