@@ -159,13 +159,20 @@ def _run(args) -> str:
             spec, name=f"{spec.name}-x{args.scale:g}",
             n_tasks=max(1, int(spec.n_tasks * args.scale)),
             input_bytes=spec.input_bytes * args.scale)
+    scenario = None
+    if args.chaos:
+        from ..chaos import get_scenario
+        try:
+            scenario = get_scenario(args.chaos)
+        except KeyError as exc:
+            raise SystemExit(str(exc))
     node = (cal.dask_sharded_node()
             if args.scheduler == "dask.distributed" else None)
     env = build_environment(args.workers, node=node, seed=args.seed)
     workflow = build_workflow(spec, arity=cal.REDUCTION_ARITY,
                               seed=args.seed)
     result = run_scheduler(env, workflow, args.scheduler,
-                           txlog_path=args.txlog)
+                           txlog_path=args.txlog, chaos=scenario)
     table = format_table(
         ["Workload", "Scheduler", "Workers", "Tasks done", "Failures",
          "Makespan (s)"],
@@ -173,6 +180,11 @@ def _run(args) -> str:
           result.task_failures,
           round(result.makespan, 1) if result.completed else "DNF")],
         title="RUN: single scheduler run")
+    if scenario is not None:
+        fired = getattr(result, "chaos_injections", [])
+        table += (f"\nchaos scenario {scenario.name!r}: "
+                  f"{len(fired)} injections fired "
+                  f"(scorecard: python -m repro.chaos)")
     if args.txlog:
         table += (f"\ntransaction log -> {args.txlog} "
                   f"(analyze: python -m repro.obs {args.txlog})")
@@ -214,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--txlog", default=None,
                        help="write the run's JSONL transaction log "
                             "here")
+    group.add_argument("--chaos", default=None, metavar="SCENARIO",
+                       help="inject a repro.chaos fault scenario into "
+                            "the run (recorded in the txlog RUN "
+                            "header; see `python -m repro.chaos list`)")
     return parser
 
 

@@ -93,7 +93,9 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
                   txlog_path: Optional[str] = None,
                   txlog_meta: Optional[dict] = None,
                   metrics=None,
-                  sample_interval: Optional[float] = None) -> RunResult:
+                  sample_interval: Optional[float] = None,
+                  chaos=None,
+                  chaos_horizon: Optional[float] = None) -> RunResult:
     """Run one scheduler over a workflow in the given environment.
 
     Observability hooks (all optional, zero cost when unused):
@@ -105,6 +107,15 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
       installed over the live manager.
     * ``sample_interval`` -- seconds of sim time between gauge
       snapshots (requires or creates a metrics registry).
+
+    Fault injection:
+
+    * ``chaos`` -- a :class:`~repro.chaos.scenario.Scenario` to execute
+      against this run.  Injection times are resolved against
+      ``chaos_horizon`` (seconds; typically the fault-free makespan --
+      estimated from the workflow when omitted).  The scenario is
+      recorded in the txlog RUN header and the injector's firing record
+      is attached to the result as ``result.chaos_injections``.
     """
     try:
         scheduler_cls = SCHEDULERS[scheduler]
@@ -129,6 +140,8 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
                     "n_workers": env.n_workers,
                     "cores_per_worker": env.cores_per_worker,
                     "tasks": len(workflow.tasks)}
+            if chaos is not None:
+                meta["chaos"] = chaos.describe()
             meta.update(txlog_meta or {})
             txlog = TransactionLog(txlog_path, meta=meta)
             txlog.attach(bus)
@@ -140,6 +153,17 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
     # built after the bus is in place: the manager adopts trace.bus
     manager = scheduler_cls(env.sim, env.cluster, env.storage, workflow,
                             config=config, trace=env.trace)
+
+    injector = None
+    if chaos is not None:
+        # imported lazily so fault-free runs never touch repro.chaos
+        from ..chaos.inject import Injector, estimate_horizon
+        horizon = chaos_horizon
+        if horizon is None:
+            horizon = estimate_horizon(
+                workflow, env.n_workers * env.cores_per_worker)
+        injector = Injector(manager, chaos, horizon)
+        injector.start()
 
     if metrics is not None:
         install_standard_gauges(metrics, manager)
@@ -164,4 +188,6 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
                     tasks_done=result.tasks_done,
                     task_failures=result.task_failures,
                     error=result.error)
+    if injector is not None:
+        result.chaos_injections = injector.fired
     return result

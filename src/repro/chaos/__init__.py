@@ -1,0 +1,71 @@
+"""repro.chaos: deterministic fault injection + resilience scorecard.
+
+The paper's headline environment is an *opportunistic* campus cluster:
+workers are preempted, networks brown out, shared storage has bad
+days.  This package turns those conditions into declarative, seeded
+:class:`~repro.chaos.scenario.Scenario` timelines, executes them
+against any scheduler stack via the :class:`~repro.chaos.inject.
+Injector`, and grades the outcome from the transaction log with
+:mod:`~repro.chaos.scorecard` -- completion with bin-identical physics
+results, recovery cost, and degradation versus fault intensity.
+
+Quickstart::
+
+    python -m repro.chaos list
+    python -m repro.chaos run --scenario preempt-storm-20 \\
+        --stack taskvine --workload dv3-medium
+
+or compose with any runner::
+
+    from repro.chaos import get_scenario
+    result = run_scheduler(env, wf, "taskvine",
+                           chaos=get_scenario("preempt-storm-20"),
+                           chaos_horizon=baseline_makespan)
+"""
+
+from .inject import Injector, estimate_horizon
+from .scenario import (
+    SCENARIOS,
+    Blackout,
+    Injection,
+    NetworkDegrade,
+    NetworkPartition,
+    PreemptionStorm,
+    ReplicaCorruption,
+    Scenario,
+    StorageBrownout,
+    StragglerInjection,
+    get_scenario,
+)
+from .scorecard import (
+    N_BINS,
+    Scorecard,
+    compare,
+    format_comparison,
+    format_scorecard,
+    pseudo_histogram,
+    score,
+)
+
+__all__ = [
+    "Injection",
+    "PreemptionStorm",
+    "Blackout",
+    "NetworkDegrade",
+    "NetworkPartition",
+    "StorageBrownout",
+    "ReplicaCorruption",
+    "StragglerInjection",
+    "Scenario",
+    "SCENARIOS",
+    "get_scenario",
+    "Injector",
+    "estimate_horizon",
+    "N_BINS",
+    "Scorecard",
+    "pseudo_histogram",
+    "score",
+    "compare",
+    "format_scorecard",
+    "format_comparison",
+]

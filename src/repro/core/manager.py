@@ -31,7 +31,13 @@ from typing import Dict, List, Optional, Set
 
 from ..obs import events as obs
 from ..sim.cluster import Cluster, WorkerNode
-from ..sim.engine import Event, Interrupt, Resource, Simulation
+from ..sim.engine import (
+    Event,
+    Interrupt,
+    Resource,
+    Simulation,
+    SimulationError,
+)
 from ..sim.storage import DiskFullError, SharedFilesystem
 from ..sim.trace import TaskRecord, TraceRecorder
 from .cache import ReplicaMap
@@ -40,13 +46,24 @@ from .files import FileKind
 from .spec import SimTask, SimWorkflow
 from .worker import WorkerAgent
 
-__all__ = ["TaskVineManager", "RunResult", "SchedulerError"]
+__all__ = ["TaskVineManager", "RunResult", "SchedulerError",
+           "UnrecoverableError"]
 
 MANAGER_NODE = 0
 
 
 class SchedulerError(Exception):
     """The run cannot make progress (task exceeded retries, no workers)."""
+
+
+class UnrecoverableError(SchedulerError):
+    """The run ended without completing the workflow.
+
+    Raised by :meth:`RunResult.raise_for_status` -- ``run()`` itself
+    always returns a structured :class:`RunResult`.  The typed failure
+    lets callers (and the chaos property tests) distinguish "declared
+    defeat" from a hang or a silently dropped task.
+    """
 
 
 class _StagingLost(Exception):
@@ -69,6 +86,13 @@ class RunResult:
         out["completed"] = float(self.completed)
         out["task_failures"] = float(self.task_failures)
         return out
+
+    def raise_for_status(self) -> "RunResult":
+        """Return self if the run completed, else raise
+        :class:`UnrecoverableError` carrying the failure reason."""
+        if not self.completed:
+            raise UnrecoverableError(self.error or "run did not complete")
+        return self
 
 
 class TaskVineManager:
@@ -417,6 +441,12 @@ class TaskVineManager:
             task_id=hash(task.id) & 0x7FFFFFFF, category=task.category,
             worker=agent.node_id, t_ready=t_ready, t_dispatch=t_dispatch,
             t_start=t_start, t_end=t_end, ok=True))
+        if self.bus.enabled:
+            # EXEC_END carries the process-salted hashed id; this edge
+            # keeps the *string* id so cross-process analyses (the chaos
+            # scorecard's physics-accounting digest) can line tasks up.
+            self.bus.emit(obs.TASK_DONE, t_end, task=task.id,
+                          category=task.category, worker=agent.node_id)
         if self.config.min_replicas > 1:
             for name in task.outputs:
                 if name not in self.final_files:
@@ -661,6 +691,12 @@ class TaskVineManager:
         try:
             if target.has(name) or name in target.inflight:
                 return
+            # Either endpoint may have been preempted in the instant
+            # between scheduling this push and it starting -- its pipe
+            # is then gone and transfer() would raise SimulationError.
+            if (not source.alive or not target.alive
+                    or not source.has(name)):
+                return
             pending = self.sim.event()
             target.inflight[name] = pending
             try:
@@ -674,8 +710,9 @@ class TaskVineManager:
                 target.inflight.pop(name, None)
                 if not pending.triggered:
                     pending.succeed()
-        except (ConnectionError, DiskFullError):
-            # source/target died or the target is full: give up quietly
+        except (ConnectionError, DiskFullError, SimulationError):
+            # source/target died or the target is full: replication is
+            # best-effort, give up quietly
             if target.has(name) and not self.replicas.holders_among(
                     name, [target.node_id]):
                 target.remove(name)

@@ -65,6 +65,15 @@ class DaskDistributedScheduler(TaskVineManager):
     #: beyond this much intermediate data the per-process object stores
     #: and spilling thrash (DV3-Large: ~0.5 TB; RS-TriPhoton: ~1.8 TB).
     max_stable_intermediate_bytes = 300e9
+    #: fraction of the worker-process pool that can be lost before the
+    #: run destabilises.  Dask tolerates the odd lost worker (tasks are
+    #: retried), but losing a meaningful slice of the pool takes
+    #: non-replicated intermediates with it and the paper reports the
+    #: result as worker/application crashes and hangs, not recovery.
+    preemption_tolerance = 0.05
+
+    _peak_workers = 0
+    _workers_lost = 0
 
     def __init__(self, sim, cluster, storage, workflow,
                  config: Optional[SchedulerConfig] = None, trace=None,
@@ -72,6 +81,33 @@ class DaskDistributedScheduler(TaskVineManager):
         super().__init__(sim, cluster, storage, workflow,
                          config=config or DASK_DISTRIBUTED_CONFIG,
                          trace=trace, bus=bus)
+        self._peak_workers = max(1, len(self.agents))
+        self._workers_lost = 0
+
+    def _add_agent(self, node) -> None:
+        super()._add_agent(node)
+        # reads the class default 0 during super().__init__, an
+        # instance attribute afterwards
+        self._peak_workers = max(self._peak_workers, len(self.agents))
+
+    def _on_preempt(self, node) -> None:
+        if node.node_id in self.agents:
+            self._workers_lost += 1
+        super()._on_preempt(node)
+        if self._error is not None:
+            return
+        lost_frac = self._workers_lost / max(1, self._peak_workers)
+        if lost_frac > self.preemption_tolerance:
+            reason = (f"{self._workers_lost}/{self._peak_workers} worker"
+                      f" processes lost ({lost_frac:.0%} exceeds the "
+                      f"{self.preemption_tolerance:.0%} tolerance): "
+                      f"non-replicated intermediates are gone and the "
+                      f"scheduler/heartbeat fabric destabilises")
+            if self.bus.enabled:
+                self.bus.emit(obs.CRASH, self.sim.now,
+                              scheduler=self.scheduler_name,
+                              reason=reason)
+            self._abort(f"dask.distributed crashed: {reason}")
 
     def feasible(self) -> Optional[str]:
         """None if the run is inside the envelope, else the reason."""

@@ -37,6 +37,7 @@ __all__ = [
     "STAGE_IN",
     "EXEC_START",
     "EXEC_END",
+    "TASK_DONE",
     "RETRIEVE",
     "CACHE_PUT",
     "CACHE_EVICT",
@@ -47,6 +48,8 @@ __all__ = [
     "REPLICA_LOST",
     "RECOVERY",
     "CRASH",
+    "INJECT",
+    "PARTITION",
     "LIBRARY_START",
     "FUNCTION_CALL",
     "FUNCTION_RESULT",
@@ -61,6 +64,7 @@ DISPATCH = "DISPATCH"        # manager assigned the task to a worker
 STAGE_IN = "STAGE_IN"        # one input file became resident on the worker
 EXEC_START = "EXEC_START"    # worker-observed execution began
 EXEC_END = "EXEC_END"        # attempt finished (ok field: success/failure)
+TASK_DONE = "TASK_DONE"      # manager accepted a task's outputs (string id)
 RETRIEVE = "RETRIEVE"        # an output was fetched back to the manager
 
 # -- data movement ----------------------------------------------------------
@@ -70,6 +74,10 @@ TRANSFER = "TRANSFER"        # a network/storage flow completed
 REPLICA_LOST = "REPLICA_LOST"  # last copy of a file vanished
 RECOVERY = "RECOVERY"        # lineage recovery re-queued a producer
 CRASH = "CRASH"              # a scheduler aborted the whole run
+
+# -- fault injection (repro.chaos) ------------------------------------------
+INJECT = "INJECT"            # a chaos injection fired (kind + details)
+PARTITION = "PARTITION"      # a network partition started or healed
 
 # -- cluster membership -----------------------------------------------------
 WORKER_JOIN = "WORKER_JOIN"
@@ -87,8 +95,10 @@ RUN = "RUN"                  # transaction-log header
 RUN_END = "RUN_END"          # transaction-log footer
 
 EVENT_TYPES = (
-    READY, DISPATCH, STAGE_IN, EXEC_START, EXEC_END, RETRIEVE,
+    READY, DISPATCH, STAGE_IN, EXEC_START, EXEC_END, TASK_DONE,
+    RETRIEVE,
     CACHE_PUT, CACHE_EVICT, TRANSFER, REPLICA_LOST, RECOVERY, CRASH,
+    INJECT, PARTITION,
     WORKER_JOIN, WORKER_PREEMPT, WORKER_LEAVE,
     LIBRARY_START, FUNCTION_CALL, FUNCTION_RESULT,
     METRIC_SAMPLE, RUN, RUN_END,

@@ -171,13 +171,27 @@ class Cluster:
         if node.alive:
             self.preempt(node)
 
-    def preempt(self, node: WorkerNode) -> None:
-        """Forcibly evict a worker (opportunistic scheduling took it back)."""
+    def preempt(self, node: WorkerNode, reason: str = "preempt") -> None:
+        """Forcibly evict a worker (opportunistic scheduling took it back).
+
+        ``reason`` labels the trace record ("preempt", "blackout", ...);
+        whatever the label, registered preemption handlers fire so the
+        scheduler recovers the node's tasks and replicas.
+        """
         if not node.alive:
             return
-        self.remove_worker(node, reason="preempt")
+        self.remove_worker(node, reason=reason)
         for handler in self._preemption_handlers:
             handler(node)
+
+    def slow_node(self, node: WorkerNode, slowdown: float) -> None:
+        """Turn a node into a straggler: divide its CPU speed by
+        ``slowdown`` (> 1 slows it).  Affects tasks dispatched from now
+        on; the timeout of a task already executing stays as sampled."""
+        if slowdown <= 0:
+            raise ValueError(f"slowdown must be > 0, got {slowdown!r}")
+        node.spec = replace(
+            node.spec, speed_factor=node.spec.speed_factor / slowdown)
 
     def remove_worker(self, node: WorkerNode, reason: str = "remove") -> None:
         """Tear a node down: NIC gone, in-flight flows fail."""

@@ -84,6 +84,10 @@ class Network:
         self.latency = latency
         self.pipes: Dict[int, Pipe] = {}
         self.active_flows: Set[Flow] = set()
+        #: healthy (capacity, per_stream_cap) of degraded pipes
+        self._healthy_rates: Dict[int, tuple] = {}
+        #: isolated node group during a partition (None = connected)
+        self._partition: Optional[Set[int]] = None
 
     # -- topology -------------------------------------------------------------
     def add_node(self, node: int, capacity: float,
@@ -100,11 +104,62 @@ class Network:
     def remove_node(self, node: int) -> None:
         """Remove a node (its in-flight flows fail)."""
         pipe = self.pipes.pop(node, None)
+        self._healthy_rates.pop(node, None)
         if pipe is None:
             return
         for flow in list(pipe.flows):
             self._fail_flow(flow, ConnectionError(
                 f"node {node} left the cluster"))
+
+    # -- fault injection -----------------------------------------------------
+    def degrade(self, node: int, factor: float) -> None:
+        """Scale a node's NIC rates by ``factor`` (0 < factor <= 1).
+
+        In-flight flows through the pipe slow down immediately; calling
+        again re-scales from the *healthy* rates, not cumulatively.
+        """
+        if factor <= 0:
+            raise SimulationError(f"degrade factor must be > 0, "
+                                  f"got {factor!r}")
+        pipe = self.pipes.get(node)
+        if pipe is None:
+            return
+        healthy = self._healthy_rates.setdefault(
+            node, (pipe.capacity, pipe.per_stream_cap))
+        pipe.capacity = healthy[0] * factor
+        pipe.per_stream_cap = healthy[1] * factor
+        self._update_rates({pipe})
+
+    def restore(self, node: int) -> None:
+        """Undo :meth:`degrade`, returning the pipe to healthy rates."""
+        healthy = self._healthy_rates.pop(node, None)
+        pipe = self.pipes.get(node)
+        if healthy is None or pipe is None:
+            return
+        pipe.capacity, pipe.per_stream_cap = healthy
+        self._update_rates({pipe})
+
+    def partition(self, group: Set[int]) -> None:
+        """Isolate ``group`` from the rest of the cluster.
+
+        In-flight flows crossing the cut fail with ``ConnectionError``;
+        new transfers across it fail immediately (the returned event is
+        pre-failed).  Traffic within either side is unaffected.
+        """
+        self._partition = set(group)
+        for flow in list(self.active_flows):
+            if self._crosses(flow.src.node, flow.dst.node):
+                self._fail_flow(flow, ConnectionError(
+                    f"network partition cut {flow.src.node}->"
+                    f"{flow.dst.node}"))
+
+    def heal(self) -> None:
+        """End the partition; subsequent transfers succeed normally."""
+        self._partition = None
+
+    def _crosses(self, src: int, dst: int) -> bool:
+        p = self._partition
+        return p is not None and ((src in p) != (dst in p))
 
     # -- transfers -------------------------------------------------------------
     def transfer(self, src: int, dst: int, nbytes: float,
@@ -117,6 +172,11 @@ class Network:
         """
         if src not in self.pipes or dst not in self.pipes:
             raise SimulationError(f"unknown endpoint in {src}->{dst}")
+        if self._crosses(src, dst):
+            done = self.sim.event()
+            done.fail(ConnectionError(
+                f"network partition blocks {src}->{dst}"))
+            return done
         if src == dst:
             # Local "transfer": free, settles after negligible delay.
             done = self.sim.event()

@@ -124,6 +124,29 @@ class SharedFilesystem:
         self.bytes_read = 0.0
         self.bytes_written = 0.0
         self.metadata_ops = 0
+        #: brownout multipliers (1.0 = healthy); see :meth:`set_brownout`
+        self.latency_factor = 1.0
+        self.bw_factor = 1.0
+
+    def set_brownout(self, latency_factor: float = 1.0,
+                     bw_factor: float = 1.0) -> None:
+        """Degrade (or restore) the filesystem's service rates.
+
+        ``latency_factor`` multiplies metadata latency; ``bw_factor``
+        scales stream bandwidth (0 < factor <= 1 slows it down).  I/O
+        already in progress keeps its sampled service time in the queue
+        model; in the network model the pseudo-node's pipe is rescaled
+        so in-flight reads slow down too.  Call with defaults to heal.
+        """
+        if bw_factor <= 0 or latency_factor <= 0:
+            raise SimulationError("brownout factors must be > 0")
+        self.latency_factor = latency_factor
+        self.bw_factor = bw_factor
+        if self.model == "network" and self.node_id in self.network.pipes:
+            if bw_factor == 1.0:
+                self.network.restore(self.node_id)
+            else:
+                self.network.degrade(self.node_id, bw_factor)
 
     def read(self, node: int, nbytes: float, kind: str = "fs-read") -> Event:
         """Read ``nbytes`` from the filesystem into ``node``."""
@@ -145,7 +168,8 @@ class SharedFilesystem:
         """One open/stat round trip (import-hoisting experiments hammer
         this path: Python import performs many metadata lookups)."""
         self.metadata_ops += 1
-        return self.sim.timeout(self.profile.metadata_latency)
+        return self.sim.timeout(
+            self.profile.metadata_latency * self.latency_factor)
 
     def delete(self, nbytes: float) -> None:
         self.used = max(0.0, self.used - nbytes)
@@ -163,12 +187,15 @@ class SharedFilesystem:
         t_start = self.sim.now
         try:
             self.metadata_ops += 1
-            yield self.sim.timeout(self.profile.metadata_latency)
+            yield self.sim.timeout(
+                self.profile.metadata_latency * self.latency_factor)
             if self.model == "network":
                 yield self.network.transfer(src, event_dst, nbytes,
                                             kind=kind)
             else:
-                yield self.sim.timeout(nbytes / self.profile.per_stream_bw)
+                yield self.sim.timeout(
+                    nbytes / (self.profile.per_stream_bw
+                              * self.bw_factor))
                 if self.trace is not None:
                     from .trace import TransferRecord
                     self.trace.transfer(TransferRecord(

@@ -66,24 +66,34 @@ class WorkQueueManager(TaskVineManager):
 
     def _stage_to_manager(self, name: str):
         """Read a dataset file from shared storage onto the manager,
-        deduplicating concurrent requests for the same file."""
-        pending = self._manager_inflight.get(name)
-        if pending is not None:
-            yield pending
-            return
-        pending = self.sim.event()
-        self._manager_inflight[name] = pending
-        size = self.workflow.files[name].size
-        try:
-            yield self.storage.read(MANAGER_NODE, size)
-        finally:
-            self._manager_inflight.pop(name, None)
-        self.replicas.add(name, MANAGER_NODE)
-        self.manager_bytes += size
-        # record the manager's disk as a cache node, matching the
-        # TaskVineManager result-retrieval path (Fig 7 heatmaps)
-        self.trace.cache(MANAGER_NODE, self.sim.now, size, name=name)
-        pending.succeed()
+        deduplicating concurrent requests for the same file.
+
+        The staging task may be interrupted mid-read (its worker was
+        preempted), so the dedup event is settled in a ``finally`` and
+        waiters re-check on wake-up: whoever finds the file still
+        missing becomes the next stager instead of waiting forever on
+        an event that would never fire.
+        """
+        while MANAGER_NODE not in self.replicas.locations(name):
+            pending = self._manager_inflight.get(name)
+            if pending is not None:
+                yield pending
+                continue
+            pending = self.sim.event()
+            self._manager_inflight[name] = pending
+            size = self.workflow.files[name].size
+            try:
+                yield self.storage.read(MANAGER_NODE, size)
+                self.replicas.add(name, MANAGER_NODE)
+                self.manager_bytes += size
+                # record the manager's disk as a cache node, matching
+                # the TaskVineManager result-retrieval path (Fig 7)
+                self.trace.cache(MANAGER_NODE, self.sim.now, size,
+                                 name=name)
+            finally:
+                self._manager_inflight.pop(name, None)
+                if not pending.triggered:
+                    pending.succeed()
 
     # -- source preference: the manager, always -------------------------------
     def _transfer_sources(self, name: str, agent: WorkerAgent

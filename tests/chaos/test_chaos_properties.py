@@ -1,0 +1,79 @@
+"""Property: under arbitrary preemption/blackout schedules a TaskVine
+run either completes -- every task executed at least once and accounted
+exactly once -- or declares defeat with a typed
+:class:`~repro.core.manager.UnrecoverableError`.  It never hangs (the
+kernel's deadlock detector plus the run limit turn a hang into a
+structured failure) and never silently drops tasks.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.inject import Injector
+from repro.chaos.scenario import Blackout, PreemptionStorm, Scenario
+from repro.core.manager import TaskVineManager, UnrecoverableError
+from repro.obs import EventBus
+
+from tests.core.conftest import TEST_CONFIG, Env, map_reduce_workflow
+
+HORIZON = 8.0
+
+
+@st.composite
+def fault_schedules(draw):
+    """1-3 storms/blackouts at random times and severities -- up to
+    and including killing every worker."""
+    n = draw(st.integers(1, 3))
+    injections = []
+    for _ in range(n):
+        at = draw(st.floats(0.02, 0.9))
+        fraction = draw(st.floats(0.1, 1.0))
+        if draw(st.booleans()):
+            injections.append(PreemptionStorm(
+                at=at, fraction=fraction,
+                duration=draw(st.floats(0.0, 0.3))))
+        else:
+            injections.append(Blackout(
+                at=at, fraction=fraction,
+                duration=draw(st.floats(0.05, 0.4))))
+    seed = draw(st.integers(0, 2**16))
+    return Scenario("random-faults", tuple(injections), seed=seed)
+
+
+class TestChaosProperties:
+    @given(fault_schedules(), st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_completes_exactly_once_or_raises_typed_error(
+            self, scenario, n_workers):
+        env = Env(n_workers=n_workers, seed=3)
+        done_events = []
+        bus = EventBus()
+        bus.subscribe_all(
+            lambda type_, t, fields: done_events.append(fields["task"])
+            if type_ == "TASK_DONE" else None)
+        env.trace.bus = bus
+        workflow = map_reduce_workflow(n_proc=6, compute=1.5)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                                  workflow, config=TEST_CONFIG,
+                                  trace=env.trace)
+        injector = Injector(manager, scenario, horizon=HORIZON)
+        injector.start()
+
+        result = manager.run(limit=1e5)  # returns; never hangs
+
+        if result.completed:
+            # every task executed at least once (recovery may have run
+            # some more than once)...
+            assert set(done_events) == set(workflow.tasks)
+            ok_ids = {r.task_id for r in env.trace.tasks if r.ok}
+            assert ok_ids >= {hash(t) & 0x7FFFFFFF
+                              for t in workflow.tasks}
+            # ...and accounted exactly once in the result
+            assert manager.done == set(workflow.tasks)
+            assert result.tasks_done == len(workflow)
+            result.raise_for_status()  # no-op on success
+        else:
+            with pytest.raises(UnrecoverableError):
+                result.raise_for_status()
+            assert result.error  # defeat is declared, not silent

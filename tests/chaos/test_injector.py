@@ -1,0 +1,230 @@
+"""Injector behaviour, one fault kind at a time, on tiny clusters."""
+
+from dataclasses import dataclass
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chaos.inject import Injector, estimate_horizon
+from repro.chaos.scenario import (
+    Blackout,
+    Injection,
+    NetworkDegrade,
+    NetworkPartition,
+    PreemptionStorm,
+    ReplicaCorruption,
+    Scenario,
+    StorageBrownout,
+    StragglerInjection,
+)
+from repro.core.files import FileKind, SimFile
+from repro.core.manager import TaskVineManager
+from repro.core.spec import SimTask, SimWorkflow
+from repro.sim.storage import MB
+
+from tests.core.conftest import TEST_CONFIG, Env, map_reduce_workflow
+
+
+def staggered_workflow(n_proc=6):
+    """Processing tasks of graduated length -> one accumulation, so
+    mid-run there are always finished intermediates with a pending
+    consumer."""
+    files, tasks, partials = [], [], []
+    for i in range(n_proc):
+        files.append(SimFile(f"chunk-{i}", 20 * MB, FileKind.INPUT))
+        files.append(SimFile(f"partial-{i}", 10 * MB,
+                             FileKind.INTERMEDIATE))
+        tasks.append(SimTask(id=f"proc-{i}", compute=0.5 + i,
+                             inputs=(f"chunk-{i}",),
+                             outputs=(f"partial-{i}",),
+                             category="proc"))
+        partials.append(f"partial-{i}")
+    files.append(SimFile("result", MB, FileKind.OUTPUT))
+    tasks.append(SimTask(id="accum", compute=1.0,
+                         inputs=tuple(partials), outputs=("result",),
+                         category="accum"))
+    return SimWorkflow(tasks, files)
+
+
+def run_scenario(scenario, *, n_workers=4, workflow=None, horizon=None,
+                 seed=5, collect=False):
+    """Run ``workflow`` under ``scenario``; horizon defaults to the
+    measured fault-free makespan of an identical environment."""
+    workflow = workflow or map_reduce_workflow(n_proc=8, compute=2.0)
+    if horizon is None:
+        base = Env(n_workers=n_workers, seed=seed)
+        baseline = TaskVineManager(base.sim, base.cluster, base.storage,
+                                   workflow, config=TEST_CONFIG,
+                                   trace=base.trace)
+        result = baseline.run(limit=1e6)
+        assert result.completed
+        horizon = result.makespan
+    env = Env(n_workers=n_workers, seed=seed)
+    events = []
+    if collect:
+        from repro.obs import EventBus
+        bus = EventBus()
+        bus.subscribe_all(
+            lambda type_, t, fields: events.append(
+                dict(fields, type=type_, t=t)))
+        env.trace.bus = bus
+    manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                              workflow, config=TEST_CONFIG,
+                              trace=env.trace)
+    injector = Injector(manager, scenario, horizon)
+    injector.start()
+    result = manager.run(limit=1e6)
+    return SimpleNamespace(env=env, manager=manager, injector=injector,
+                           result=result, horizon=horizon,
+                           events=events)
+
+
+def fired_kinds(injector):
+    return [entry["kind"] for entry in injector.fired]
+
+
+class TestPreemptionStorm:
+    def test_kills_the_requested_fraction_and_run_recovers(self):
+        scenario = Scenario("storm", (PreemptionStorm(
+            at=0.3, fraction=0.5, duration=0.1),))
+        run = run_scenario(scenario)
+        assert run.result.completed
+        alive = [w for w in run.env.cluster.workers.values() if w.alive]
+        assert len(alive) == 2  # 50% of 4
+        storm = run.injector.fired[0]
+        assert storm["kind"] == "preemption-storm"
+        assert storm["victims"] == 2
+
+    def test_kill_times_spread_within_window(self):
+        scenario = Scenario("storm", (PreemptionStorm(
+            at=0.2, fraction=0.5, duration=0.3),))
+        run = run_scenario(scenario)
+        t0 = 0.2 * run.horizon
+        preempts = [r for r in run.env.trace.worker_events
+                    if r.kind == "preempt"]
+        assert len(preempts) == 2
+        for record in preempts:
+            assert (t0 - 1e-9 <= record.t
+                    <= t0 + 0.3 * run.horizon + 1e-9)
+
+
+class TestBlackout:
+    def test_workers_rejoin_after_the_window(self):
+        scenario = Scenario("blk", (Blackout(
+            at=0.2, fraction=0.5, duration=0.15),))
+        run = run_scenario(scenario)
+        assert run.result.completed
+        alive = [w for w in run.env.cluster.workers.values() if w.alive]
+        # 2 killed, 2 fresh replacements: back to full strength
+        assert len(alive) == 4
+        assert "rejoin" in fired_kinds(run.injector)
+
+
+class TestNetworkFaults:
+    def test_degrade_is_restored_after_the_window(self):
+        scenario = Scenario("deg", (NetworkDegrade(
+            at=0.1, fraction=0.5, factor=0.1, duration=0.2),))
+        run = run_scenario(scenario)
+        assert run.result.completed
+        assert "network-degrade" in fired_kinds(run.injector)
+        assert "network-restore" in fired_kinds(run.injector)
+        assert not run.env.network._healthy_rates  # all restored
+
+    def test_partition_emits_start_and_heal(self):
+        scenario = Scenario("part", (NetworkPartition(
+            at=0.3, fraction=0.5, duration=0.1),))
+        run = run_scenario(scenario, collect=True)
+        assert run.result.completed
+        phases = [e["phase"] for e in run.events
+                  if e["type"] == "PARTITION"]
+        assert phases == ["start", "heal"]
+        assert run.env.network._partition is None
+
+
+class TestStorageBrownout:
+    def test_factors_reset_after_the_window(self):
+        scenario = Scenario("brown", (StorageBrownout(
+            at=0.1, latency_factor=50.0, bw_factor=0.05,
+            duration=0.3),))
+        run = run_scenario(scenario)
+        assert run.result.completed
+        assert run.env.storage.latency_factor == 1.0
+        assert run.env.storage.bw_factor == 1.0
+        assert "storage-recover" in fired_kinds(run.injector)
+
+
+class TestReplicaCorruption:
+    def test_drops_hot_intermediates_and_run_recovers(self):
+        scenario = Scenario("corrupt", (ReplicaCorruption(
+            at=0.5, count=3),))
+        run = run_scenario(scenario, workflow=staggered_workflow())
+        assert run.result.completed
+        drop = next(f for f in run.injector.fired
+                    if f["kind"] == "replica-corruption")
+        assert drop["dropped"] > 0
+        assert all(name.startswith("partial-")
+                   for name in drop["files"])
+
+
+class TestStraggler:
+    def test_slows_the_requested_workers(self):
+        scenario = Scenario("slow", (StragglerInjection(
+            at=0.05, count=2, slowdown=4.0),))
+        run = run_scenario(scenario)
+        assert run.result.completed
+        slowed = [w for w in run.env.cluster.workers.values()
+                  if w.spec.speed_factor < 1.0]
+        assert len(slowed) == 2
+        for w in slowed:
+            assert w.spec.speed_factor == pytest.approx(0.25)
+
+
+class TestDeterminism:
+    def test_same_seed_same_firing_record(self):
+        scenario = Scenario("mix", (
+            StragglerInjection(at=0.05, count=1, slowdown=2.0),
+            PreemptionStorm(at=0.3, fraction=0.5, duration=0.1),
+            Blackout(at=0.6, fraction=0.25, duration=0.1),
+        ), seed=13)
+        first = run_scenario(scenario, horizon=6.0)
+        second = run_scenario(scenario, horizon=6.0)
+        assert first.injector.fired
+        assert first.injector.fired == second.injector.fired
+
+    def test_different_seed_changes_victims(self):
+        base = Scenario("storm", (PreemptionStorm(
+            at=0.1, fraction=0.25, duration=0.0),), seed=1)
+        other = Scenario("storm", (PreemptionStorm(
+            at=0.1, fraction=0.25, duration=0.0),), seed=2)
+        runs = [run_scenario(s, n_workers=8, horizon=4.0)
+                for s in (base, other)]
+        victims = []
+        for run in runs:
+            victims.append({w.node_id
+                            for w in run.env.cluster.workers.values()
+                            if not w.alive})
+        assert all(len(v) == 2 for v in victims)
+        # seeds 1 and 2 happen to pick different workers; the point is
+        # that the choice is a pure function of the scenario seed
+        assert victims[0] != victims[1]
+
+
+class TestMisc:
+    def test_unknown_kind_is_an_error(self):
+        @dataclass(frozen=True)
+        class Bogus(Injection):
+            kind = "bogus"
+
+        env = Env(n_workers=2)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                                  map_reduce_workflow(n_proc=2),
+                                  config=TEST_CONFIG, trace=env.trace)
+        injector = Injector(manager, Scenario("b", (Bogus(),)), 10.0)
+        with pytest.raises(ValueError, match="bogus"):
+            injector._fire(0, Bogus())
+
+    def test_estimate_horizon_scales_with_compute(self):
+        small = map_reduce_workflow(n_proc=2, compute=1.0)
+        big = map_reduce_workflow(n_proc=64, compute=10.0)
+        assert (estimate_horizon(big, 4)
+                > estimate_horizon(small, 4) >= 30.0)

@@ -1,0 +1,96 @@
+"""Scenario declaration, timeline resolution, and scaling."""
+
+import json
+
+import pytest
+
+from repro.chaos.scenario import (
+    SCENARIOS,
+    Blackout,
+    NetworkDegrade,
+    PreemptionStorm,
+    ReplicaCorruption,
+    Scenario,
+    StragglerInjection,
+    get_scenario,
+)
+
+
+class TestTimeline:
+    def test_resolves_relative_times_against_horizon(self):
+        s = Scenario("s", (PreemptionStorm(at=0.25),
+                           Blackout(at=0.75)))
+        timeline = s.timeline(200.0)
+        assert [t for t, _ in timeline] == [50.0, 150.0]
+
+    def test_sorted_with_stable_ties(self):
+        first = PreemptionStorm(at=0.5, fraction=0.1)
+        second = Blackout(at=0.5)
+        early = NetworkDegrade(at=0.1)
+        s = Scenario("s", (first, second, early))
+        timeline = s.timeline(10.0)
+        assert [inj for _, inj in timeline] == [early, first, second]
+
+    def test_rejects_nonpositive_horizon(self):
+        s = Scenario("s", (PreemptionStorm(),))
+        with pytest.raises(ValueError):
+            s.timeline(0.0)
+        with pytest.raises(ValueError):
+            s.timeline(-5.0)
+
+
+class TestScaled:
+    def test_scales_fractions_and_counts(self):
+        s = Scenario("s", (PreemptionStorm(fraction=0.2),
+                           ReplicaCorruption(count=4),
+                           StragglerInjection(count=2, slowdown=4.0)))
+        doubled = s.scaled(2.0)
+        storm, corrupt, straggle = doubled.injections
+        assert storm.fraction == pytest.approx(0.4)
+        assert corrupt.count == 8
+        assert straggle.count == 4
+        assert straggle.slowdown == 4.0  # not an intensity field
+
+    def test_fraction_capped_at_one(self):
+        s = Scenario("s", (PreemptionStorm(fraction=0.8),))
+        assert s.scaled(5.0).injections[0].fraction == 1.0
+
+    def test_keeps_seed_and_derives_name(self):
+        s = Scenario("base", (PreemptionStorm(),), seed=99)
+        scaled = s.scaled(1.5)
+        assert scaled.seed == 99
+        assert scaled.name == "base-x1.5"
+        assert s.scaled(2.0, name="custom").name == "custom"
+
+    def test_rejects_negative_intensity(self):
+        with pytest.raises(ValueError):
+            Scenario("s", ()).scaled(-1.0)
+
+
+class TestRegistry:
+    def test_lookup_is_case_insensitive(self):
+        assert get_scenario("SMOKE") is SCENARIOS["smoke"]
+        assert get_scenario("Preempt-Storm-20").name == "preempt-storm-20"
+
+    def test_unknown_name_lists_valid_ones(self):
+        with pytest.raises(KeyError, match="smoke"):
+            get_scenario("nope")
+
+    def test_acceptance_scenarios_present(self):
+        storm = get_scenario("preempt-storm-20")
+        assert storm.injections[0].fraction == pytest.approx(0.20)
+        assert "smoke" in SCENARIOS
+
+    def test_every_scenario_describes_as_json(self):
+        for scenario in SCENARIOS.values():
+            blob = json.loads(json.dumps(scenario.describe()))
+            assert blob["name"] == scenario.name
+            assert len(blob["injections"]) == len(scenario.injections)
+            for desc in blob["injections"]:
+                assert 0.0 <= desc["at"] <= 1.0
+                assert desc["kind"]
+
+    def test_describe_carries_kind_and_fields(self):
+        desc = PreemptionStorm(at=0.3, fraction=0.5).describe()
+        assert desc == {"kind": "preemption-storm", "at": 0.3,
+                        "duration": 0.1, "fraction": 0.5}

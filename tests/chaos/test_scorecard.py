@@ -1,0 +1,183 @@
+"""Scorecard accounting over synthetic and live transaction logs."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.chaos.scorecard import (
+    N_BINS,
+    compare,
+    format_comparison,
+    format_scorecard,
+    pseudo_histogram,
+    score,
+)
+from repro.core.manager import TaskVineManager
+from repro.obs import EventBus, TransactionLog
+
+from tests.core.conftest import TEST_CONFIG, Env, map_reduce_workflow
+
+
+def records(*rows):
+    """Synthetic txlog: RUN header + rows + RUN_END footer."""
+    head = {"type": "RUN", "t": 0.0, "schema": 1,
+            "scheduler": "taskvine",
+            "chaos": {"name": "storm", "seed": 7}}
+    foot = {"type": "RUN_END", "t": 10.0, "completed": True,
+            "makespan": 10.0, "tasks_done": 3, "task_failures": 1,
+            "error": None}
+    return [head, *rows, foot]
+
+
+class TestPseudoHistogram:
+    def test_deterministic_shape_and_dtype(self):
+        h = pseudo_histogram("proc-0")
+        assert h.shape == (N_BINS,)
+        assert h.dtype == np.int64
+        assert (h == pseudo_histogram("proc-0")).all()
+
+    def test_different_tasks_differ(self):
+        assert (pseudo_histogram("proc-0")
+                != pseudo_histogram("proc-1")).any()
+
+
+class TestScore:
+    def test_header_and_footer(self):
+        card = score(records())
+        assert card.scheduler == "taskvine"
+        assert card.scenario == "storm"
+        assert card.scenario_seed == 7
+        assert card.completed
+        assert card.makespan == 10.0
+        assert card.tasks_done == 3
+        assert card.task_failures == 1
+
+    def test_reexecution_counting(self):
+        card = score(records(
+            {"type": "TASK_DONE", "t": 1.0, "task": "a"},
+            {"type": "TASK_DONE", "t": 2.0, "task": "b"},
+            {"type": "TASK_DONE", "t": 3.0, "task": "a"},
+            {"type": "TASK_DONE", "t": 4.0, "task": "a"},
+        ))
+        assert card.reexecuted_tasks == 1   # only "a"
+        assert card.reexecutions == 2       # two extra acceptances
+
+    def test_recovery_bytes_counts_repeat_stages_only(self):
+        stage = {"type": "STAGE_IN", "t": 1.0, "task": "a",
+                 "file": "f", "nbytes": 100.0, "source": 3,
+                 "cached": False}
+        card = score(records(stage, dict(stage, t=2.0),
+                             dict(stage, t=3.0, file="g")))
+        assert card.recovery_bytes == 100.0  # the one repeat
+
+    def test_cached_hits_do_not_count(self):
+        card = score(records(
+            {"type": "STAGE_IN", "t": 1.0, "task": "a", "file": "f",
+             "nbytes": 100.0, "source": 3, "cached": True},
+            {"type": "STAGE_IN", "t": 2.0, "task": "a", "file": "f",
+             "nbytes": 100.0, "source": 3, "cached": True}))
+        assert card.recovery_bytes == 0.0
+
+    def test_manager_restage_bytes(self):
+        card = score(records(
+            {"type": "STAGE_IN", "t": 1.0, "task": "a", "file": "f",
+             "nbytes": 40.0, "source": 0, "cached": False},
+            {"type": "STAGE_IN", "t": 2.0, "task": "b", "file": "g",
+             "nbytes": 60.0, "source": 2, "cached": False}))
+        assert card.manager_restage_bytes == 40.0
+
+    def test_wasted_exec_seconds(self):
+        card = score(records(
+            {"type": "EXEC_END", "t": 5.0, "task": 1, "worker": 2,
+             "ok": False, "t_start": 2.0, "t_end": 5.0},
+            {"type": "EXEC_END", "t": 9.0, "task": 2, "worker": 2,
+             "ok": True, "t_start": 5.0, "t_end": 9.0}))
+        assert card.wasted_exec_seconds == 3.0
+
+    def test_event_counters(self):
+        card = score(records(
+            {"type": "RECOVERY", "t": 1.0, "file": "f", "task": "a"},
+            {"type": "REPLICA_LOST", "t": 1.0, "file": "f", "node": 2},
+            {"type": "WORKER_PREEMPT", "t": 1.0, "worker": 2,
+             "kind": "preempt"},
+            {"type": "INJECT", "t": 1.0, "kind": "straggler"},
+            {"type": "CRASH", "t": 2.0, "scheduler": "x",
+             "reason": "boom"}))
+        assert (card.recoveries, card.replicas_lost, card.preemptions,
+                card.injections, card.crashes) == (1, 1, 1, 1, 1)
+
+
+class TestHistogramIdentity:
+    def test_same_task_set_any_order_is_bin_identical(self):
+        a = score(records(
+            {"type": "TASK_DONE", "t": 1.0, "task": "x"},
+            {"type": "TASK_DONE", "t": 2.0, "task": "y"}))
+        b = score(records(
+            {"type": "TASK_DONE", "t": 1.0, "task": "y"},
+            {"type": "TASK_DONE", "t": 2.0, "task": "x"},
+            {"type": "TASK_DONE", "t": 3.0, "task": "x"}))  # re-exec
+        assert a.histogram_digest == b.histogram_digest
+        assert compare(a, b)["bin_identical"]
+
+    def test_missing_task_breaks_identity(self):
+        a = score(records(
+            {"type": "TASK_DONE", "t": 1.0, "task": "x"},
+            {"type": "TASK_DONE", "t": 2.0, "task": "y"}))
+        b = score(records(
+            {"type": "TASK_DONE", "t": 1.0, "task": "x"}))
+        assert a.histogram_digest != b.histogram_digest
+        assert not compare(a, b)["bin_identical"]
+
+    def test_incomplete_run_is_never_bin_identical(self):
+        a = score(records({"type": "TASK_DONE", "t": 1.0, "task": "x"}))
+        rows = records({"type": "TASK_DONE", "t": 1.0, "task": "x"})
+        rows[-1] = dict(rows[-1], completed=False)
+        b = score(rows)
+        verdict = compare(a, b)
+        assert not verdict["bin_identical"]
+        assert verdict["added_makespan_s"] == float("inf")
+
+
+class TestLiveRun:
+    def test_scorecard_from_a_real_run(self, tmp_path):
+        env = Env(n_workers=2)
+        bus = EventBus()
+        env.trace.bus = bus
+        path = str(tmp_path / "run.jsonl")
+        txlog = TransactionLog(path, meta={"scheduler": "taskvine"})
+        txlog.attach(bus)
+        workflow = map_reduce_workflow(n_proc=4)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                                  workflow, config=TEST_CONFIG,
+                                  trace=env.trace)
+        result = manager.run(limit=1e6)
+        txlog.close(completed=result.completed,
+                    makespan=result.makespan,
+                    tasks_done=result.tasks_done,
+                    task_failures=result.task_failures,
+                    error=result.error)
+        card = score(path)
+        assert card.completed
+        assert card.tasks_done == len(workflow)
+        # every task accepted exactly once in a fault-free run
+        assert card.reexecutions == 0
+        assert card.histogram.sum() > 0
+        assert len(card.histogram_digest) == 64
+
+
+class TestRendering:
+    def test_format_scorecard_mentions_key_metrics(self):
+        text = format_scorecard(score(records()))
+        assert "reexecuted tasks" in text
+        assert "histogram digest" in text
+
+    def test_format_comparison_has_verdict_row(self):
+        a = score(records({"type": "TASK_DONE", "t": 1.0, "task": "x"}))
+        text = format_comparison(a, [a])
+        assert "bin-identical" in text
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+        blob = json.dumps(score(records()).to_dict())
+        assert "histogram" in blob

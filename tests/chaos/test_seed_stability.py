@@ -1,0 +1,71 @@
+"""Same Scenario(seed=...) => byte-identical timelines and txlogs.
+
+Both runs happen in one process: the manager's EXEC_END ids use the
+process-salted ``hash()``, so cross-process logs differ there by
+design (the scorecard's TASK_DONE edges carry stable string ids for
+exactly that reason).
+"""
+
+from repro.chaos.inject import Injector
+from repro.chaos.scenario import (
+    Blackout,
+    PreemptionStorm,
+    Scenario,
+    StragglerInjection,
+)
+from repro.core.manager import TaskVineManager
+from repro.obs import EventBus, TransactionLog
+
+from tests.core.conftest import TEST_CONFIG, Env, map_reduce_workflow
+
+SCENARIO = Scenario("stability", (
+    StragglerInjection(at=0.05, count=1, slowdown=3.0),
+    PreemptionStorm(at=0.25, fraction=0.5, duration=0.1),
+    Blackout(at=0.55, fraction=0.25, duration=0.1),
+), seed=21)
+
+
+def run_once(path: str, scenario: Scenario = SCENARIO):
+    env = Env(n_workers=4, seed=9)
+    bus = EventBus()
+    env.trace.bus = bus
+    txlog = TransactionLog(path, meta={"scheduler": "taskvine",
+                                       "chaos": scenario.describe()})
+    txlog.attach(bus)
+    workflow = map_reduce_workflow(n_proc=8, compute=2.0)
+    manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                              workflow, config=TEST_CONFIG,
+                              trace=env.trace)
+    injector = Injector(manager, scenario, horizon=8.0)
+    injector.start()
+    result = manager.run(limit=1e6)
+    txlog.close(completed=result.completed, makespan=result.makespan,
+                tasks_done=result.tasks_done,
+                task_failures=result.task_failures, error=result.error)
+    return result, injector
+
+
+def test_timelines_and_txlogs_are_byte_identical(tmp_path):
+    path_a = str(tmp_path / "a.jsonl")
+    path_b = str(tmp_path / "b.jsonl")
+    result_a, injector_a = run_once(path_a)
+    result_b, injector_b = run_once(path_b)
+
+    assert injector_a.fired  # the scenario actually did something
+    assert injector_a.fired == injector_b.fired
+    assert result_a.completed == result_b.completed
+    assert result_a.makespan == result_b.makespan
+
+    with open(path_a, "rb") as fh_a, open(path_b, "rb") as fh_b:
+        assert fh_a.read() == fh_b.read()
+
+
+def test_different_scenario_seed_diverges(tmp_path):
+    path_a = str(tmp_path / "a.jsonl")
+    path_b = str(tmp_path / "b.jsonl")
+    _, injector_a = run_once(path_a)
+    reseeded = Scenario(SCENARIO.name, SCENARIO.injections, seed=22)
+    _, injector_b = run_once(path_b, reseeded)
+    # seed 22 happens to pick a different storm cohort than seed 21;
+    # the fired record is a pure function of the scenario seed
+    assert injector_a.fired != injector_b.fired

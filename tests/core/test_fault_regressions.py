@@ -1,0 +1,163 @@
+"""Regression tests for fault paths hardened for the chaos subsystem.
+
+Each test replays a failure found by fault injection:
+
+* a replication source preempted at the initiation instant crashed the
+  replicate process with an unhandled ``SimulationError``;
+* a Work Queue manager-stage owner preempted mid-read left sibling
+  waiters parked on an event that never fired (deadlock);
+* a peer-transfer *source* preempted mid-flow must fail the in-flight
+  flow and trigger recovery on the receiver, not strand it.
+"""
+
+import dataclasses
+
+from repro.core.config import SchedulerConfig
+from repro.core.files import FileKind, SimFile
+from repro.core.manager import TaskVineManager, UnrecoverableError
+from repro.core.spec import SimTask, SimWorkflow
+from repro.sim.cluster import NodeSpec
+from repro.sim.storage import GB, MB
+from repro.workqueue.manager import WorkQueueManager
+
+from .conftest import TEST_CONFIG, Env, map_reduce_workflow
+
+
+class TestReplicationSourceLoss:
+    def test_source_preempted_at_replication_start(self):
+        """min_replicas forces background replication; killing the
+        first worker that holds any cached file races the preemption
+        against replication initiation.  The run must recover, not die
+        on an unhandled transfer error."""
+        env = Env(n_workers=3)
+        workflow = map_reduce_workflow(n_proc=4, compute=1.0)
+        config = dataclasses.replace(TEST_CONFIG, min_replicas=3)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                                  workflow, config=config,
+                                  trace=env.trace)
+
+        def killer():
+            while True:
+                yield env.sim.timeout(0.01)
+                for agent in list(manager.agents.values()):
+                    if any(agent.cache) and agent.alive:
+                        env.cluster.preempt(agent.node)
+                        return
+
+        env.sim.process(killer())
+        result = manager.run(limit=1e5)
+        assert result.completed, result.error
+
+
+class TestWorkQueueManagerStaging:
+    def test_stage_owner_preempted_wakes_waiting_sibling(self):
+        """Two single-core workers both need chunk-0 via the manager.
+        Killing the worker whose task owns the in-flight stage must
+        hand the stage to the waiter, not strand it."""
+        env = Env(n_workers=2, spec=NodeSpec(cores=1))
+        files = [SimFile("chunk-0", 2 * GB, FileKind.INPUT),
+                 SimFile("out-a", MB, FileKind.OUTPUT),
+                 SimFile("out-b", MB, FileKind.OUTPUT)]
+        tasks = [SimTask(id="a", compute=0.5, inputs=("chunk-0",),
+                         outputs=("out-a",)),
+                 SimTask(id="b", compute=0.5, inputs=("chunk-0",),
+                         outputs=("out-b",))]
+        workflow = SimWorkflow(tasks, files)
+        config = dataclasses.replace(
+            TEST_CONFIG, inputs_via_manager=True,
+            results_to_manager=True, peer_transfers=False,
+            locality_scheduling=False)
+        manager = WorkQueueManager(env.sim, env.cluster, env.storage,
+                                   workflow, config=config,
+                                   trace=env.trace)
+
+        def killer():
+            yield env.sim.timeout(0.05)
+            for task_id in list(manager.task_procs):
+                agent = next(
+                    (a for a in manager.agents.values()
+                     if task_id in a.assigned), None)
+                if (agent is not None and agent.alive
+                        and manager._manager_inflight):
+                    env.cluster.preempt(agent.node)
+                    return
+
+        env.sim.process(killer())
+        result = manager.run(limit=1e5)
+        assert result.completed, result.error
+
+
+class TestPeerSourceMidFlow:
+    def test_peer_source_preempted_mid_transfer_recovers(self):
+        """Two single-core workers; the merge task must pull a 4 GB
+        partial from its peer.  Killing the peer while that flow is in
+        flight must fail the flow and re-route (lineage recovery or an
+        alternate source) -- the receiver must not wait forever."""
+        env = Env(n_workers=2, spec=NodeSpec(cores=1))
+        files = [SimFile("c0", 10 * MB, FileKind.INPUT),
+                 SimFile("c1", 10 * MB, FileKind.INPUT),
+                 SimFile("pa", 4 * GB, FileKind.INTERMEDIATE),
+                 SimFile("pb", 4 * GB, FileKind.INTERMEDIATE),
+                 SimFile("result", MB, FileKind.OUTPUT)]
+        tasks = [SimTask(id="pa-t", compute=1.0, inputs=("c0",),
+                         outputs=("pa",)),
+                 SimTask(id="pb-t", compute=3.0, inputs=("c1",),
+                         outputs=("pb",)),
+                 SimTask(id="m", compute=0.5, inputs=("pa", "pb"),
+                         outputs=("result",), category="accum")]
+        workflow = SimWorkflow(tasks, files)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                                  workflow, config=TEST_CONFIG,
+                                  trace=env.trace)
+
+        killed = []
+
+        def killer():
+            while True:
+                yield env.sim.timeout(0.02)
+                for flow in list(env.cluster.network.active_flows):
+                    if flow.kind == "peer":
+                        source = env.cluster.workers.get(flow.src.node)
+                        if source is not None and source.alive:
+                            killed.append(source.node_id)
+                            env.cluster.preempt(source)
+                            return
+
+        env.sim.process(killer())
+        result = manager.run(limit=1e4)
+        assert killed, "probe never saw a peer flow"
+        assert result.completed, result.error
+        assert result.task_failures >= 1  # the receiver's task retried
+
+
+class TestRaiseForStatus:
+    def test_failed_run_raises_typed_error(self):
+        env = Env(n_workers=1, spec=NodeSpec(cores=1))
+        workflow = map_reduce_workflow(n_proc=2, compute=5.0)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                                  workflow, config=TEST_CONFIG,
+                                  trace=env.trace)
+
+        def killer():
+            yield env.sim.timeout(0.5)
+            for node in list(env.cluster.workers.values()):
+                if node.alive:
+                    env.cluster.preempt(node)
+
+        env.sim.process(killer())
+        result = manager.run(limit=1e4)
+        assert not result.completed
+        try:
+            result.raise_for_status()
+        except UnrecoverableError as exc:
+            assert str(exc)
+        else:
+            raise AssertionError("raise_for_status did not raise")
+
+    def test_successful_run_is_a_no_op(self):
+        env = Env(n_workers=2)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                                  map_reduce_workflow(n_proc=2),
+                                  config=TEST_CONFIG, trace=env.trace)
+        result = manager.run(limit=1e5)
+        assert result.raise_for_status() is result

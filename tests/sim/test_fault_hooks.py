@@ -1,0 +1,167 @@
+"""Unit tests for the fault-injection hooks on the sim substrate:
+network degrade/partition, storage brownouts, cluster slow_node."""
+
+import pytest
+
+from repro.sim.cluster import Cluster, NodeSpec
+from repro.sim.engine import Simulation, SimulationError
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.storage import GB, MB, SharedFilesystem, StorageProfile
+from repro.sim.trace import TraceRecorder
+
+
+def make_net(n=2):
+    sim = Simulation()
+    trace = TraceRecorder()
+    network = Network(sim, trace, latency=0.0)
+    cluster = Cluster(sim, network, trace, RngRegistry(1),
+                      manager_nic_bw=1 * GB)
+    cluster.provision(n, NodeSpec(nic_bw=1 * GB))
+    return sim, network, cluster
+
+
+class TestNetworkDegrade:
+    def test_scales_rates_and_restores_exactly(self):
+        sim, network, cluster = make_net()
+        node = next(iter(cluster.workers))
+        pipe = network.pipes[node]
+        healthy = (pipe.capacity, pipe.per_stream_cap)
+        network.degrade(node, 0.1)
+        assert pipe.capacity == pytest.approx(healthy[0] * 0.1)
+        assert pipe.per_stream_cap == pytest.approx(healthy[1] * 0.1)
+        network.restore(node)
+        assert (pipe.capacity, pipe.per_stream_cap) == healthy
+
+    def test_repeated_degrade_composes_from_healthy_baseline(self):
+        sim, network, cluster = make_net()
+        node = next(iter(cluster.workers))
+        pipe = network.pipes[node]
+        healthy = pipe.capacity
+        network.degrade(node, 0.5)
+        network.degrade(node, 0.1)  # from the healthy rate, not 0.05
+        assert pipe.capacity == pytest.approx(healthy * 0.1)
+        network.restore(node)
+        assert pipe.capacity == healthy
+
+    def test_degraded_transfer_is_slower(self):
+        sim, network, cluster = make_net()
+        nodes = list(cluster.workers)
+        done = network.transfer(nodes[0], nodes[1], 100 * MB)
+        sim.run_until_complete(done)
+        fast = sim.now
+        sim2, network2, cluster2 = make_net()
+        nodes2 = list(cluster2.workers)
+        network2.degrade(nodes2[1], 0.1)
+        done2 = network2.transfer(nodes2[0], nodes2[1], 100 * MB)
+        sim2.run_until_complete(done2)
+        assert sim2.now > fast * 5
+
+    def test_rejects_nonpositive_factor(self):
+        _, network, cluster = make_net()
+        node = next(iter(cluster.workers))
+        with pytest.raises(SimulationError):
+            network.degrade(node, 0.0)
+
+    def test_restore_without_degrade_is_a_no_op(self):
+        _, network, cluster = make_net()
+        network.restore(next(iter(cluster.workers)))
+
+
+class TestNetworkPartition:
+    def test_blocks_new_crossing_transfers(self):
+        sim, network, cluster = make_net()
+        nodes = list(cluster.workers)
+        network.partition({nodes[0]})
+        done = network.transfer(nodes[0], nodes[1], MB)
+        with pytest.raises(ConnectionError):
+            sim.run_until_complete(done)
+
+    def test_same_side_transfers_still_flow(self):
+        sim, network, cluster = make_net(3)
+        nodes = list(cluster.workers)
+        network.partition({nodes[0]})
+        done = network.transfer(nodes[1], nodes[2], MB)
+        sim.run_until_complete(done)
+        assert done.triggered
+
+    def test_fails_inflight_crossing_flows(self):
+        sim, network, cluster = make_net()
+        nodes = list(cluster.workers)
+        done = network.transfer(nodes[0], nodes[1], GB)
+
+        def mid_flight():
+            yield sim.timeout(0.01)
+            network.partition({nodes[0]})
+
+        sim.process(mid_flight())
+        with pytest.raises(ConnectionError):
+            sim.run_until_complete(done)
+
+    def test_heal_reopens_traffic(self):
+        sim, network, cluster = make_net()
+        nodes = list(cluster.workers)
+        network.partition({nodes[0]})
+        network.heal()
+        done = network.transfer(nodes[0], nodes[1], MB)
+        sim.run_until_complete(done)
+        assert done.triggered
+
+
+class TestStorageBrownout:
+    PROFILE = StorageProfile(name="t", metadata_latency=0.01,
+                             per_stream_bw=1 * GB, aggregate_bw=10 * GB,
+                             capacity=1e15)
+
+    def make_fs(self):
+        sim = Simulation()
+        trace = TraceRecorder()
+        network = Network(sim, trace)
+        fs = SharedFilesystem(sim, network, self.PROFILE, trace=trace)
+        return sim, fs
+
+    def test_brownout_slows_reads_then_reset(self):
+        sim, fs = self.make_fs()
+        done = fs.read(1, 100 * MB)
+        sim.run_until_complete(done)
+        healthy = sim.now
+
+        sim2, fs2 = self.make_fs()
+        fs2.set_brownout(latency_factor=10.0, bw_factor=0.1)
+        done2 = fs2.read(1, 100 * MB)
+        sim2.run_until_complete(done2)
+        assert sim2.now > healthy * 5
+
+        fs2.set_brownout()  # reset to healthy
+        assert fs2.latency_factor == 1.0
+        assert fs2.bw_factor == 1.0
+
+    def test_rejects_nonpositive_factors(self):
+        _, fs = self.make_fs()
+        with pytest.raises(SimulationError):
+            fs.set_brownout(latency_factor=0.0)
+        with pytest.raises(SimulationError):
+            fs.set_brownout(bw_factor=-1.0)
+
+
+class TestSlowNode:
+    def test_scales_future_runtimes(self):
+        sim, network, cluster = make_net()
+        node = next(iter(cluster.workers.values()))
+        base = node.scale_runtime(10.0)
+        cluster.slow_node(node, 4.0)
+        assert node.scale_runtime(10.0) == pytest.approx(base * 4.0)
+
+    def test_rejects_nonpositive_slowdown(self):
+        sim, network, cluster = make_net()
+        node = next(iter(cluster.workers.values()))
+        with pytest.raises(ValueError):
+            cluster.slow_node(node, 0.0)
+
+    def test_preempt_reason_is_recorded(self):
+        sim, network, cluster = make_net()
+        node = next(iter(cluster.workers.values()))
+        cluster.preempt(node, reason="blackout")
+        assert not node.alive
+        kinds = [r.kind for r in cluster.trace.worker_events]
+        assert "blackout" in kinds
