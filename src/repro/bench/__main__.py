@@ -171,6 +171,36 @@ def _run(args) -> str:
     env = build_environment(args.workers, node=node, seed=args.seed)
     workflow = build_workflow(spec, arity=cal.REDUCTION_ARITY,
                               seed=args.seed)
+    if args.tenants:
+        # multi-tenant route: every tenant submits the workload to one
+        # shared facility; the arrival spec + tenant count are stamped
+        # in the txlog RUN header (same pattern as --chaos)
+        if args.scheduler != "taskvine":
+            raise SystemExit("--tenants requires the taskvine "
+                             "scheduler (the facility shares one "
+                             "TaskVine manager)")
+        from ..facility import Facility, Tenant, \
+            render_facility_report
+        from .workloads import build_arrivals, make_schedule
+        tenant_names = [f"t{i}" for i in range(args.tenants)]
+        schedule = make_schedule(args.arrival, tenant_names,
+                                 per_tenant=1, seed=args.seed)
+        arrivals = build_arrivals(schedule, lambda tenant: workflow,
+                                  tag_for=lambda tenant: spec.name)
+        facility = Facility(
+            env, [Tenant(name) for name in tenant_names],
+            txlog_path=args.txlog,
+            txlog_meta={"tenants": args.tenants,
+                        "arrival": args.arrival,
+                        "workload": spec.name,
+                        **({"chaos": scenario.describe()}
+                           if scenario is not None else {})})
+        fac_result = facility.run(arrivals, chaos=scenario)
+        table = render_facility_report(fac_result)
+        if args.txlog:
+            table += (f"\ntransaction log -> {args.txlog} "
+                      f"(analyze: python -m repro.obs {args.txlog})")
+        return table
     result = run_scheduler(env, workflow, args.scheduler,
                            txlog_path=args.txlog, chaos=scenario)
     table = format_table(
@@ -230,6 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inject a repro.chaos fault scenario into "
                             "the run (recorded in the txlog RUN "
                             "header; see `python -m repro.chaos list`)")
+    group.add_argument("--tenants", type=int, default=0, metavar="N",
+                       help="run the workload as N concurrent tenants "
+                            "through the shared facility (recorded in "
+                            "the txlog RUN header; 0 = single-tenant)")
+    group.add_argument("--arrival", default="poisson:0.05",
+                       metavar="SPEC",
+                       help="arrival process with --tenants: "
+                            "poisson:RATE, burst[:SPACING], or "
+                            "replay:PATH (default poisson:0.05)")
     return parser
 
 

@@ -11,7 +11,8 @@ spec's mean so that the bulk of tasks lands in the paper's 1-10 s band
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,7 +21,16 @@ from ..core.spec import SimTask, SimWorkflow
 from ..hep.datasets import DatasetSpec
 from ..sim.rng import RngRegistry
 
-__all__ = ["build_workflow", "proc_task_count"]
+__all__ = [
+    "build_workflow",
+    "proc_task_count",
+    "Arrival",
+    "poisson_schedule",
+    "burst_schedule",
+    "replay_schedule",
+    "make_schedule",
+    "build_arrivals",
+]
 
 
 def proc_task_count(total_tasks: int, arity: Optional[int]) -> int:
@@ -159,3 +169,98 @@ def build_workflow(spec: DatasetSpec, arity: Optional[int] = 8,
         inputs=tuple(dataset_results), outputs=(final,),
         category="accum", function="accumulate"))
     return SimWorkflow(tasks, files)
+
+
+# -- arrival processes (repro.facility) -------------------------------------
+@dataclass(frozen=True)
+class Arrival:
+    """One tenant submission arriving at sim time ``t``."""
+
+    t: float
+    tenant: str
+    workflow: SimWorkflow
+    #: workload label shared by identical DAGs (baseline matching)
+    tag: str = ""
+
+
+def poisson_schedule(tenant_names: Sequence[str], rate: float,
+                     per_tenant: int, seed: int = 11
+                     ) -> List[Tuple[float, str]]:
+    """Each tenant submits ``per_tenant`` times with independent
+    exponential inter-arrival gaps at ``rate`` submissions/second.
+    Deterministic for a fixed seed; merged and sorted by time."""
+    if rate <= 0:
+        raise ValueError("rate must be > 0")
+    schedule: List[Tuple[float, str]] = []
+    for idx, tenant in enumerate(tenant_names):
+        rng = np.random.default_rng([seed, idx])
+        t = 0.0
+        for _ in range(per_tenant):
+            t += float(rng.exponential(1.0 / rate))
+            schedule.append((t, tenant))
+    schedule.sort(key=lambda pair: (pair[0], pair[1]))
+    return schedule
+
+
+def burst_schedule(tenant_names: Sequence[str], per_tenant: int,
+                   at: float = 0.0, spacing: float = 0.0
+                   ) -> List[Tuple[float, str]]:
+    """Everyone submits (nearly) at once -- the Monday-morning rush.
+    ``spacing`` optionally staggers tenants by a fixed offset."""
+    schedule = [(at + i * spacing, tenant)
+                for i, tenant in enumerate(tenant_names)
+                for _ in range(per_tenant)]
+    schedule.sort(key=lambda pair: (pair[0], pair[1]))
+    return schedule
+
+
+def replay_schedule(pairs: Iterable[Tuple[float, str]]
+                    ) -> List[Tuple[float, str]]:
+    """Replay explicit ``(t, tenant)`` pairs (e.g. from a trace file
+    of ``t,tenant`` lines)."""
+    schedule = [(float(t), str(tenant)) for t, tenant in pairs]
+    schedule.sort(key=lambda pair: (pair[0], pair[1]))
+    return schedule
+
+
+def make_schedule(spec: str, tenant_names: Sequence[str],
+                  per_tenant: int, seed: int = 11
+                  ) -> List[Tuple[float, str]]:
+    """Parse an arrival spec: ``poisson:RATE``, ``burst``,
+    ``burst:SPACING``, or ``replay:PATH`` (CSV of ``t,tenant``)."""
+    kind, _, arg = spec.partition(":")
+    if kind == "poisson":
+        rate = float(arg) if arg else 0.05
+        return poisson_schedule(tenant_names, rate, per_tenant, seed)
+    if kind == "burst":
+        spacing = float(arg) if arg else 0.0
+        return burst_schedule(tenant_names, per_tenant,
+                              spacing=spacing)
+    if kind == "replay":
+        if not arg:
+            raise ValueError("replay arrival needs a path: replay:FILE")
+        pairs = []
+        with open(arg) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                t, tenant = line.split(",", 1)
+                pairs.append((float(t), tenant.strip()))
+        return replay_schedule(pairs)
+    raise ValueError(f"unknown arrival process {spec!r}; expected "
+                     f"poisson:RATE, burst[:SPACING], or replay:PATH")
+
+
+def build_arrivals(schedule: Sequence[Tuple[float, str]],
+                   workflow_for: Callable[[str], SimWorkflow],
+                   tag_for: Optional[Callable[[str], str]] = None
+                   ) -> List[Arrival]:
+    """Materialise a ``(t, tenant)`` schedule into :class:`Arrival`
+    objects, building each submission's workflow via ``workflow_for``.
+    """
+    return [Arrival(t=t, tenant=tenant,
+                    workflow=workflow_for(tenant),
+                    tag=tag_for(tenant) if tag_for else "")
+            for t, tenant in schedule]
+

@@ -25,9 +25,8 @@ the data-routing policies (see :mod:`repro.workqueue` and
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..obs import events as obs
 from ..sim.cluster import Cluster, WorkerNode
@@ -43,6 +42,7 @@ from ..sim.trace import TaskRecord, TraceRecorder
 from .cache import ReplicaMap
 from .config import TASK_MODE_FUNCTIONS, TASK_MODE_TASKS, SchedulerConfig
 from .files import FileKind
+from .scheduling import ReadyQueue, TwoTierReadyQueue
 from .spec import SimTask, SimWorkflow
 from .worker import WorkerAgent
 
@@ -105,7 +105,8 @@ class TaskVineManager:
                  config: Optional[SchedulerConfig] = None,
                  trace: Optional[TraceRecorder] = None,
                  policy: Optional["PlacementPolicy"] = None,
-                 bus=None):
+                 bus=None,
+                 ready_queue: Optional[ReadyQueue] = None):
         self.sim = sim
         self.cluster = cluster
         self.storage = storage
@@ -140,20 +141,43 @@ class TaskVineManager:
         # after this point join the pool dynamically
         cluster.on_join(self._on_join)
 
-        # task state.  Two-tier ready queue: downstream tasks (consumers
-        # of intermediates) dispatch before fresh processing tasks, so
+        # task state.  The ready-queue discipline is pluggable; the
+        # default two-tier queue dispatches downstream tasks (consumers
+        # of intermediates) before fresh processing tasks, so
         # accumulation keeps pace with processing and retained partials
         # do not pile up past worker disks.
         self.done: Set[str] = set()
         self.running: Set[str] = set()
-        self.queue: deque = deque()
-        self.queue_high: deque = deque()
+        # `is not None`, not `or`: queues are falsy while empty, and a
+        # pluggable discipline arrives empty
+        self.ready_queue: ReadyQueue = (
+            ready_queue if ready_queue is not None
+            else TwoTierReadyQueue())
         self.queued: Set[str] = set()
         self.attempts: Dict[str, int] = {}
         self.ready_time: Dict[str, float] = {}
         self.task_procs: Dict[str, object] = {}
         self.dependents = workflow.task_dependents()
         self.final_files = set(workflow.final_files())
+
+        # Multi-tenant support (repro.facility).  A workflow that knows
+        # its tenants exposes tenant_of/tenant_of_file/equivalents; the
+        # manager then tags lifecycle events with the owning tenant and
+        # satisfies staging from content-equivalent replicas cached by
+        # other tenants.  Plain SimWorkflows leave these None and every
+        # code path below is byte-identical to the single-tenant run.
+        self._tenant_of: Optional[Callable[[str], str]] = getattr(
+            workflow, "tenant_of", None)
+        self._tenant_of_file: Optional[Callable[[str], str]] = getattr(
+            workflow, "tenant_of_file", None)
+        self._equivalents_of: Optional[Callable[[str], Iterable[str]]] = \
+            getattr(workflow, "equivalents", None)
+        #: while True, _workflow_complete() never fires: the facility
+        #: holds the run open for submissions arriving over sim time.
+        self.hold_open = False
+        #: optional callback fired once per accepted task completion
+        #: (the facility uses it for submission tracking + admission).
+        self.on_task_done: Optional[Callable[[SimTask], None]] = None
 
         self._wake: Optional[Event] = None
         self._finished: Event = sim.event()
@@ -227,42 +251,79 @@ class TaskVineManager:
         return all(self._available(name)
                    for name in self.workflow.tasks[task_id].inputs)
 
+    def _tenant_kw(self, task_id: str) -> Dict[str, str]:
+        """Extra event fields for multi-tenant runs ({} otherwise)."""
+        if self._tenant_of is None:
+            return {}
+        return {"tenant": self._tenant_of(task_id)}
+
+    def _is_downstream(self, task: SimTask) -> bool:
+        return any(self.workflow.files[name].kind != FileKind.INPUT
+                   for name in task.inputs)
+
     def _enqueue(self, task_id: str) -> None:
         if task_id in self.queued:
             return
         task = self.workflow.tasks[task_id]
-        downstream = any(
-            self.workflow.files[name].kind != FileKind.INPUT
-            for name in task.inputs)
-        (self.queue_high if downstream else self.queue).append(task_id)
+        self.ready_queue.push(task_id, task, self._is_downstream(task))
         self.queued.add(task_id)
         self.ready_time.setdefault(task_id, self.sim.now)
         if self.bus.enabled:
             self.bus.emit(obs.READY, self.sim.now, task=task_id,
-                          category=task.category)
+                          category=task.category,
+                          **self._tenant_kw(task_id))
         self._wake_dispatcher()
 
     def _wake_dispatcher(self) -> None:
         if self._wake is not None and not self._wake.triggered:
             self._wake.succeed()
 
+    # -- dynamic submissions (repro.facility) -------------------------------
+    def submission_added(self, task_ids: Iterable[str],
+                         file_names: Iterable[str]) -> None:
+        """The (growable) workflow gained tasks mid-run.
+
+        Registers the new dataset inputs as durable replicas on shared
+        storage, refreshes derived DAG state, and enqueues whichever of
+        the new tasks are immediately ready.
+        """
+        for name in file_names:
+            if self.workflow.files[name].kind == FileKind.INPUT:
+                self.replicas.add(name, self.storage.node_id)
+        self.dependents = self.workflow.task_dependents()
+        self.final_files = set(self.workflow.final_files())
+        for task_id in task_ids:
+            if self._is_ready(task_id):
+                self._enqueue(task_id)
+        self._wake_dispatcher()
+
+    def close_submissions(self) -> None:
+        """No more submissions will arrive; the run may now complete."""
+        self.hold_open = False
+        if (self._error is None and self._workflow_complete()
+                and not self._finished.triggered):
+            self._finished.succeed()
+        self._wake_dispatcher()
+
     # -- dispatch loop ------------------------------------------------------
     def _workflow_complete(self) -> bool:
-        return len(self.done) == len(self.workflow.tasks)
+        return (not self.hold_open
+                and len(self.done) == len(self.workflow.tasks))
 
     def _dispatch_loop(self):
         while not self._workflow_complete() and self._error is None:
             progressed = False
-            while ((self.queue_high or self.queue)
-                   and self.free_workers):
-                source = (self.queue_high if self.queue_high
-                          else self.queue)
-                task_id = source.popleft()
+            while self.ready_queue and self.free_workers:
+                task_id = self.ready_queue.pop()
+                if task_id is None:
+                    # tasks are pending but none is eligible (e.g. every
+                    # backlogged tenant is at quota): wait for a wake-up
+                    break
                 self.queued.discard(task_id)
                 if task_id in self.done or task_id in self.running:
                     continue
-                missing = [name for name
-                           in self.workflow.tasks[task_id].inputs
+                task = self.workflow.tasks[task_id]
+                missing = [name for name in task.inputs
                            if not self._available(name)]
                 if missing:
                     # Inputs were lost after this task became ready:
@@ -274,7 +335,8 @@ class TaskVineManager:
                 agent = self._pick_worker(task_id)
                 if agent is None:
                     # no capacity right now: put it back and wait
-                    source.appendleft(task_id)
+                    self.ready_queue.defer(task_id, task,
+                                           self._is_downstream(task))
                     self.queued.add(task_id)
                     break
                 # pay the manager's serial dispatch cost
@@ -283,7 +345,8 @@ class TaskVineManager:
                 yield self.sim.timeout(self.config.dispatch_overhead)
                 self.manager_cpu.release(req)
                 if not agent.alive:
-                    source.appendleft(task_id)
+                    self.ready_queue.defer(task_id, task,
+                                           self._is_downstream(task))
                     self.queued.add(task_id)
                     continue
                 self._assign(task_id, agent)
@@ -304,7 +367,10 @@ class TaskVineManager:
             now = self.sim.now
             self.bus.emit(obs.DISPATCH, now, task=task_id,
                           worker=agent.node_id,
-                          waited=now - self.ready_time.get(task_id, now))
+                          waited=now - self.ready_time.get(task_id, now),
+                          **self._tenant_kw(task_id))
+        self.ready_queue.task_running(
+            task_id, self.workflow.tasks[task_id])
         agent.assign(task_id, self.workflow.tasks[task_id].cores)
         if agent.free_slots() <= 0:
             self.free_workers.pop(agent.node_id, None)
@@ -382,7 +448,8 @@ class TaskVineManager:
             t_start = self.sim.now
             if self.bus.enabled:
                 self.bus.emit(obs.EXEC_START, t_start, task=task.id,
-                              worker=agent.node_id)
+                              worker=agent.node_id,
+                              **self._tenant_kw(task.id))
             yield from self._startup(task, agent)
             yield self.sim.timeout(
                 agent.node.scale_runtime(task.compute))
@@ -427,6 +494,8 @@ class TaskVineManager:
 
     def _release_slot(self, task_id: str, agent: WorkerAgent) -> None:
         self.running.discard(task_id)
+        self.ready_queue.task_released(
+            task_id, self.workflow.tasks[task_id])
         self.task_procs.pop(task_id, None)
         agent.unassign(task_id)
         if agent.alive and agent.free_slots() > 0:
@@ -446,7 +515,8 @@ class TaskVineManager:
             # keeps the *string* id so cross-process analyses (the chaos
             # scorecard's physics-accounting digest) can line tasks up.
             self.bus.emit(obs.TASK_DONE, t_end, task=task.id,
-                          category=task.category, worker=agent.node_id)
+                          category=task.category, worker=agent.node_id,
+                          **self._tenant_kw(task.id))
         if self.config.min_replicas > 1:
             for name in task.outputs:
                 if name not in self.final_files:
@@ -465,6 +535,8 @@ class TaskVineManager:
                     holder = self.agents.get(node_id)
                     if holder is not None:
                         holder.release_retention(name)
+        if self.on_task_done is not None:
+            self.on_task_done(task)
         if self._workflow_complete() and not self._finished.triggered:
             self._finished.succeed()
         self._wake_dispatcher()
@@ -521,19 +593,36 @@ class TaskVineManager:
             ordered.extend(peers)  # last resort even for WQ
         return ordered
 
+    def _local_equivalent(self, name: str,
+                          agent: WorkerAgent) -> Optional[str]:
+        """A content-equivalent replica (same cachename, different
+        tenant namespace) already cached on ``agent``, or None."""
+        if self._equivalents_of is None:
+            return None
+        for other in self._equivalents_of(name):
+            if agent.has(other):
+                return other
+        return None
+
     def _stage_inputs(self, task: SimTask, agent: WorkerAgent,
                       pinned: List[str]):
         names = sorted(task.inputs,
                        key=lambda n: -self.workflow.files[n].size)
         for name in names:
-            # _fetch_to_worker leaves the file present AND pinned once.
-            yield from self._fetch_to_worker(name, agent,
-                                             task_id=task.id)
-            pinned.append(name)
+            # _fetch_to_worker leaves the file present AND pinned once;
+            # it returns the *physical* name pinned, which differs from
+            # ``name`` when a peer tenant's equivalent replica was used.
+            held = yield from self._fetch_to_worker(name, agent,
+                                                    task_id=task.id)
+            pinned.append(held if held is not None else name)
 
     def _fetch_to_worker(self, name: str, agent: WorkerAgent,
                          task_id: Optional[str] = None):
-        """Ensure ``name`` is cached on ``agent`` with one pin held."""
+        """Ensure ``name`` is cached on ``agent`` with one pin held.
+
+        Returns the physical cache-entry name holding the pin (``name``
+        itself, or a content-equivalent entry owned by another tenant).
+        """
         t_fetch = self.sim.now
         while True:
             if agent.has(name):
@@ -544,8 +633,29 @@ class TaskVineManager:
                         worker=agent.node_id, file=name,
                         nbytes=self.workflow.files[name].size,
                         source=agent.node_id, t_start=t_fetch,
-                        cached=True)
-                return
+                        cached=True,
+                        **(self._tenant_kw(task_id)
+                           if task_id is not None else {}))
+                return name
+            equiv = self._local_equivalent(name, agent)
+            if equiv is not None:
+                # shared cache hit: the bytes are already here under a
+                # peer tenant's name -- pin that entry instead of
+                # transferring an identical copy.
+                agent.pin(equiv)
+                if self.bus.enabled:
+                    kw = {}
+                    if self._tenant_of_file is not None:
+                        kw["peer_tenant"] = self._tenant_of_file(equiv)
+                    if task_id is not None:
+                        kw.update(self._tenant_kw(task_id))
+                    self.bus.emit(
+                        obs.STAGE_IN, self.sim.now, task=task_id,
+                        worker=agent.node_id, file=name,
+                        nbytes=self.workflow.files[name].size,
+                        source=agent.node_id, t_start=t_fetch,
+                        cached=True, **kw)
+                return equiv
             pending = agent.inflight.get(name)
             if pending is None:
                 break
@@ -582,8 +692,10 @@ class TaskVineManager:
                             obs.STAGE_IN, self.sim.now, task=task_id,
                             worker=agent.node_id, file=name,
                             nbytes=size, source=source,
-                            t_start=t_fetch, cached=False)
-                    return
+                            t_start=t_fetch, cached=False,
+                            **(self._tenant_kw(task_id)
+                               if task_id is not None else {}))
+                    return name
                 except ConnectionError:
                     # source (or we) died mid-transfer; if we are dead
                     # the Interrupt arrives separately.
@@ -651,7 +763,8 @@ class TaskVineManager:
                     self.bus.emit(obs.RETRIEVE, self.sim.now,
                                   task=task.id, worker=agent.node_id,
                                   file=name, nbytes=size,
-                                  t_start=t_retr)
+                                  t_start=t_retr,
+                                  **self._tenant_kw(task.id))
 
     def _manager_transfer(self, src: int, dst: int, size: float,
                           kind: str):
@@ -759,7 +872,7 @@ class TaskVineManager:
         self.done.discard(producer)
         if self.bus.enabled:
             self.bus.emit(obs.RECOVERY, self.sim.now, file=name,
-                          task=producer)
+                          task=producer, **self._tenant_kw(producer))
         missing = [g for g in self.workflow.tasks[producer].inputs
                    if not self._available(g)]
         if missing:

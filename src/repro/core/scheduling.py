@@ -1,10 +1,20 @@
-"""Pluggable task-placement policies.
+"""Pluggable task-placement policies and ready-queue disciplines.
 
-The TaskVine manager asks a policy for the worker to run a ready task
-on.  The paper's scheduler places tasks "where data dependencies are
-already available, reducing the need for unnecessary data movement"
-(Section IV.B) -- that is :class:`LocalityPolicy`.  The alternatives
-exist for the ablation benches and for workloads without data affinity.
+The TaskVine manager makes two separable scheduling decisions and each
+is pluggable here:
+
+* **Which ready task runs next** -- a :class:`ReadyQueue` discipline.
+  The default :class:`TwoTierReadyQueue` reproduces TaskVine's
+  downstream-first ordering (consumers of intermediates dispatch before
+  fresh processing tasks, so retained partials drain instead of piling
+  up past worker disks).  The multi-tenant facility layers fair-share
+  disciplines (:mod:`repro.facility.fairshare`) on this interface.
+* **Which worker it runs on** -- a :class:`PlacementPolicy`.  The
+  paper's scheduler places tasks "where data dependencies are already
+  available, reducing the need for unnecessary data movement"
+  (Section IV.B) -- that is :class:`LocalityPolicy`.  The alternatives
+  exist for the ablation benches and for workloads without data
+  affinity.
 
 A policy sees only manager-visible state (candidate agents, the replica
 map, file sizes) and must be cheap: it runs once per dispatch.
@@ -13,6 +23,7 @@ map, file sizes) and must be cheap: it runs once per dispatch.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Dict, Iterable, List, Optional, TYPE_CHECKING
 
 import numpy as np
@@ -25,6 +36,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .worker import WorkerAgent
 
 __all__ = [
+    "ReadyQueue",
+    "TwoTierReadyQueue",
     "PlacementPolicy",
     "LocalityPolicy",
     "RoundRobinPolicy",
@@ -33,6 +46,72 @@ __all__ = [
     "SpreadPolicy",
     "make_policy",
 ]
+
+
+class ReadyQueue(ABC):
+    """Orders ready tasks for dispatch.
+
+    The manager pushes a task when it becomes ready and pops the next
+    one to place.  ``defer`` returns a popped task to the *front* (no
+    worker had capacity; it must stay first in line).  A discipline may
+    return ``None`` from :meth:`pop` while tasks are pending -- e.g. a
+    fair-share queue whose eligible tenants are all at quota -- and the
+    manager then waits for the next wake-up.
+
+    ``task_running``/``task_released`` are dispatch-lifecycle hooks so
+    stateful disciplines (per-tenant deficit or quota accounting) can
+    track in-flight work exactly; the default discipline ignores them.
+    """
+
+    @abstractmethod
+    def push(self, task_id: str, task: SimTask, downstream: bool) -> None:
+        """Append a newly ready task."""
+
+    @abstractmethod
+    def pop(self) -> Optional[str]:
+        """Next task to dispatch, or None if nothing is eligible now."""
+
+    @abstractmethod
+    def defer(self, task_id: str, task: SimTask, downstream: bool) -> None:
+        """Return a popped task to the front of its line."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Tasks currently queued (eligible or not)."""
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def task_running(self, task_id: str, task: SimTask) -> None:
+        """A popped task was actually assigned to a worker."""
+
+    def task_released(self, task_id: str, task: SimTask) -> None:
+        """A running task released its slot (success or failure)."""
+
+
+class TwoTierReadyQueue(ReadyQueue):
+    """TaskVine's default ordering: downstream tasks (consumers of
+    intermediates) dispatch before fresh processing tasks."""
+
+    def __init__(self):
+        self._high: deque = deque()
+        self._normal: deque = deque()
+
+    def push(self, task_id, task, downstream):
+        (self._high if downstream else self._normal).append(task_id)
+
+    def pop(self):
+        if self._high:
+            return self._high.popleft()
+        if self._normal:
+            return self._normal.popleft()
+        return None
+
+    def defer(self, task_id, task, downstream):
+        (self._high if downstream else self._normal).appendleft(task_id)
+
+    def __len__(self):
+        return len(self._high) + len(self._normal)
 
 
 class PlacementPolicy(ABC):

@@ -35,6 +35,15 @@ def _signature(obj: Any, keymap: Dict[Hashable, Optional[str]]) -> bytes:
     values contribute their pickle.  Raises :class:`_Unkeyable` when a
     value cannot be pickled or an upstream task was unkeyable.
     """
+    # Decompose containers before probing keymap, mirroring
+    # graph._find_keys: a literal tuple is a value even when another
+    # submitter uses an equal tuple as a key, so two tenants' identical
+    # graphs produce identical keys regardless of what else shares the
+    # cache.
+    if isinstance(obj, (list, tuple)):
+        tag = b"L\x00" if isinstance(obj, list) else b"T\x00"
+        return tag + b"\x01".join(_signature(item, keymap)
+                                  for item in obj)
     try:
         if obj in keymap:
             upstream = keymap[obj]
@@ -43,10 +52,6 @@ def _signature(obj: Any, keymap: Dict[Hashable, Optional[str]]) -> bytes:
             return b"K\x00" + upstream.encode()
     except TypeError:
         pass  # unhashable literals cannot be keys
-    if isinstance(obj, (list, tuple)):
-        tag = b"L\x00" if isinstance(obj, list) else b"T\x00"
-        return tag + b"\x01".join(_signature(item, keymap)
-                                  for item in obj)
     try:
         return b"V\x00" + wire.dumps(obj)
     except wire.WireError:

@@ -177,17 +177,22 @@ class TaskGraph:
         return self._resolve(computation, results)
 
     def _resolve(self, obj: Any, results: Dict[Key, Any]) -> Any:
-        try:
-            if obj in results:
-                return results[obj]
-        except TypeError:
-            pass
+        # Containers decompose before the key probe, matching
+        # _find_keys: only atoms reference other keys, so a literal
+        # tuple equal to some key (another submitter's, say) stays a
+        # value.  _find_keys never records container deps, so probing
+        # first would substitute or not based on toposort order.
         if is_task(obj):
             return self._evaluate(obj, results)
         if isinstance(obj, list):
             return [self._resolve(item, results) for item in obj]
         if isinstance(obj, tuple):
             return tuple(self._resolve(item, results) for item in obj)
+        try:
+            if obj in results:
+                return results[obj]
+        except TypeError:
+            pass
         return obj
 
     # -- statistics -----------------------------------------------------------

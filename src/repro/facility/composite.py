@@ -1,0 +1,150 @@
+"""A growable, tenant-namespaced union of :class:`SimWorkflow`.
+
+The facility runs one shared manager; every admitted submission is
+merged into a single :class:`CompositeWorkflow` whose task and file
+names are prefixed ``<tenant>.<seq>/`` so identical DAGs from
+different tenants (the common case: everyone iterates on the same
+ntuple) never collide.
+
+Content identity survives the renaming: each physical file keeps the
+*tenant-visible* cachename computed by its own SimWorkflow (name +
+size + lineage, :func:`repro.core.files.cachename`), and the composite
+indexes physical names by cachename.  :meth:`equivalents` is the hook
+the manager uses to satisfy staging from a peer tenant's bytes already
+on the worker -- the cross-tenant shared cache.
+
+The composite exposes the SimWorkflow surface the manager reads
+(``tasks``/``files``/``producer``/``consumers``/``task_dependents``/
+``final_files``), with all containers *live*: the manager holds
+references taken at construction and sees new submissions without
+re-wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.files import FileKind, SimFile
+from ..core.spec import SimTask, SimWorkflow, WorkflowError
+
+__all__ = ["CompositeWorkflow"]
+
+
+class CompositeWorkflow:
+    """Union of namespaced submissions with a shared content index."""
+
+    def __init__(self):
+        self.tasks: Dict[str, SimTask] = {}
+        self.files: Dict[str, SimFile] = {}
+        self.producer: Dict[str, str] = {}
+        self.consumers: Dict[str, Set[str]] = {}
+        self.cachenames: Dict[str, str] = {}
+        self._dependents: Dict[str, Set[str]] = {}
+        self._final: Set[str] = set()
+        self._tenant_by_task: Dict[str, str] = {}
+        self._tenant_by_file: Dict[str, str] = {}
+        self._submission_by_task: Dict[str, str] = {}
+        #: cachename -> physical file names holding those bytes, in
+        #: admission order (deterministic equivalence probing)
+        self._by_content: Dict[str, List[str]] = {}
+
+    # -- growth -------------------------------------------------------------
+    def extend(self, tenant: str, submission_id: str,
+               workflow: SimWorkflow
+               ) -> Tuple[List[str], List[str]]:
+        """Merge one submission; returns (new task ids, new file names)."""
+        prefix = f"{submission_id}/"
+        task_ids: List[str] = []
+        file_names: List[str] = []
+        for name in workflow.files:
+            if prefix + name in self.files:
+                raise WorkflowError(
+                    f"duplicate submission id {submission_id!r}")
+        for name, file in workflow.files.items():
+            phys = prefix + name
+            self.files[phys] = replace(file, name=phys)
+            self.consumers[phys] = set()
+            visible = workflow.cachenames[name]
+            self.cachenames[phys] = visible
+            self._tenant_by_file[phys] = tenant
+            self._by_content.setdefault(visible, []).append(phys)
+            file_names.append(phys)
+        for task_id, task in workflow.tasks.items():
+            phys = prefix + task_id
+            self.tasks[phys] = replace(
+                task, id=phys,
+                inputs=tuple(prefix + n for n in task.inputs),
+                outputs=tuple(prefix + n for n in task.outputs))
+            self._dependents[phys] = set()
+            self._tenant_by_task[phys] = tenant
+            self._submission_by_task[phys] = submission_id
+            task_ids.append(phys)
+        for task_id in task_ids:
+            task = self.tasks[task_id]
+            for name in task.inputs:
+                self.consumers[name].add(task_id)
+            for name in task.outputs:
+                self.producer[name] = task_id
+        for task_id in task_ids:
+            for name in self.tasks[task_id].inputs:
+                producer_id = self.producer.get(name)
+                if producer_id is not None:
+                    self._dependents[producer_id].add(task_id)
+        self._final.update(
+            prefix + name for name in workflow.final_files())
+        return task_ids, file_names
+
+    # -- SimWorkflow surface ------------------------------------------------
+    def task_dependencies(self, task_id: str) -> Set[str]:
+        deps = set()
+        for name in self.tasks[task_id].inputs:
+            producer_id = self.producer.get(name)
+            if producer_id is not None:
+                deps.add(producer_id)
+        return deps
+
+    def task_dependents(self) -> Dict[str, Set[str]]:
+        return self._dependents
+
+    def initial_ready(self) -> List[str]:
+        return [tid for tid in self.tasks
+                if not self.task_dependencies(tid)]
+
+    def final_files(self) -> List[str]:
+        return sorted(self._final)
+
+    def total_input_bytes(self) -> float:
+        return sum(f.size for f in self.files.values()
+                   if f.kind == FileKind.INPUT)
+
+    def total_generated_bytes(self) -> float:
+        return sum(f.size for f in self.files.values()
+                   if f.kind != FileKind.INPUT)
+
+    def categories(self) -> Set[str]:
+        return {t.category for t in self.tasks.values()}
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    # -- tenancy ------------------------------------------------------------
+    def tenant_of(self, task_id: str) -> str:
+        return self._tenant_by_task[task_id]
+
+    def tenant_of_file(self, name: str) -> Optional[str]:
+        return self._tenant_by_file.get(name)
+
+    def submission_of(self, task_id: str) -> str:
+        return self._submission_by_task[task_id]
+
+    def equivalents(self, name: str) -> Iterable[str]:
+        """Physical names (other tenants' or other submissions') whose
+        bytes are content-identical to ``name``."""
+        peers = self._by_content.get(self.cachenames.get(name, ""), ())
+        return [p for p in peers if p != name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CompositeWorkflow {len(self.tasks)} tasks, "
+                f"{len(self.files)} files, "
+                f"{len(self._by_content)} distinct contents>")

@@ -1,0 +1,153 @@
+"""Tenants, quotas, and typed admission-control outcomes.
+
+A tenant is one analyst (or analysis group) sharing the facility.  Its
+:class:`TenantQuota` bounds how much of the shared cluster it may hold
+at once; the fair-share disciplines (:mod:`repro.facility.fairshare`)
+consult the same quotas at dispatch time, so admission control and
+scheduling enforce one consistent envelope.
+
+Admission returns *typed backpressure* -- :class:`Admitted`,
+:class:`Queued` or :class:`Rejected` -- rather than booleans, so
+clients (and the arrival replay in the benchmarks) can distinguish
+"runs now", "waits for quota", and "go away" without string parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "TenantQuota",
+    "Tenant",
+    "Admitted",
+    "Queued",
+    "Rejected",
+    "TenantAccounts",
+]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant resource envelope.  ``None`` means unlimited."""
+
+    #: cores the tenant's running tasks may occupy at once
+    cores: Optional[int] = None
+    #: bytes of worker-cache the tenant's files may retain; dispatch of
+    #: further tasks is throttled (not killed) past this
+    cache_bytes: Optional[float] = None
+    #: tasks (queued + running) the tenant may have inside the manager
+    inflight_tasks: Optional[int] = None
+    #: submissions that may wait in the admission backlog
+    max_queued: int = 8
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One analyst sharing the facility."""
+
+    name: str
+    #: fair-share weight (weighted disciplines); higher = more service
+    weight: float = 1.0
+    #: base priority (priority+aging discipline); higher = sooner
+    priority: float = 0.0
+    quota: TenantQuota = field(default_factory=TenantQuota)
+
+    def __post_init__(self):
+        if not self.name or "/" in self.name:
+            raise ValueError(f"bad tenant name {self.name!r}")
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name!r} needs weight > 0")
+
+
+@dataclass(frozen=True)
+class Admitted:
+    """The submission entered the manager immediately."""
+
+    submission_id: str
+    tenant: str
+    t: float
+
+
+@dataclass(frozen=True)
+class Queued:
+    """The submission waits in the tenant's admission backlog."""
+
+    submission_id: str
+    tenant: str
+    t: float
+    position: int
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """The submission was refused (reason says why)."""
+
+    submission_id: Optional[str]
+    tenant: str
+    t: float
+    reason: str
+
+
+class TenantAccounts:
+    """Live per-tenant usage, fed by scheduler and cache events.
+
+    The fair-share disciplines call :meth:`task_running` /
+    :meth:`task_released` from the manager's dispatch lifecycle;
+    the facility wires :meth:`on_cache_event` to the event bus so
+    cached bytes are charged to the tenant whose (namespaced) file is
+    resident -- eviction credits the same tenant back.
+    """
+
+    def __init__(self, tenants: Dict[str, Tenant], tenant_of,
+                 tenant_of_file):
+        self.tenants = tenants
+        self.tenant_of = tenant_of
+        self.tenant_of_file = tenant_of_file
+        self.running_cores: Dict[str, int] = {t: 0 for t in tenants}
+        self.inflight: Dict[str, int] = {t: 0 for t in tenants}
+        self.cache_bytes: Dict[str, float] = {t: 0.0 for t in tenants}
+
+    # -- dispatch lifecycle -------------------------------------------------
+    def task_running(self, tenant: str, cores: int) -> None:
+        self.running_cores[tenant] += cores
+        self.inflight[tenant] += 1
+
+    def task_released(self, tenant: str, cores: int) -> None:
+        self.running_cores[tenant] -= cores
+        self.inflight[tenant] -= 1
+
+    # -- cache occupancy ----------------------------------------------------
+    def on_cache_event(self, type: str, t: float, fields: dict) -> None:
+        name = fields.get("file")
+        if name is None:
+            return
+        tenant = self.tenant_of_file(name)
+        if tenant is None or tenant not in self.cache_bytes:
+            return
+        delta = fields.get("nbytes", 0.0)
+        if type == "CACHE_EVICT":
+            delta = -delta
+        self.cache_bytes[tenant] += delta
+
+    # -- dispatch eligibility ----------------------------------------------
+    def eligible(self, tenant: str, cores: int) -> bool:
+        """May this tenant dispatch one more ``cores``-wide task now?
+
+        Past the cache-bytes quota a tenant with work still in flight
+        is throttled; a tenant with *nothing* running always gets one
+        task through (progress guarantee -- retained bytes can only
+        drain once its consumers run).
+        """
+        quota = self.tenants[tenant].quota
+        if (quota.cores is not None
+                and self.running_cores[tenant] + cores > quota.cores):
+            return False
+        if (quota.inflight_tasks is not None
+                and self.inflight[tenant] >= quota.inflight_tasks):
+            return False
+        if (quota.cache_bytes is not None
+                and self.cache_bytes[tenant] > quota.cache_bytes
+                and self.inflight[tenant] > 0):
+            return False
+        return True

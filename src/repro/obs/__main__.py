@@ -21,7 +21,7 @@ from typing import Optional
 from . import analyze
 
 SECTIONS = ("summary", "critical-path", "stragglers", "transfers",
-            "cache")
+            "cache", "tenants")
 
 
 def _demo_run(path: str) -> None:

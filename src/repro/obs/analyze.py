@@ -34,6 +34,7 @@ __all__ = [
     "transfer_hotspots",
     "cache_pressure",
     "critical_path",
+    "tenant_breakdown",
     "render_report",
 ]
 
@@ -236,6 +237,75 @@ def critical_path(source: Source) -> dict:
     }
 
 
+# -- tenants ----------------------------------------------------------------
+
+def tenant_breakdown(source: Source) -> dict:
+    """Per-tenant service quality from a multi-tenant facility run.
+
+    Driven by the ``tenant`` field the manager stamps on lifecycle
+    events (plus the facility's SUBMIT/ADMIT/SUBMISSION_DONE edges).
+    Returns ``{"tenants": []}`` for single-tenant logs.
+    """
+    log = load(source)
+    rows: Dict[str, dict] = {}
+
+    def row(tenant: str) -> dict:
+        return rows.setdefault(tenant, {
+            "tenant": tenant, "submissions": 0, "admitted": 0,
+            "queued": 0, "rejected": 0, "tasks_done": 0,
+            "dispatch_waits": [], "turnarounds": [],
+            "peer_cache_bytes": 0.0, "peer_cache_hits": 0,
+            "staged_bytes": 0.0})
+
+    for r in log.by_type.get(ev.SUBMIT, []):
+        row(r["tenant"])["submissions"] += 1
+    for r in log.by_type.get(ev.ADMIT, []):
+        decision = r.get("decision", "admitted")
+        key = {"admitted": "admitted", "queued": "queued",
+               "rejected": "rejected"}.get(decision)
+        if key:
+            row(r["tenant"])[key] += 1
+    for r in log.by_type.get(ev.TASK_DONE, []):
+        tenant = r.get("tenant")
+        if tenant is not None:
+            row(tenant)["tasks_done"] += 1
+    for r in log.by_type.get(ev.DISPATCH, []):
+        tenant = r.get("tenant")
+        if tenant is not None:
+            row(tenant)["dispatch_waits"].append(r.get("waited", 0.0))
+    for r in log.by_type.get(ev.SUBMISSION_DONE, []):
+        row(r["tenant"])["turnarounds"].append(
+            r.get("turnaround", 0.0))
+    for r in log.by_type.get(ev.STAGE_IN, []):
+        tenant = r.get("tenant")
+        if tenant is None:
+            continue
+        nbytes = r.get("nbytes", 0.0)
+        if r.get("cached"):
+            peer = r.get("peer_tenant")
+            if peer is not None and peer != tenant:
+                row(tenant)["peer_cache_bytes"] += nbytes
+                row(tenant)["peer_cache_hits"] += 1
+        else:
+            row(tenant)["staged_bytes"] += nbytes
+
+    out = []
+    for tenant in sorted(rows):
+        r = rows.pop(tenant)
+        waits = r.pop("dispatch_waits")
+        turns = r.pop("turnarounds")
+        r["mean_dispatch_wait_s"] = (float(np.mean(waits))
+                                     if waits else None)
+        r["p95_dispatch_wait_s"] = (float(np.percentile(waits, 95))
+                                    if waits else None)
+        r["mean_turnaround_s"] = (float(np.mean(turns))
+                                  if turns else None)
+        r["p95_turnaround_s"] = (float(np.percentile(turns, 95))
+                                 if turns else None)
+        out.append(r)
+    return {"tenants": out}
+
+
 # -- rendering --------------------------------------------------------------
 
 def _gb(nbytes: float) -> float:
@@ -252,7 +322,8 @@ def render_report(source: Source, top: int = 10,
 
     log = load(source)
     wanted = set(sections) if sections else {
-        "summary", "critical-path", "stragglers", "transfers", "cache"}
+        "summary", "critical-path", "stragglers", "transfers", "cache",
+        "tenants"}
     parts: List[str] = []
     meta = {k: v for k, v in log.meta.items()
             if k not in ("type", "t", "schema")}
@@ -327,4 +398,22 @@ def render_report(source: Source, top: int = 10,
         if cp["workers_preempted"]:
             parts.append("workers preempted: "
                          + ", ".join(map(str, cp["workers_preempted"])))
+    if "tenants" in wanted:
+        tb = tenant_breakdown(log)
+        if tb["tenants"]:  # silent on single-tenant logs
+            parts.append(banner(
+                f"TENANTS: {len(tb['tenants'])} sharing the manager"))
+            parts.append(format_table(
+                ["Tenant", "Subs", "Adm", "Q", "Rej", "Tasks",
+                 "Wait p95 (s)", "Turnaround p95 (s)", "Peer GB"],
+                [(t["tenant"], t["submissions"], t["admitted"],
+                  t["queued"], t["rejected"], t["tasks_done"],
+                  _fmt_opt(t["p95_dispatch_wait_s"]),
+                  _fmt_opt(t["p95_turnaround_s"]),
+                  f"{_gb(t['peer_cache_bytes']):.2f}")
+                 for t in tb["tenants"]]))
     return "\n\n".join(parts)
+
+
+def _fmt_opt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1f}"

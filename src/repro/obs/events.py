@@ -32,6 +32,9 @@ __all__ = [
     "NullBus",
     "NULL_BUS",
     "EVENT_TYPES",
+    "SUBMIT",
+    "ADMIT",
+    "SUBMISSION_DONE",
     "READY",
     "DISPATCH",
     "STAGE_IN",
@@ -57,6 +60,11 @@ __all__ = [
     "RUN",
     "RUN_END",
 ]
+
+# -- multi-tenant facility (repro.facility) ---------------------------------
+SUBMIT = "SUBMIT"            # a tenant handed a DAG to the facility
+ADMIT = "ADMIT"              # admission decision (admitted/queued/rejected)
+SUBMISSION_DONE = "SUBMISSION_DONE"  # all tasks of one submission done
 
 # -- task lifecycle edges ---------------------------------------------------
 READY = "READY"              # task entered the ready queue
@@ -95,6 +103,7 @@ RUN = "RUN"                  # transaction-log header
 RUN_END = "RUN_END"          # transaction-log footer
 
 EVENT_TYPES = (
+    SUBMIT, ADMIT, SUBMISSION_DONE,
     READY, DISPATCH, STAGE_IN, EXEC_START, EXEC_END, TASK_DONE,
     RETRIEVE,
     CACHE_PUT, CACHE_EVICT, TRANSFER, REPLICA_LOST, RECOVERY, CRASH,

@@ -254,8 +254,7 @@ def install_standard_gauges(registry: MetricsRegistry, manager) -> None:
     """
     agents = manager.agents
     network = manager.cluster.network
-    registry.gauge("queue_depth",
-                   lambda: len(manager.queue) + len(manager.queue_high))
+    registry.gauge("queue_depth", lambda: len(manager.ready_queue))
     registry.gauge("running_tasks", lambda: len(manager.running))
     registry.gauge("workers_alive",
                    lambda: sum(1 for a in agents.values() if a.alive))

@@ -62,7 +62,9 @@ class WorkQueueManager(TaskVineManager):
         if (file.kind == FileKind.INPUT
                 and MANAGER_NODE not in self.replicas.locations(name)):
             yield from self._stage_to_manager(name)
-        yield from super()._fetch_to_worker(name, agent, task_id=task_id)
+        held = yield from super()._fetch_to_worker(name, agent,
+                                                   task_id=task_id)
+        return held
 
     def _stage_to_manager(self, name: str):
         """Read a dataset file from shared storage onto the manager,

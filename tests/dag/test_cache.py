@@ -18,6 +18,11 @@ def traced_sum(xs):
     return sum(xs)
 
 
+def traced_len(x):
+    CALLS.append(("len", x))
+    return len(x)
+
+
 @pytest.fixture(autouse=True)
 def clear_calls():
     CALLS.clear()
@@ -88,6 +93,66 @@ class TestGraphCache:
     def test_bad_max_entries(self):
         with pytest.raises(ValueError):
             GraphCache(max_entries=0)
+
+
+class TestMultiTenantSharing:
+    """The result cache keys by tenant-visible lineage only: two
+    tenants submitting the identical DAG share results, and one
+    tenant's key names can never leak into another's signatures."""
+
+    def make_tenant_graph(self, tenant):
+        graph = {f"{tenant}/x{i}": (traced_inc, i) for i in range(4)}
+        graph[f"{tenant}/total"] = (
+            traced_sum, [f"{tenant}/x{i}" for i in range(4)])
+        return TaskGraph(graph, targets=[f"{tenant}/total"])
+
+    def test_identical_dags_share_results_across_tenants(self):
+        """Key names never enter the digest -- only function identity,
+        literal args and upstream lineage -- so bob's namespaced copy
+        of alice's DAG replays entirely from her results."""
+        cache = GraphCache()
+        a = cached_execute(self.make_tenant_graph("alice"), cache)
+        CALLS.clear()
+        b = cached_execute(self.make_tenant_graph("bob"), cache)
+        assert a["alice/total"] == b["bob/total"] == 10
+        assert CALLS == []  # bob's run came entirely from alice's
+        assert cache.hits == 5
+
+    def test_merged_submissions_share_within_one_run(self):
+        """A facility merging two tenants' identical subgraphs into
+        one namespace executes each task once."""
+        merged = {}
+        for tenant in ("alice", "bob"):
+            merged.update(self.make_tenant_graph(tenant).graph)
+        cache = GraphCache()
+        out = cached_execute(
+            TaskGraph(merged, targets=["alice/total", "bob/total"]),
+            cache)
+        assert out["alice/total"] == out["bob/total"] == 10
+        assert len(CALLS) == 5  # five tasks, not ten
+        assert cache.hits == 5 and cache.misses == 5
+
+    def test_literal_tuple_arg_is_not_foreign_lineage(self):
+        """A literal tuple equal to another submitter's tuple-style
+        key is a value, not a lineage reference: bob's task neither
+        receives alice's result nor signs itself with her lineage."""
+        merged = {
+            ("alice", "x"): (traced_inc, 6),
+            # bob's argument is DATA that happens to equal alice's key
+            "bob/only": (traced_len, ("alice", "x")),
+        }
+        cache = GraphCache()
+        out = cached_execute(
+            TaskGraph(merged, targets=["bob/only"]), cache)
+        assert out["bob/only"] == 2
+        assert ("len", ("alice", "x")) in CALLS
+        # and a rerun in isolation produces the same key -> cache hit
+        CALLS.clear()
+        again = cached_execute(
+            TaskGraph({"bob/only": (traced_len, ("alice", "x"))},
+                      targets=["bob/only"]), cache)
+        assert again["bob/only"] == 2
+        assert ("len", ("alice", "x")) not in CALLS
 
 
 class TestRealAnalysisIteration:

@@ -1,0 +1,36 @@
+"""Facility-test harness: tiny workflows and a small shared cluster."""
+
+import pytest
+
+from repro.bench.runners import build_environment
+from repro.core.files import FileKind, SimFile
+from repro.core.spec import SimTask, SimWorkflow
+
+
+def small_workflow(n_proc=4, chunk=50e6, partial=5e6,
+                   compute=1.0) -> SimWorkflow:
+    """n_proc processing tasks feeding one accumulation."""
+    files, tasks, partials = [], [], []
+    for i in range(n_proc):
+        files.append(SimFile(f"chunk-{i}", chunk, FileKind.INPUT))
+        files.append(SimFile(f"partial-{i}", partial,
+                             FileKind.INTERMEDIATE))
+        tasks.append(SimTask(id=f"proc-{i}", compute=compute,
+                             inputs=(f"chunk-{i}",),
+                             outputs=(f"partial-{i}",),
+                             category="proc", function="process"))
+        partials.append(f"partial-{i}")
+    files.append(SimFile("result", partial, FileKind.OUTPUT))
+    tasks.append(SimTask(id="accum", compute=0.5,
+                         inputs=tuple(partials), outputs=("result",),
+                         category="accum", function="accumulate"))
+    return SimWorkflow(tasks, files)
+
+
+@pytest.fixture
+def env():
+    return build_environment(2, seed=3)
+
+
+def make_env(n_workers=2, seed=3):
+    return build_environment(n_workers, seed=seed)

@@ -1,0 +1,88 @@
+"""Tests for the tenant-namespaced composite workflow."""
+
+import pytest
+
+from repro.core.spec import WorkflowError
+from repro.facility.composite import CompositeWorkflow
+
+from .conftest import small_workflow
+
+
+class TestExtend:
+    def test_namespacing(self):
+        comp = CompositeWorkflow()
+        task_ids, file_names = comp.extend("alice", "alice.0",
+                                           small_workflow())
+        assert all(t.startswith("alice.0/") for t in task_ids)
+        assert all(f.startswith("alice.0/") for f in file_names)
+        # renamed consistently: tasks reference prefixed files
+        task = comp.tasks["alice.0/proc-0"]
+        assert task.inputs == ("alice.0/chunk-0",)
+        assert task.outputs == ("alice.0/partial-0",)
+
+    def test_two_tenants_never_collide(self):
+        comp = CompositeWorkflow()
+        a, _ = comp.extend("alice", "alice.0", small_workflow())
+        b, _ = comp.extend("bob", "bob.0", small_workflow())
+        assert set(a).isdisjoint(b)
+        assert len(comp.tasks) == len(a) + len(b)
+
+    def test_duplicate_submission_id_rejected(self):
+        comp = CompositeWorkflow()
+        comp.extend("alice", "alice.0", small_workflow())
+        with pytest.raises(WorkflowError):
+            comp.extend("alice", "alice.0", small_workflow())
+
+    def test_dependents_dict_is_live(self):
+        """The manager takes the dict once; later submissions must
+        show up in the same object."""
+        comp = CompositeWorkflow()
+        held = comp.task_dependents()
+        comp.extend("alice", "alice.0", small_workflow())
+        assert "alice.0/proc-0" in held
+        comp.extend("bob", "bob.0", small_workflow())
+        assert "bob.0/proc-0" in held
+
+    def test_dependency_wiring(self):
+        comp = CompositeWorkflow()
+        comp.extend("alice", "alice.0", small_workflow(n_proc=2))
+        assert comp.task_dependencies("alice.0/accum") == {
+            "alice.0/proc-0", "alice.0/proc-1"}
+        assert comp.task_dependents()["alice.0/proc-0"] == {
+            "alice.0/accum"}
+        assert set(comp.initial_ready()) == {
+            "alice.0/proc-0", "alice.0/proc-1"}
+
+
+class TestTenancy:
+    def test_tenant_and_submission_lookup(self):
+        comp = CompositeWorkflow()
+        comp.extend("alice", "alice.0", small_workflow())
+        comp.extend("alice", "alice.1", small_workflow())
+        assert comp.tenant_of("alice.1/accum") == "alice"
+        assert comp.submission_of("alice.1/accum") == "alice.1"
+        assert comp.tenant_of_file("alice.0/chunk-0") == "alice"
+        assert comp.tenant_of_file("unknown") is None
+
+
+class TestContentIndex:
+    def test_identical_dags_are_equivalent(self):
+        """Same bytes under two namespaces: each physical name lists
+        the other as a content-equivalent replica."""
+        comp = CompositeWorkflow()
+        comp.extend("alice", "alice.0", small_workflow())
+        comp.extend("bob", "bob.0", small_workflow())
+        assert comp.equivalents("alice.0/chunk-0") == ["bob.0/chunk-0"]
+        assert comp.equivalents("bob.0/chunk-0") == ["alice.0/chunk-0"]
+
+    def test_different_dags_are_not_equivalent(self):
+        comp = CompositeWorkflow()
+        comp.extend("alice", "alice.0", small_workflow(chunk=50e6))
+        comp.extend("bob", "bob.0", small_workflow(chunk=60e6))
+        assert comp.equivalents("alice.0/chunk-0") == []
+
+    def test_final_files_union(self):
+        comp = CompositeWorkflow()
+        comp.extend("alice", "alice.0", small_workflow())
+        comp.extend("bob", "bob.0", small_workflow())
+        assert comp.final_files() == ["alice.0/result", "bob.0/result"]

@@ -1,0 +1,206 @@
+"""Tests for the fair-share ready-queue disciplines."""
+
+import pytest
+
+from repro.core.spec import SimTask
+from repro.facility.fairshare import (
+    DISCIPLINES,
+    FacilityFIFO,
+    PriorityAging,
+    WeightedFairShare,
+    make_discipline,
+)
+from repro.facility.tenant import Tenant, TenantAccounts, TenantQuota
+
+
+def task(tid, cores=1, compute=1.0):
+    return SimTask(id=tid, compute=compute, inputs=(), outputs=(),
+                   category="proc", function="f", cores=cores)
+
+
+def make_accounts(*tenants):
+    by_name = {t.name: t for t in tenants}
+    return TenantAccounts(
+        by_name,
+        tenant_of=lambda tid: tid.split("/", 1)[0],
+        tenant_of_file=lambda name: name.split("/", 1)[0]
+        if "/" in name else None)
+
+
+def push_n(queue, tenant, n, cores=1):
+    for i in range(n):
+        tid = f"{tenant}/{i}"
+        queue.push(tid, task(tid, cores=cores), downstream=False)
+
+
+def drain(queue, limit=1000):
+    out = []
+    while len(queue) and limit:
+        tid = queue.pop()
+        if tid is None:
+            break
+        out.append(tid)
+        limit -= 1
+    return out
+
+
+class TestFIFO:
+    def test_global_order(self):
+        q = FacilityFIFO(make_accounts(Tenant("a"), Tenant("b")))
+        q.push("a/0", task("a/0"), False)
+        q.push("b/0", task("b/0"), False)
+        q.push("a/1", task("a/1"), False)
+        assert drain(q) == ["a/0", "b/0", "a/1"]
+
+    def test_downstream_tier_first(self):
+        q = FacilityFIFO(make_accounts(Tenant("a")))
+        q.push("a/0", task("a/0"), False)
+        q.push("a/1", task("a/1"), True)
+        assert drain(q) == ["a/1", "a/0"]
+
+    def test_skips_tenant_at_quota(self):
+        quota = TenantQuota(inflight_tasks=1)
+        q = FacilityFIFO(make_accounts(Tenant("a", quota=quota),
+                                       Tenant("b")))
+        q.push("a/0", task("a/0"), False)
+        q.push("a/1", task("a/1"), False)
+        q.push("b/0", task("b/0"), False)
+        first = q.pop()
+        q.task_running(first, task(first))
+        assert first == "a/0"
+        # a is at its inflight quota: b jumps ahead
+        assert q.pop() == "b/0"
+        assert q.pop() is None  # only a/1 left, still gated
+        q.task_released("a/0", task("a/0"))
+        assert q.pop() == "a/1"
+
+
+class TestWeightedFairShare:
+    def test_equal_weights_interleave(self):
+        q = WeightedFairShare(make_accounts(Tenant("a"), Tenant("b")))
+        push_n(q, "a", 4)
+        push_n(q, "b", 4)
+        order = drain(q)
+        tenants = [t.split("/")[0] for t in order]
+        # never more than one consecutive pop from the same tenant
+        assert all(x != y for x, y in zip(tenants, tenants[1:]))
+
+    def test_weights_bias_service(self):
+        q = WeightedFairShare(make_accounts(Tenant("a", weight=2.0),
+                                            Tenant("b", weight=1.0)))
+        push_n(q, "a", 40)
+        push_n(q, "b", 40)
+        first = drain(q)[:30]
+        served_a = sum(1 for t in first if t.startswith("a/"))
+        served_b = len(first) - served_a
+        assert served_a == pytest.approx(2 * served_b, abs=2)
+
+    def test_deterministic(self):
+        def build():
+            q = WeightedFairShare(
+                make_accounts(Tenant("a", weight=1.5), Tenant("b"),
+                              Tenant("c", weight=0.5)))
+            for tenant, n in (("a", 7), ("b", 5), ("c", 9)):
+                push_n(q, tenant, n)
+            return q
+        assert drain(build()) == drain(build())
+
+    def test_defer_refunds_cost(self):
+        q = WeightedFairShare(make_accounts(Tenant("a"), Tenant("b")))
+        push_n(q, "a", 2)
+        push_n(q, "b", 2)
+        tid = q.pop()
+        q.defer(tid, task(tid), False)
+        # the deferred task is back at its tenant's head and the
+        # tenant was not charged: the drain still serves everyone
+        order = drain(q)
+        assert sorted(order) == ["a/0", "a/1", "b/0", "b/1"]
+
+    def test_pop_none_when_everyone_gated(self):
+        quota = TenantQuota(inflight_tasks=1)
+        q = WeightedFairShare(make_accounts(Tenant("a", quota=quota)))
+        push_n(q, "a", 2)
+        first = q.pop()
+        q.task_running(first, task(first))
+        assert len(q) == 1
+        assert q.pop() is None
+
+    def test_bad_quantum(self):
+        with pytest.raises(ValueError):
+            WeightedFairShare(make_accounts(Tenant("a")), quantum=0)
+
+
+class TestPriorityAging:
+    def test_higher_priority_first(self):
+        q = PriorityAging(make_accounts(Tenant("a", priority=0.0),
+                                        Tenant("b", priority=5.0)),
+                          aging_rate=0.0)
+        push_n(q, "a", 1)
+        push_n(q, "b", 1)
+        assert q.pop() == "b/0"
+
+    def test_aging_overtakes_base_priority(self):
+        """With any positive aging rate the low-priority tenant is
+        served before the high-priority backlog drains."""
+        q = PriorityAging(make_accounts(Tenant("a", priority=0.0),
+                                        Tenant("b", priority=3.0)),
+                          aging_rate=1.0)
+        push_n(q, "a", 1)
+        push_n(q, "b", 20)
+        order = drain(q)
+        assert order.index("a/0") < len(order) - 1  # not starved last
+        assert order.index("a/0") <= 5
+
+    def test_zero_aging_starves(self):
+        """The rate-0 control: strict priority never serves a."""
+        q = PriorityAging(make_accounts(Tenant("a", priority=0.0),
+                                        Tenant("b", priority=3.0)),
+                          aging_rate=0.0)
+        push_n(q, "a", 1)
+        push_n(q, "b", 10)
+        assert drain(q)[:-1] == [f"b/{i}" for i in range(10)]
+
+    def test_bad_aging_rate(self):
+        with pytest.raises(ValueError):
+            PriorityAging(make_accounts(Tenant("a")), aging_rate=-1)
+
+
+class TestAccounts:
+    def test_progress_guarantee_past_cache_quota(self):
+        """A tenant over its cache-bytes quota with nothing running
+        still dispatches one task (its consumers drain the bytes)."""
+        quota = TenantQuota(cache_bytes=100.0)
+        acc = make_accounts(Tenant("a", quota=quota))
+        acc.on_cache_event("CACHE_PUT", 0.0,
+                           {"file": "a/x", "nbytes": 500.0})
+        assert acc.cache_bytes["a"] == 500.0
+        assert acc.eligible("a", 1)          # nothing inflight
+        acc.task_running("a", 1)
+        assert not acc.eligible("a", 1)      # now throttled
+        acc.on_cache_event("CACHE_EVICT", 1.0,
+                           {"file": "a/x", "nbytes": 500.0})
+        assert acc.eligible("a", 1)
+
+    def test_cores_quota(self):
+        quota = TenantQuota(cores=4)
+        acc = make_accounts(Tenant("a", quota=quota))
+        acc.task_running("a", 3)
+        assert acc.eligible("a", 1)
+        assert not acc.eligible("a", 2)
+
+
+class TestRegistry:
+    def test_aliases(self):
+        assert DISCIPLINES["wfs"] is WeightedFairShare
+        assert DISCIPLINES["drr"] is WeightedFairShare
+        assert DISCIPLINES["aging"] is PriorityAging
+
+    def test_make_discipline_unknown(self):
+        with pytest.raises(ValueError):
+            make_discipline("lottery", make_accounts(Tenant("a")))
+
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError):
+            Tenant("bad/name")
+        with pytest.raises(ValueError):
+            Tenant("a", weight=0.0)

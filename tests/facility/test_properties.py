@@ -1,0 +1,94 @@
+"""Property tests: starvation-freedom and deterministic admission."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import build_arrivals, poisson_schedule
+from repro.core.spec import SimTask
+from repro.facility import Facility, Tenant, TenantQuota
+from repro.facility.fairshare import WeightedFairShare
+from repro.facility.tenant import TenantAccounts
+
+from .conftest import make_env, small_workflow
+
+
+def task(tid):
+    return SimTask(id=tid, compute=1.0, inputs=(), outputs=(),
+                   category="proc", function="f")
+
+
+tenant_configs = st.lists(
+    st.tuples(st.floats(min_value=0.25, max_value=4.0),
+              st.integers(min_value=1, max_value=25)),
+    min_size=2, max_size=5)
+
+
+@given(tenant_configs)
+@settings(max_examples=60, deadline=None)
+def test_wfs_never_starves_a_backlogged_tenant(configs):
+    """Deficit round robin with unit-cost tasks: while a tenant stays
+    backlogged, the gap between its consecutive services is bounded
+    by the rotation credit argument -- no weight assignment starves
+    anyone."""
+    tenants = {f"t{i}": Tenant(f"t{i}", weight=w)
+               for i, (w, _) in enumerate(configs)}
+    accounts = TenantAccounts(
+        tenants, tenant_of=lambda tid: tid.split("/", 1)[0],
+        tenant_of_file=lambda name: None)
+    queue = WeightedFairShare(accounts, quantum=1.0)
+    backlog = {}
+    for i, (_, n) in enumerate(configs):
+        name = f"t{i}"
+        backlog[name] = n
+        for j in range(n):
+            tid = f"{name}/{j}"
+            queue.push(tid, task(tid), downstream=False)
+
+    # unit cost, quantum 1: per visit a tenant serves at most
+    # quantum*w + 1 tasks; tenant t needs ceil(1/w_t) rotations to
+    # afford its head, so its service gap is bounded by:
+    def gap_bound(name):
+        cycles = math.ceil(1.0 / tenants[name].weight)
+        per_cycle = sum(t.weight + 1 for n, t in tenants.items()
+                        if n != name)
+        return cycles * per_cycle + len(tenants)
+
+    since_service = {name: 0 for name in tenants}
+    while len(queue):
+        served = queue.pop().split("/", 1)[0]
+        backlog[served] -= 1
+        for name in tenants:
+            if name == served:
+                since_service[name] = 0
+            elif backlog[name] > 0:
+                since_service[name] += 1
+                assert since_service[name] <= gap_bound(name), (
+                    f"{name} starved for {since_service[name]} pops")
+    assert all(n == 0 for n in backlog.values())
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=8, deadline=None)
+def test_admission_decisions_deterministic_under_fixed_seed(seed):
+    """Two facility runs from the same seed produce the identical
+    decision sequence (kind, submission, tenant, time) and identical
+    turnarounds -- admission control has no hidden nondeterminism."""
+
+    def one_run():
+        wf = small_workflow(n_proc=3)       # 4 tasks
+        quota = TenantQuota(inflight_tasks=4, max_queued=1)
+        tenants = [Tenant("a", quota=quota), Tenant("b", quota=quota)]
+        schedule = poisson_schedule(["a", "b"], rate=0.2,
+                                    per_tenant=3, seed=seed)
+        arrivals = build_arrivals(schedule, lambda t: wf)
+        fac = Facility(make_env(seed=seed), tenants)
+        result = fac.run(arrivals)
+        decisions = [(type(d).__name__, d.submission_id, d.tenant, d.t)
+                     for d in result.decisions]
+        turnarounds = {sid: s.turnaround
+                       for sid, s in result.submissions.items()}
+        return decisions, turnarounds
+
+    assert one_run() == one_run()
