@@ -8,11 +8,14 @@ Usage::
     python -m repro.bench fig11 --seed 7
     python -m repro.bench run --workload DV3-Small --scale 0.05 \\
         --workers 4 --txlog results/run.jsonl
+    python -m repro.bench perf --workload smoke --out BENCH_perf.json
 
 Each command runs the corresponding experiment driver and prints the
 paper-style report (optionally archiving it under ``--out``).  The
 ``run`` command executes a single scheduler run and can persist its
-transaction log for ``python -m repro.obs``.
+transaction log for ``python -m repro.obs``.  The ``perf`` command is
+the wall-clock benchmark harness (its options live in
+:mod:`repro.bench.perf`; it parses its own argv).
 """
 
 from __future__ import annotations
@@ -273,9 +276,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["perf"]:
+        # the perf harness has its own option set (labels, schema
+        # check, per-workload subprocesses); hand it the rest of argv
+        from .perf import main as perf_main
+        return perf_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        for name in sorted(COMMANDS):
+        for name in sorted([*COMMANDS, "perf"]):
             print(name)
         return 0
     if args.command == "all":  # every figure/table; not the ad-hoc run

@@ -3,10 +3,17 @@
 The TaskVine manager "maintains a mapping of the location of each file
 within the cluster" (Section IV.B) and uses it both to schedule tasks
 where their data already is and to pick peer-transfer sources.  The
-:class:`ReplicaMap` is that mapping: file name -> set of node ids,
+:class:`ReplicaIndex` is that mapping: file name -> set of node ids,
 where negative node ids are durable pseudo-nodes (shared filesystem,
 XRootD federation) whose copies never disappear, and the manager's own
 node (0) may also hold copies.
+
+The index is *incremental*: alongside the forward map it maintains a
+reverse map (node id -> file names) so that clearing a crashed node is
+O(files on that node) rather than O(all tracked files), and a
+first-insertion sequence number per file so that reverse-map traversals
+reproduce the forward dict's insertion order exactly (the simulation's
+event order -- and therefore the transaction log -- depends on it).
 """
 
 from __future__ import annotations
@@ -15,10 +22,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..obs.events import NULL_BUS, REPLICA_LOST
 
-__all__ = ["ReplicaMap"]
+__all__ = ["ReplicaIndex", "ReplicaMap"]
 
 
-class ReplicaMap:
+class ReplicaIndex:
     """Tracks which nodes hold a copy of each file.
 
     When given an event bus and a clock, emits ``REPLICA_LOST`` the
@@ -27,18 +34,39 @@ class ReplicaMap:
 
     def __init__(self, bus=None, clock: Optional[Callable[[], float]] = None):
         self._locations: Dict[str, Set[int]] = {}
+        # node id -> names of files with a replica on that node
+        self._by_node: Dict[int, Set[str]] = {}
+        # file name -> sequence number of its current _locations entry.
+        # Mirrors dict insertion order: assigned when the entry is
+        # created, dropped with it, re-assigned (fresh, higher) if the
+        # file reappears -- exactly like a deleted dict key re-added.
+        self._order: Dict[str, int] = {}
+        self._next_order = 0
         self.bus = bus if bus is not None else NULL_BUS
         self._clock = clock if clock is not None else (lambda: 0.0)
 
     def add(self, name: str, node: int) -> None:
-        self._locations.setdefault(name, set()).add(node)
+        nodes = self._locations.get(name)
+        if nodes is None:
+            nodes = self._locations[name] = set()
+            self._order[name] = self._next_order
+            self._next_order += 1
+        nodes.add(node)
+        by_node = self._by_node.get(node)
+        if by_node is None:
+            by_node = self._by_node[node] = set()
+        by_node.add(name)
 
     def remove(self, name: str, node: int) -> None:
         nodes = self._locations.get(name)
         if nodes is not None:
             nodes.discard(node)
+            by_node = self._by_node.get(node)
+            if by_node is not None:
+                by_node.discard(name)
             if not nodes:
                 del self._locations[name]
+                del self._order[name]
                 if self.bus.enabled:
                     self.bus.emit(REPLICA_LOST, self._clock(),
                                   file=name, node=node)
@@ -46,14 +74,21 @@ class ReplicaMap:
     def drop_node(self, node: int) -> List[str]:
         """Remove every replica on ``node``; returns files that now have
         no replica anywhere (lost data needing recovery)."""
+        held = self._by_node.pop(node, None)
+        if not held:
+            return []
+        # Visit in forward-map insertion order, as a scan of
+        # ``_locations`` would -- recovery resubmission order (and so
+        # the txlog) depends on it.
+        order = self._order
         lost = []
-        for name in list(self._locations):
+        for name in sorted(held, key=order.__getitem__):
             nodes = self._locations[name]
-            if node in nodes:
-                nodes.discard(node)
-                if not nodes:
-                    del self._locations[name]
-                    lost.append(name)
+            nodes.discard(node)
+            if not nodes:
+                del self._locations[name]
+                del order[name]
+                lost.append(name)
         if lost and self.bus.enabled:
             t = self._clock()
             for name in lost:
@@ -63,8 +98,20 @@ class ReplicaMap:
     def locations(self, name: str) -> Set[int]:
         return set(self._locations.get(name, ()))
 
+    def iter_locations(self, name: str) -> Iterable[int]:
+        """The holder set itself, NOT a copy: read-only, hot paths."""
+        return self._locations.get(name, ())
+
     def available(self, name: str) -> bool:
         return bool(self._locations.get(name))
+
+    def available_all(self, names: Iterable[str]) -> bool:
+        """True when every named file has at least one replica."""
+        locations = self._locations
+        for name in names:
+            if not locations.get(name):
+                return False
+        return True
 
     def holders_among(self, name: str,
                       nodes: Iterable[int]) -> List[int]:
@@ -73,8 +120,10 @@ class ReplicaMap:
         return [n for n in nodes if n in have]
 
     def files_on(self, node: int) -> List[str]:
-        return [name for name, nodes in self._locations.items()
-                if node in nodes]
+        held = self._by_node.get(node)
+        if not held:
+            return []
+        return sorted(held, key=self._order.__getitem__)
 
     def replica_count(self, name: str) -> int:
         return len(self._locations.get(name, ()))
@@ -84,3 +133,7 @@ class ReplicaMap:
 
     def __contains__(self, name: str) -> bool:
         return name in self._locations
+
+
+# Historical name, kept so existing call sites and tests keep working.
+ReplicaMap = ReplicaIndex

@@ -25,7 +25,9 @@ the data-routing policies (see :mod:`repro.workqueue` and
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
+from heapq import nsmallest
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from ..obs import events as obs
@@ -33,9 +35,11 @@ from ..sim.cluster import Cluster, WorkerNode
 from ..sim.engine import (
     Event,
     Interrupt,
+    Process,
     Resource,
     Simulation,
     SimulationError,
+    Timeout,
 )
 from ..sim.storage import DiskFullError, SharedFilesystem
 from ..sim.trace import TaskRecord, TraceRecorder
@@ -47,9 +51,21 @@ from .spec import SimTask, SimWorkflow
 from .worker import WorkerAgent
 
 __all__ = ["TaskVineManager", "RunResult", "SchedulerError",
-           "UnrecoverableError"]
+           "UnrecoverableError", "stable_trace_id"]
 
 MANAGER_NODE = 0
+
+
+def stable_trace_id(task_id: str) -> int:
+    """31-bit numeric trace id for a task's string id.
+
+    CRC32, *not* ``hash()``: the builtin is salted per process
+    (PYTHONHASHSEED), so hashed ids from two runs could never be lined
+    up.  With a content-defined id, traces written by different
+    processes (or recorded in the golden captures under ``tests/``)
+    agree byte for byte.
+    """
+    return zlib.crc32(task_id.encode()) & 0x7FFFFFFF
 
 
 class SchedulerError(Exception):
@@ -68,6 +84,32 @@ class UnrecoverableError(SchedulerError):
 
 class _StagingLost(Exception):
     """An input replica vanished between dispatch and staging."""
+
+
+class _TaskMeta:
+    """Immutable per-task scheduling metadata, computed once.
+
+    Task definitions never change after registration (dynamic workflows
+    only *add* tasks), so the input-size map, the staging order, and the
+    intermediate-input list can be derived once instead of on every
+    dispatch/placement/completion of the task.
+    """
+
+    __slots__ = ("stage_order", "intermediates", "downstream",
+                 "trace_id")
+
+    def __init__(self, task: SimTask, files) -> None:
+        # (file sizes live in the manager's shared ``_sizes`` map; a
+        # per-task copy at 185 k tasks costs ~100 MB and real GC time)
+        # largest-first staging; sorted() is stable, so ties keep the
+        # task's declared input order exactly as the per-dispatch sort did
+        self.stage_order = tuple(sorted(
+            task.inputs, key=lambda n: -files[n].size))
+        self.intermediates = tuple(
+            name for name in task.inputs
+            if files[name].kind != FileKind.INPUT)
+        self.downstream = bool(self.intermediates)
+        self.trace_id = stable_trace_id(task.id)
 
 
 @dataclass
@@ -159,6 +201,20 @@ class TaskVineManager:
         self.task_procs: Dict[str, object] = {}
         self.dependents = workflow.task_dependents()
         self.final_files = set(workflow.final_files())
+        #: per-task immutable metadata, built lazily (dynamic workflows
+        #: grow; a task's meta is computed on its first touch)
+        self._meta: Dict[str, _TaskMeta] = {}
+        #: shared file-size map for placement scoring (one dict for the
+        #: whole workflow; extended in :meth:`submission_added`)
+        self._sizes: Dict[str, float] = {
+            name: f.size for name, f in workflow.files.items()}
+        #: per-file count of consumers not yet done -- the incremental
+        #: form of "all(c in self.done for c in consumers[name])".
+        #: Decremented on first completion of a consumer, incremented
+        #: back when lineage recovery un-does one, rebuilt wholesale
+        #: when a submission grows the consumer sets.
+        self._consumers_undone: Dict[str, int] = {
+            name: len(cons) for name, cons in workflow.consumers.items()}
 
         # Multi-tenant support (repro.facility).  A workflow that knows
         # its tenants exposes tenant_of/tenant_of_file/equivalents; the
@@ -178,6 +234,23 @@ class TaskVineManager:
         #: optional callback fired once per accepted task completion
         #: (the facility uses it for submission tracking + admission).
         self.on_task_done: Optional[Callable[[SimTask], None]] = None
+
+        #: cached-input staging may shortcut past _fetch_to_worker only
+        #: when no subclass has customised the fetch path (Work Queue
+        #: bounces dataset files off the manager first, for instance).
+        self._fetch_is_base = (
+            type(self)._fetch_to_worker
+            is TaskVineManager._fetch_to_worker)
+
+        # Startup costs are pure functions of the (immutable) config;
+        # fold the per-task branching out of the _startup hot path.
+        cfg = self.config
+        self._mode_tasks = cfg.mode == TASK_MODE_TASKS
+        self._per_task_startup = cfg.task_startup + cfg.import_cost
+        self._library_cost = cfg.library_startup + (
+            cfg.import_cost if cfg.hoisting else 0.0)
+        self._call_overhead = cfg.function_call_overhead + (
+            0.0 if cfg.hoisting else cfg.import_cost)
 
         self._wake: Optional[Event] = None
         self._finished: Event = sim.event()
@@ -244,12 +317,19 @@ class TaskVineManager:
     def _available(self, name: str) -> bool:
         return self.replicas.available(name)
 
+    def _task_meta(self, task_id: str) -> _TaskMeta:
+        meta = self._meta.get(task_id)
+        if meta is None:
+            meta = self._meta[task_id] = _TaskMeta(
+                self.workflow.tasks[task_id], self.workflow.files)
+        return meta
+
     def _is_ready(self, task_id: str) -> bool:
         if (task_id in self.done or task_id in self.running
                 or task_id in self.queued):
             return False
-        return all(self._available(name)
-                   for name in self.workflow.tasks[task_id].inputs)
+        return self.replicas.available_all(
+            self.workflow.tasks[task_id].inputs)
 
     def _tenant_kw(self, task_id: str) -> Dict[str, str]:
         """Extra event fields for multi-tenant runs ({} otherwise)."""
@@ -258,16 +338,19 @@ class TaskVineManager:
         return {"tenant": self._tenant_of(task_id)}
 
     def _is_downstream(self, task: SimTask) -> bool:
-        return any(self.workflow.files[name].kind != FileKind.INPUT
-                   for name in task.inputs)
+        return self._task_meta(task.id).downstream
 
     def _enqueue(self, task_id: str) -> None:
         if task_id in self.queued:
             return
         task = self.workflow.tasks[task_id]
-        self.ready_queue.push(task_id, task, self._is_downstream(task))
+        meta = self._meta.get(task_id)
+        if meta is None:
+            meta = self._meta[task_id] = _TaskMeta(
+                task, self.workflow.files)
+        self.ready_queue.push(task_id, task, meta.downstream)
         self.queued.add(task_id)
-        self.ready_time.setdefault(task_id, self.sim.now)
+        self.ready_time.setdefault(task_id, self.sim._now)
         if self.bus.enabled:
             self.bus.emit(obs.READY, self.sim.now, task=task_id,
                           category=task.category,
@@ -287,11 +370,18 @@ class TaskVineManager:
         storage, refreshes derived DAG state, and enqueues whichever of
         the new tasks are immediately ready.
         """
+        files = self.workflow.files
+        sizes = self._sizes
         for name in file_names:
-            if self.workflow.files[name].kind == FileKind.INPUT:
+            sizes[name] = files[name].size
+            if files[name].kind == FileKind.INPUT:
                 self.replicas.add(name, self.storage.node_id)
         self.dependents = self.workflow.task_dependents()
         self.final_files = set(self.workflow.final_files())
+        done = self.done
+        self._consumers_undone = {
+            name: sum(1 for c in cons if c not in done)
+            for name, cons in self.workflow.consumers.items()}
         for task_id in task_ids:
             if self._is_ready(task_id):
                 self._enqueue(task_id)
@@ -311,20 +401,31 @@ class TaskVineManager:
                 and len(self.done) == len(self.workflow.tasks))
 
     def _dispatch_loop(self):
+        # Hot loop: every task dispatch passes through here, so the
+        # never-rebound collaborators are read into locals once.
+        sim = self.sim
+        ready_queue = self.ready_queue
+        free_workers = self.free_workers
+        queued = self.queued
+        done = self.done
+        running = self.running
+        manager_cpu = self.manager_cpu
+        config = self.config
+        available = self.replicas.available
         while not self._workflow_complete() and self._error is None:
             progressed = False
-            while self.ready_queue and self.free_workers:
-                task_id = self.ready_queue.pop()
+            while ready_queue and free_workers:
+                task_id = ready_queue.pop()
                 if task_id is None:
                     # tasks are pending but none is eligible (e.g. every
                     # backlogged tenant is at quota): wait for a wake-up
                     break
-                self.queued.discard(task_id)
-                if task_id in self.done or task_id in self.running:
+                queued.discard(task_id)
+                if task_id in done or task_id in running:
                     continue
                 task = self.workflow.tasks[task_id]
                 missing = [name for name in task.inputs
-                           if not self._available(name)]
+                           if not available(name)]
                 if missing:
                     # Inputs were lost after this task became ready:
                     # recover lineage; the task re-queues when its
@@ -335,19 +436,19 @@ class TaskVineManager:
                 agent = self._pick_worker(task_id)
                 if agent is None:
                     # no capacity right now: put it back and wait
-                    self.ready_queue.defer(task_id, task,
-                                           self._is_downstream(task))
-                    self.queued.add(task_id)
+                    ready_queue.defer(task_id, task,
+                                      self._task_meta(task_id).downstream)
+                    queued.add(task_id)
                     break
                 # pay the manager's serial dispatch cost
-                req = self.manager_cpu.request()
+                req = manager_cpu.request()
                 yield req
-                yield self.sim.timeout(self.config.dispatch_overhead)
-                self.manager_cpu.release(req)
+                yield Timeout(sim, config.dispatch_overhead)
+                manager_cpu.release(req)
                 if not agent.alive:
-                    self.ready_queue.defer(task_id, task,
-                                           self._is_downstream(task))
-                    self.queued.add(task_id)
+                    ready_queue.defer(task_id, task,
+                                      self._task_meta(task_id).downstream)
+                    queued.add(task_id)
                     continue
                 self._assign(task_id, agent)
                 progressed = True
@@ -374,9 +475,9 @@ class TaskVineManager:
         agent.assign(task_id, self.workflow.tasks[task_id].cores)
         if agent.free_slots() <= 0:
             self.free_workers.pop(agent.node_id, None)
-        proc = self.sim.process(
-            self._run_task(self.workflow.tasks[task_id], agent),
-            name=f"task-{task_id}")
+        proc = Process(
+            self.sim, self._run_task(self.workflow.tasks[task_id], agent),
+            name=task_id)
         self.task_procs[task_id] = proc
 
     # -- placement policy ---------------------------------------------------
@@ -386,58 +487,82 @@ class TaskVineManager:
         if self.policy is not None:
             return self._pick_with_policy(task)
         if self.config.locality_scheduling:
+            # Candidates are the workers holding at least one of the
+            # task's intermediate inputs; each is scored exactly once
+            # (O(holders), not O(inputs x locations x inputs)).  Ties on
+            # cached bytes break to the lowest node id -- an explicit
+            # rule, not set-iteration order, so placement is stable
+            # across processes and index implementations.
             best: Optional[WorkerAgent] = None
             best_bytes = 0.0
-            for name in task.inputs:
-                file = self.workflow.files[name]
-                if file.kind == FileKind.INPUT:
-                    continue
-                for node_id in self.replicas.locations(name):
-                    agent = self.agents.get(node_id)
+            best_node = -1
+            meta = self._task_meta(task_id)
+            sizes = self._sizes
+            inputs = task.inputs
+            agents = self.agents
+            iter_locations = self.replicas.iter_locations
+            seen: Set[int] = set()
+            for name in meta.intermediates:
+                for node_id in iter_locations(name):
+                    if node_id in seen:
+                        continue
+                    seen.add(node_id)
+                    agent = agents.get(node_id)
                     if (agent is None or not agent.alive
                             or agent.free_slots() < need):
                         continue
-                    local = agent.locality_bytes(
-                        task.inputs,
-                        {n: self.workflow.files[n].size
-                         for n in task.inputs})
-                    if local > best_bytes:
+                    local = agent.locality_bytes(inputs, sizes)
+                    if local > best_bytes or (
+                            local == best_bytes and best is not None
+                            and node_id < best_node):
                         best, best_bytes = agent, local
+                        best_node = node_id
             if best is not None:
                 return best
         # fall back to the first free worker (rotating order)
-        for node_id in list(self.free_workers):
+        found = None
+        stale = []
+        for node_id in self.free_workers:
             agent = self.agents.get(node_id)
             if agent is None or not agent.alive:
-                self.free_workers.pop(node_id, None)
+                stale.append(node_id)
                 continue
-            if agent.free_slots() >= need:
-                return agent
-            if agent.free_slots() <= 0:
-                self.free_workers.pop(node_id, None)
-        return None
+            slots = agent.free_slots()
+            if slots >= need:
+                found = agent
+                break
+            if slots <= 0:
+                stale.append(node_id)
+        for node_id in stale:
+            self.free_workers.pop(node_id, None)
+        return found
 
     def _pick_with_policy(self, task: SimTask) -> Optional[WorkerAgent]:
         """Generic (O(free workers)) path for injected policies."""
         candidates = []
-        for node_id in list(self.free_workers):
+        stale = []
+        need = task.cores
+        for node_id in self.free_workers:
             agent = self.agents.get(node_id)
             if agent is None or not agent.alive:
-                self.free_workers.pop(node_id, None)
+                stale.append(node_id)
                 continue
-            if agent.free_slots() >= task.cores:
+            slots = agent.free_slots()
+            if slots >= need:
                 candidates.append(agent)
-            elif agent.free_slots() <= 0:
-                self.free_workers.pop(node_id, None)
+            elif slots <= 0:
+                stale.append(node_id)
+        for node_id in stale:
+            self.free_workers.pop(node_id, None)
         if not candidates:
             return None
-        sizes = {name: self.workflow.files[name].size
-                 for name in task.inputs}
-        return self.policy.choose(task, candidates, self.replicas, sizes)
+        return self.policy.choose(task, candidates, self.replicas,
+                                  self._sizes)
 
     # -- task execution -----------------------------------------------------
     def _run_task(self, task: SimTask, agent: WorkerAgent):
-        t_dispatch = self.sim.now
+        sim = self.sim
+        t_dispatch = sim._now
         t_ready = self.ready_time.get(task.id, t_dispatch)
         pinned: List[str] = []
         t_start = None
@@ -445,14 +570,13 @@ class TaskVineManager:
             yield from self._stage_inputs(task, agent, pinned)
             # execution time as the worker observes it includes the
             # wrapper/startup cost (Fig 8 compares exactly this)
-            t_start = self.sim.now
+            t_start = sim._now
             if self.bus.enabled:
                 self.bus.emit(obs.EXEC_START, t_start, task=task.id,
                               worker=agent.node_id,
                               **self._tenant_kw(task.id))
             yield from self._startup(task, agent)
-            yield self.sim.timeout(
-                agent.node.scale_runtime(task.compute))
+            yield Timeout(sim, agent.node.scale_runtime(task.compute))
             yield from self._store_outputs(task, agent)
         except Interrupt:
             self._task_failed(task, agent, t_ready, t_dispatch,
@@ -475,17 +599,17 @@ class TaskVineManager:
                 agent.unpin(name)
 
         # success: free the slot, then pay the manager's collection cost
-        t_end = self.sim.now
+        t_end = sim._now
         self._release_slot(task.id, agent)
         req = self.manager_cpu.request()
         yield req
-        yield self.sim.timeout(self.config.collect_overhead)
+        yield Timeout(sim, self.config.collect_overhead)
         self.manager_cpu.release(req)
         # The producing worker may have been preempted between storing
         # the outputs and this collection message: if any output replica
         # is already gone, the attempt is void (recovery has or will
         # re-queue the task).
-        if any(not self._available(name) for name in task.outputs):
+        if not self.replicas.available_all(task.outputs):
             self.task_failures += 1
             if task.id not in self.queued and self._is_ready(task.id):
                 self._enqueue(task.id)
@@ -504,10 +628,12 @@ class TaskVineManager:
 
     def _complete(self, task: SimTask, agent: WorkerAgent,
                   t_ready, t_dispatch, t_start, t_end) -> None:
+        meta = self._task_meta(task.id)
+        first = task.id not in self.done
         self.done.add(task.id)
         self.ready_time.pop(task.id, None)
         self.trace.task(TaskRecord(
-            task_id=hash(task.id) & 0x7FFFFFFF, category=task.category,
+            task_id=meta.trace_id, category=task.category,
             worker=agent.node_id, t_ready=t_ready, t_dispatch=t_dispatch,
             t_start=t_start, t_end=t_end, ok=True))
         if self.bus.enabled:
@@ -525,13 +651,15 @@ class TaskVineManager:
             if self._is_ready(dep):
                 self._enqueue(dep)
         # Inputs whose consumers are all done no longer need retention;
-        # workers may evict them under disk pressure.
-        for name in task.inputs:
-            if self.workflow.files[name].kind == FileKind.INPUT:
-                continue
-            if all(c in self.done
-                   for c in self.workflow.consumers[name]):
-                for node_id in self.replicas.locations(name):
+        # workers may evict them under disk pressure.  The countdown is
+        # the incremental form of "all consumers in self.done": only the
+        # first completion of this task moves its inputs' counters.
+        undone = self._consumers_undone
+        for name in meta.intermediates:
+            if first:
+                undone[name] -= 1
+            if undone[name] <= 0:
+                for node_id in self.replicas.iter_locations(name):
                     holder = self.agents.get(node_id)
                     if holder is not None:
                         holder.release_retention(name)
@@ -546,7 +674,8 @@ class TaskVineManager:
                      requeue: bool) -> None:
         self.task_failures += 1
         self.trace.task(TaskRecord(
-            task_id=hash(task.id) & 0x7FFFFFFF, category=task.category,
+            task_id=self._task_meta(task.id).trace_id,
+            category=task.category,
             worker=agent.node_id, t_ready=t_ready, t_dispatch=t_dispatch,
             t_start=t_start if t_start is not None else self.sim.now,
             t_end=self.sim.now, ok=False))
@@ -574,7 +703,7 @@ class TaskVineManager:
     def _transfer_sources(self, name: str, agent: WorkerAgent
                           ) -> List[int]:
         """Candidate source nodes, preference-ordered."""
-        locations = self.replicas.locations(name)
+        locations = self.replicas.iter_locations(name)
         peers = [n for n in locations
                  if n in self.agents and self.agents[n].alive
                  and n != agent.node_id]
@@ -606,9 +735,25 @@ class TaskVineManager:
 
     def _stage_inputs(self, task: SimTask, agent: WorkerAgent,
                       pinned: List[str]):
-        names = sorted(task.inputs,
-                       key=lambda n: -self.workflow.files[n].size)
+        names = self._task_meta(task.id).stage_order
+        fast = self._fetch_is_base
+        cache = agent.cache
         for name in names:
+            if fast and name in cache:
+                # Cache hit: the file is already here, so the full fetch
+                # generator (its dedup/transfer machinery) is pure
+                # overhead -- pin and emit the same STAGE_IN edge inline.
+                agent.pin(name)
+                if self.bus.enabled:
+                    now = self.sim.now
+                    self.bus.emit(
+                        obs.STAGE_IN, now, task=task.id,
+                        worker=agent.node_id, file=name,
+                        nbytes=self.workflow.files[name].size,
+                        source=agent.node_id, t_start=now,
+                        cached=True, **self._tenant_kw(task.id))
+                pinned.append(name)
+                continue
             # _fetch_to_worker leaves the file present AND pinned once;
             # it returns the *physical* name pinned, which differs from
             # ``name`` when a peer tenant's equivalent replica was used.
@@ -623,9 +768,10 @@ class TaskVineManager:
         Returns the physical cache-entry name holding the pin (``name``
         itself, or a content-equivalent entry owned by another tenant).
         """
-        t_fetch = self.sim.now
+        sim = self.sim
+        t_fetch = sim._now
         while True:
-            if agent.has(name):
+            if name in agent.cache:
                 agent.pin(name)
                 if self.bus.enabled:
                     self.bus.emit(
@@ -663,7 +809,7 @@ class TaskVineManager:
             # fetching it here; wait, then re-check -- on failure we
             # fall through and fetch it ourselves.
             yield pending
-        pending = self.sim.event()
+        pending = Event(sim)
         agent.inflight[name] = pending
         size = self.workflow.files[name].size
         slot = agent.transfers.request()
@@ -716,10 +862,10 @@ class TaskVineManager:
 
     # -- startup & outputs -----------------------------------------------------
     def _startup(self, task: SimTask, agent: WorkerAgent):
-        cfg = self.config
-        if cfg.mode == TASK_MODE_TASKS:
-            yield self.sim.timeout(agent.node.scale_runtime(
-                cfg.task_startup + cfg.import_cost))
+        sim = self.sim
+        if self._mode_tasks:
+            yield Timeout(sim, agent.node.scale_runtime(
+                self._per_task_startup))
             return
         # serverless: one library per worker
         if not agent.library_ready:
@@ -727,31 +873,33 @@ class TaskVineManager:
                 while not agent.library_ready:
                     if not agent.alive:
                         raise _StagingLost("library lost")
-                    yield self.sim.timeout(0.05)
+                    yield Timeout(sim, 0.05)
             else:
                 agent.library_starting = True
-                cost = cfg.library_startup
-                if cfg.hoisting:
-                    cost += cfg.import_cost
-                yield self.sim.timeout(agent.node.scale_runtime(cost))
+                cost = self._library_cost
+                yield Timeout(sim, agent.node.scale_runtime(cost))
                 agent.library_ready = True
                 if self.bus.enabled:
-                    self.bus.emit(obs.LIBRARY_START, self.sim.now,
+                    self.bus.emit(obs.LIBRARY_START, sim.now,
                                   worker=agent.node_id,
                                   startup_s=agent.node.scale_runtime(cost))
-        overhead = cfg.function_call_overhead
-        if not cfg.hoisting:
-            overhead += cfg.import_cost
-        yield self.sim.timeout(agent.node.scale_runtime(overhead))
+        yield Timeout(sim, agent.node.scale_runtime(self._call_overhead))
 
     def _store_outputs(self, task: SimTask, agent: WorkerAgent):
+        results_to_manager = self.config.results_to_manager
+        disk = agent.node.disk
+        node_id = agent.node_id
+        replicas = self.replicas
+        sizes = self._sizes
         for name in task.outputs:
-            size = self.workflow.files[name].size
+            size = sizes[name]
             # outputs are retained until their consumers finish
             agent.reserve(name, size, retain=True)  # may raise DiskFull
-            yield agent.node.disk.write(size)
-            self.replicas.add(name, agent.node_id)
-            if self.config.results_to_manager or name in self.final_files:
+            yield disk.write(size)
+            replicas.add(name, node_id)
+            # self.final_files is re-read each pass: a facility
+            # submission arriving between output writes rebinds it
+            if results_to_manager or name in self.final_files:
                 t_retr = self.sim.now
                 yield from self._manager_transfer(
                     agent.node_id, MANAGER_NODE, size, "result")
@@ -784,15 +932,18 @@ class TaskVineManager:
     def _maybe_replicate(self, name: str, source: WorkerAgent) -> None:
         """Best-effort: push extra copies of a fresh intermediate to
         peers so its loss costs a transfer, not a recomputation."""
-        holders = {n for n in self.replicas.locations(name)
+        holders = {n for n in self.replicas.iter_locations(name)
                    if n in self.agents}
         missing = self.config.min_replicas - len(holders)
         if missing <= 0:
             return
-        targets = sorted(
+        # documented equivalent of sorted(...)[:missing], without
+        # sorting the whole agent population per fresh intermediate
+        targets = nsmallest(
+            missing,
             (a for a in self.agents.values()
              if a.alive and a.node_id not in holders),
-            key=lambda a: (a.cached_bytes(), a.node_id))[:missing]
+            key=lambda a: (a.cached_bytes(), a.node_id))
         size = self.workflow.files[name].size
         for target in targets:
             self.sim.process(
@@ -869,7 +1020,13 @@ class TaskVineManager:
         producer = self.workflow.producer[name]
         if producer in self.running or producer in self.queued:
             return
-        self.done.discard(producer)
+        if producer in self.done:
+            self.done.remove(producer)
+            # the producer will run (and complete) again: its inputs
+            # regain one not-yet-done consumer each
+            undone = self._consumers_undone
+            for g in self._task_meta(producer).intermediates:
+                undone[g] += 1
         if self.bus.enabled:
             self.bus.emit(obs.RECOVERY, self.sim.now, file=name,
                           task=producer, **self._tenant_kw(producer))

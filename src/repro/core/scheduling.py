@@ -198,17 +198,28 @@ class LocalityPolicy(PlacementPolicy):
     def choose(self, task, candidates, replicas, sizes):
         if not candidates:
             return None
+        # Score each candidate holding any input exactly once; ties on
+        # cached bytes break to the lowest node id (an explicit rule
+        # rather than replica-set iteration order).
         best = None
         best_bytes = 0.0
+        best_node = -1
         by_id = {agent.node_id: agent for agent in candidates}
+        seen = set()
         for name in task.inputs:
             for node_id in replicas.locations(name):
+                if node_id in seen:
+                    continue
+                seen.add(node_id)
                 agent = by_id.get(node_id)
                 if agent is None:
                     continue
                 local = agent.locality_bytes(task.inputs, sizes)
-                if local > best_bytes:
+                if local > best_bytes or (
+                        local == best_bytes and best is not None
+                        and node_id < best_node):
                     best, best_bytes = agent, local
+                    best_node = node_id
         if best is not None:
             return best
         return self.fallback.choose(task, candidates, replicas, sizes)

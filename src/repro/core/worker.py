@@ -46,6 +46,13 @@ class WorkerAgent:
         self.node = node
         self.trace = trace
         self.cache: Dict[str, CacheEntry] = {}
+        #: node.spec.cores never changes; scoring paths read it a lot
+        self._cores: int = node.spec.cores
+        self._used_cores: int = 0
+        # cached-bytes memo: recomputed (full sum, so float accumulation
+        # is bit-identical to a fresh scan) only after cache changes
+        self._cached_bytes: float = 0.0
+        self._bytes_dirty = False
         #: throttle on concurrent incoming transfers (peer or FS)
         self.transfers = Resource(sim, capacity=transfer_slots)
         #: task id -> cores held, for tasks dispatched/running here
@@ -70,23 +77,32 @@ class WorkerAgent:
 
     @property
     def cores(self) -> int:
-        return self.node.spec.cores
+        return self._cores
 
     def free_slots(self) -> int:
-        return self.cores - sum(self.assigned.values())
+        return self._cores - self._used_cores
 
     def assign(self, task_id: str, cores: int = 1) -> None:
+        old = self.assigned.get(task_id)
+        if old is not None:
+            self._used_cores -= old
         self.assigned[task_id] = cores
+        self._used_cores += cores
 
     def unassign(self, task_id: str) -> None:
-        self.assigned.pop(task_id, None)
+        old = self.assigned.pop(task_id, None)
+        if old is not None:
+            self._used_cores -= old
 
     # -- cache management -----------------------------------------------------
     def has(self, name: str) -> bool:
         return name in self.cache
 
     def cached_bytes(self) -> float:
-        return sum(e.size for e in self.cache.values())
+        if self._bytes_dirty:
+            self._cached_bytes = sum(e.size for e in self.cache.values())
+            self._bytes_dirty = False
+        return self._cached_bytes
 
     def reserve(self, name: str, size: float, pinned: bool = False,
                 retain: bool = False) -> None:
@@ -103,14 +119,17 @@ class WorkerAgent:
                 entry.pins += 1
             entry.retain = entry.retain or retain
             return
-        if size > self.node.disk.available:
-            self._evict(size - self.node.disk.available)
-        self.node.disk.allocate(size)  # raises DiskFullError if still full
-        entry = CacheEntry(name, size, self.sim.now)
+        disk = self.node.disk
+        available = disk.capacity - disk.used
+        if size > available:
+            self._evict(size - available)
+        disk.allocate(size)  # raises DiskFullError if still full
+        entry = CacheEntry(name, size, self.sim._now)
         if pinned:
             entry.pins = 1
         entry.retain = retain
         self.cache[name] = entry
+        self._bytes_dirty = True
         self.trace.cache(self.node_id, self.sim.now, size, name=name)
 
     def _evict(self, need: float) -> None:
@@ -129,6 +148,7 @@ class WorkerAgent:
     def remove(self, name: str, notify: bool = False) -> None:
         entry = self.cache.pop(name, None)
         if entry is not None:
+            self._bytes_dirty = True
             self.node.disk.free(entry.size)
             self.trace.cache(self.node_id, self.sim.now, -entry.size,
                              name=name)

@@ -18,6 +18,9 @@ ties), so repeated runs with the same seed produce identical traces.
 from __future__ import annotations
 
 import heapq
+from bisect import insort
+from heapq import heappop, heappush
+from types import GeneratorType
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -59,6 +62,10 @@ class Interrupt(Exception):
 URGENT = 0
 NORMAL = 1
 
+# Sentinel for "no value yet".  A module global (rather than a class
+# attribute) so the hot-path identity checks skip a dict lookup.
+_PENDING = object()
+
 
 class Event:
     """A one-shot occurrence in simulated time.
@@ -71,14 +78,14 @@ class Event:
 
     __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
 
-    _PENDING = object()
+    _PENDING = _PENDING
 
     def __init__(self, sim: "Simulation"):
         self.sim = sim
         #: callables invoked with this event when it fires; ``None`` once
         #: the event has been processed.
         self.callbacks: Optional[list] = []
-        self._value: Any = Event._PENDING
+        self._value: Any = _PENDING
         self._ok: Optional[bool] = None
         self._scheduled = False
 
@@ -86,7 +93,7 @@ class Event:
     @property
     def triggered(self) -> bool:
         """True once the event has a value (succeed/fail was called)."""
-        return self._value is not Event._PENDING
+        return self._value is not _PENDING
 
     @property
     def processed(self) -> bool:
@@ -103,29 +110,38 @@ class Event:
     @property
     def value(self) -> Any:
         """The success value, or the exception if the event failed."""
-        if self._value is Event._PENDING:
+        if self._value is _PENDING:
             raise SimulationError("event not yet triggered")
         return self._value
 
     # -- triggering --------------------------------------------------------
+    # succeed/fail inline _schedule: they are the two hottest kernel
+    # entry points and the double-schedule guard is subsumed by the
+    # already-triggered check (every scheduled event is triggered).
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, NORMAL)
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim._now, NORMAL, sim._seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event as failed with ``exception``."""
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, NORMAL)
+        self._scheduled = True
+        sim = self.sim
+        sim._seq += 1
+        heappush(sim._heap, (sim._now, NORMAL, sim._seq, self))
         return self
 
     # -- composition --------------------------------------------------------
@@ -149,14 +165,20 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
+    # Flattened constructor (no super().__init__/_schedule calls): one
+    # Timeout is born per yield in every modelled latency, so this is
+    # the single most-allocated kernel object.
     def __init__(self, sim: "Simulation", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        self.sim._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._scheduled = True
+        self.delay = delay
+        sim._seq += 1
+        heappush(sim._heap, (sim._now + delay, NORMAL, sim._seq, self))
 
 
 class Initialize(Event):
@@ -165,11 +187,13 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, sim: "Simulation", process: "Process"):
-        super().__init__(sim)
-        self._ok = True
+        self.sim = sim
+        self.callbacks = [process._resume]
         self._value = None
-        self.callbacks.append(process._resume)
-        self.sim._schedule(self, URGENT)
+        self._ok = True
+        self._scheduled = True
+        sim._seq += 1
+        heappush(sim._heap, (sim._now, URGENT, sim._seq, self))
 
 
 class Process(Event):
@@ -184,12 +208,19 @@ class Process(Event):
 
     __slots__ = ("_generator", "_target", "name")
 
+    # Flattened constructor: one Process (plus its Initialize kick-off
+    # event, inlined below) is born per simulated activity.
     def __init__(self, sim: "Simulation", generator: Generator,
                  name: Optional[str] = None):
-        if not hasattr(generator, "throw"):
+        if type(generator) is not GeneratorType and \
+                not hasattr(generator, "throw"):
             raise SimulationError(
                 f"process requires a generator, got {generator!r}")
-        super().__init__(sim)
+        self.sim = sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._scheduled = False
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         #: the event this process is currently waiting on.
@@ -227,18 +258,23 @@ class Process(Event):
 
     # -- internal -----------------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        # Hottest kernel loop: one call per scheduled resume, one lap
+        # per yield.  Property accesses are inlined and the generator is
+        # held in a local on purpose.
+        if self._value is not _PENDING:
             return  # already finished (e.g. raced interrupt)
-        self.sim._active_process = self
+        sim = self.sim
+        generator = self._generator
+        sim._active_process = self
         try:
             while True:
                 try:
                     if event is None or event._ok:
                         value = None if event is None else event._value
-                        target = self._generator.send(value)
+                        target = generator.send(value)
                     else:
                         exc = event._value
-                        target = self._generator.throw(exc)
+                        target = generator.throw(exc)
                 except StopIteration as stop:
                     self._target = None
                     self.succeed(stop.value)
@@ -251,24 +287,27 @@ class Process(Event):
                     self._target = None
                     self.fail(exc)
                     return
-                if not isinstance(target, Event):
-                    # Misuse: terminate the process with an error.
+                try:
+                    # Only kernel events have a ``callbacks`` slot, so
+                    # this doubles as the yielded-a-non-event check.
+                    target_callbacks = target.callbacks
+                except AttributeError:
                     exc = SimulationError(
                         f"process {self.name!r} yielded non-event "
                         f"{target!r}")
-                    self._generator.close()
+                    generator.close()
                     self._target = None
                     self.fail(exc)
                     return
-                if target.callbacks is not None:
+                if target_callbacks is not None:
                     # Not yet processed: wait for it.
-                    target.callbacks.append(self._resume)
+                    target_callbacks.append(self._resume)
                     self._target = target
                     return
                 # Already processed: resume immediately with its value.
                 event = target
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
 
 class ConditionEvent(Event):
@@ -425,7 +464,7 @@ class Simulation:
     # -- execution ---------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event.  Raises IndexError when empty."""
-        when, _priority, _seq, event = heapq.heappop(self._heap)
+        when, _priority, _seq, event = heappop(self._heap)
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -433,8 +472,8 @@ class Simulation:
         self.events_processed += 1
         # A process that died with an unhandled exception and that nobody
         # was waiting on: surface the error instead of losing it.
-        if (not callbacks and isinstance(event, Process)
-                and event._ok is False):
+        if (event._ok is False and not callbacks
+                and isinstance(event, Process)):
             raise event._value
 
     def peek(self) -> float:
@@ -450,10 +489,12 @@ class Simulation:
         if until is not None and until < self._now:
             raise SimulationError(
                 f"until={until!r} is in the past (now={self._now!r})")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        step = self.step
+        while heap:
+            if until is not None and heap[0][0] > until:
                 break
-            self.step()
+            step()
         if until is not None and self._now < until:
             self._now = until
 
@@ -464,18 +505,43 @@ class Simulation:
         ``limit`` bounds simulated time as a safety net against deadlock;
         exceeding it raises :class:`SimulationError`.
         """
-        while not event.processed:
-            if not self._heap:
-                raise SimulationError(
-                    "event queue drained before target event fired "
-                    "(deadlock?)")
-            if limit is not None and self._heap[0][0] > limit:
-                raise SimulationError(
-                    f"simulated time limit {limit} exceeded")
-            self.step()
-        # Let same-instant callbacks (bookkeeping) settle.
-        while self._heap and self._heap[0][0] <= self._now:
-            self.step()
+        # The main driver loop: step() is inlined here (and the event
+        # counter batched) because this processes every event of a full
+        # run -- per-event call overhead is the kernel's constant factor.
+        heap = self._heap
+        processed = 0
+        try:
+            while event.callbacks is not None:  # i.e. not yet processed
+                if not heap:
+                    raise SimulationError(
+                        "event queue drained before target event fired "
+                        "(deadlock?)")
+                if limit is not None and heap[0][0] > limit:
+                    raise SimulationError(
+                        f"simulated time limit {limit} exceeded")
+                when, _priority, _seq, ev = heappop(heap)
+                self._now = when
+                callbacks, ev.callbacks = ev.callbacks, None
+                for callback in callbacks:
+                    callback(ev)
+                processed += 1
+                if (ev._ok is False and not callbacks
+                        and isinstance(ev, Process)):
+                    raise ev._value
+            # Let same-instant callbacks (bookkeeping) settle.
+            now = self._now
+            while heap and heap[0][0] <= now:
+                when, _priority, _seq, ev = heappop(heap)
+                self._now = when
+                callbacks, ev.callbacks = ev.callbacks, None
+                for callback in callbacks:
+                    callback(ev)
+                processed += 1
+                if (ev._ok is False and not callbacks
+                        and isinstance(ev, Process)):
+                    raise ev._value
+        finally:
+            self.events_processed += processed
         if event._ok:
             return event._value
         raise event._value
@@ -491,12 +557,20 @@ class _Request(Event):
 
     __slots__ = ("resource", "priority", "key")
 
+    # Flattened constructor: one request per resource acquisition.
     def __init__(self, resource: "Resource", priority: float = 0.0):
-        super().__init__(resource.sim)
+        self.sim = resource.sim
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._scheduled = False
         self.resource = resource
         self.priority = priority
         resource._seq += 1
         self.key = (priority, resource._seq)
+
+    def __lt__(self, other: "_Request") -> bool:
+        return self.key < other.key
 
     def cancel(self) -> None:
         """Withdraw an ungranted request (e.g. after an interrupt)."""
@@ -534,7 +608,10 @@ class Resource:
     def request(self, priority: float = 0.0) -> _Request:
         """Claim a slot; the returned event fires when granted."""
         req = _Request(self, priority)
-        self._queue.append(req)
+        # Keys (priority, seq) are unique, so keeping the queue sorted at
+        # insert time grants in exactly the order the old sort-per-grant
+        # did, without re-sorting the whole queue on every dispatch.
+        insort(self._queue, req)
         self._dispatch()
         return req
 
@@ -543,13 +620,15 @@ class Resource:
         if request not in self._users:
             raise SimulationError("releasing a request that holds no slot")
         self._users.discard(request)
-        self._dispatch()
+        if self._queue:
+            self._dispatch()
 
     def _dispatch(self) -> None:
-        while self._queue and len(self._users) < self.capacity:
-            self._queue.sort(key=lambda r: r.key)
-            req = self._queue.pop(0)
-            self._users.add(req)
+        queue = self._queue
+        users = self._users
+        while queue and len(users) < self.capacity:
+            req = queue.pop(0)
+            users.add(req)
             req.succeed(req)
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set
 
-from .engine import Event, Simulation, SimulationError
+from .engine import Event, Simulation, SimulationError, Timeout
 from .trace import TraceRecorder, TransferRecord
 
 __all__ = ["Pipe", "Flow", "Network"]
@@ -192,7 +192,7 @@ class Network:
         return done
 
     def _settle_local(self, done: Event, nbytes: float):
-        yield self.sim.timeout(0.0)
+        yield Timeout(self.sim, 0.0)
         done.succeed(nbytes)
 
     # -- rate bookkeeping ----------------------------------------------------
@@ -235,7 +235,7 @@ class Network:
         if flow.check_at <= eta + _EPSILON:
             return  # an earlier (or equal) check is already pending
         flow.check_at = eta
-        timeout = self.sim.timeout(eta - self.sim.now)
+        timeout = Timeout(self.sim, eta - self.sim.now)
         timeout.callbacks.append(
             lambda _ev, f=flow: self._maybe_complete(f))
 

@@ -24,8 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from .engine import Event, Resource, Simulation, SimulationError
+from .engine import (Event, Process, Resource, Simulation, SimulationError,
+                     Timeout)
 from .network import Network
+from .trace import TransferRecord
 
 __all__ = [
     "StorageProfile",
@@ -176,31 +178,33 @@ class SharedFilesystem:
 
     def _io(self, src: int, dst: int, nbytes: float, kind: str,
             is_read: bool) -> Event:
-        done = self.sim.event()
-        self.sim.process(self._io_proc(src, dst, nbytes, kind, is_read, done),
-                         name=f"{self.profile.name}-{kind}")
+        done = Event(self.sim)
+        Process(self.sim,
+                self._io_proc(src, dst, nbytes, kind, is_read, done),
+                name=kind)
         return done
 
     def _io_proc(self, src, event_dst, nbytes, kind, is_read, done):
+        sim = self.sim
+        profile = self.profile
         req = self._streams.request()
         yield req
-        t_start = self.sim.now
+        t_start = sim._now
         try:
             self.metadata_ops += 1
-            yield self.sim.timeout(
-                self.profile.metadata_latency * self.latency_factor)
+            yield Timeout(sim,
+                          profile.metadata_latency * self.latency_factor)
             if self.model == "network":
                 yield self.network.transfer(src, event_dst, nbytes,
                                             kind=kind)
             else:
-                yield self.sim.timeout(
-                    nbytes / (self.profile.per_stream_bw
-                              * self.bw_factor))
+                yield Timeout(sim,
+                              nbytes / (profile.per_stream_bw
+                                        * self.bw_factor))
                 if self.trace is not None:
-                    from .trace import TransferRecord
                     self.trace.transfer(TransferRecord(
                         src=src, dst=event_dst, nbytes=nbytes,
-                        t_start=t_start, t_end=self.sim.now, kind=kind))
+                        t_start=t_start, t_end=sim._now, kind=kind))
         except Exception as exc:      # endpoint vanished mid-IO
             self._streams.release(req)
             done.fail(exc)
@@ -253,8 +257,8 @@ class LocalDisk:
 
     def read(self, nbytes: float) -> Event:
         """Service time for reading ``nbytes`` from the local drive."""
-        return self.sim.timeout(self.latency + nbytes / self.read_bw)
+        return Timeout(self.sim, self.latency + nbytes / self.read_bw)
 
     def write(self, nbytes: float) -> Event:
         """Service time for writing (space must be allocated first)."""
-        return self.sim.timeout(self.latency + nbytes / self.write_bw)
+        return Timeout(self.sim, self.latency + nbytes / self.write_bw)

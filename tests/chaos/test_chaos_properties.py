@@ -12,7 +12,7 @@ from hypothesis import strategies as st
 
 from repro.chaos.inject import Injector
 from repro.chaos.scenario import Blackout, PreemptionStorm, Scenario
-from repro.core.manager import TaskVineManager, UnrecoverableError
+from repro.core.manager import TaskVineManager, UnrecoverableError, stable_trace_id
 from repro.obs import EventBus
 
 from tests.core.conftest import TEST_CONFIG, Env, map_reduce_workflow
@@ -67,7 +67,7 @@ class TestChaosProperties:
             # some more than once)...
             assert set(done_events) == set(workflow.tasks)
             ok_ids = {r.task_id for r in env.trace.tasks if r.ok}
-            assert ok_ids >= {hash(t) & 0x7FFFFFFF
+            assert ok_ids >= {stable_trace_id(t)
                               for t in workflow.tasks}
             # ...and accounted exactly once in the result
             assert manager.done == set(workflow.tasks)

@@ -1,9 +1,9 @@
 """Same Scenario(seed=...) => byte-identical timelines and txlogs.
 
-Both runs happen in one process: the manager's EXEC_END ids use the
-process-salted ``hash()``, so cross-process logs differ there by
-design (the scorecard's TASK_DONE edges carry stable string ids for
-exactly that reason).
+EXEC_END ids are content-defined (``stable_trace_id``, CRC32 of the
+task's string id), so byte-identity holds across processes too -- the
+golden-capture test in tests/core/test_golden_txlog.py exercises that;
+here we run twice in one process for speed.
 """
 
 from repro.chaos.inject import Injector

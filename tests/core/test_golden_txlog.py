@@ -1,0 +1,39 @@
+"""Byte-identity against the stored golden transaction log.
+
+The pinned fig7-style run (tests/golden/runner.py) must write a txlog
+byte-identical to the capture checked into tests/golden/.  This is the
+acceptance gate for kernel/scheduler performance work: an optimisation
+may only change *how fast* the simulator reaches each decision, never
+which decision it reaches, in what order, or with what timestamps.
+
+If this fails after an intentional trace-changing feature, regenerate
+with ``PYTHONPATH=src python -m tests.golden.capture`` and say so in
+the commit message.  If it fails after a performance change, the
+change is wrong.
+"""
+
+import difflib
+import gzip
+
+from tests.golden.capture import GOLDEN_PATH
+from tests.golden.runner import golden_run
+
+
+def test_txlog_matches_golden_capture(tmp_path):
+    fresh_path = tmp_path / "fresh.jsonl"
+    result = golden_run(str(fresh_path))
+    assert result.completed
+    fresh = fresh_path.read_bytes()
+    with gzip.open(GOLDEN_PATH, "rb") as fh:
+        golden = fh.read()
+    if fresh != golden:
+        fresh_lines = fresh.decode().splitlines()
+        golden_lines = golden.decode().splitlines()
+        diff = list(difflib.unified_diff(
+            golden_lines, fresh_lines, fromfile="golden",
+            tofile="fresh", lineterm="", n=1))
+        raise AssertionError(
+            "txlog diverged from the golden capture "
+            f"({len(golden_lines)} golden lines, "
+            f"{len(fresh_lines)} fresh); first differences:\n"
+            + "\n".join(diff[:40]))

@@ -1,0 +1,137 @@
+"""Property tests: incremental scheduling indices == brute force.
+
+The perf work replaced per-request scans with incrementally maintained
+state: the :class:`ReplicaIndex` reverse map and insertion-order
+sequence, the worker core/cached-bytes scoreboards, and the per-file
+consumer countdown.  Each of these is redundant -- derivable from the
+primary state -- so under arbitrary operation sequences (including
+node drops and preemption) the incremental form must stay *exactly*
+equal to a brute-force recompute.  Divergence here is how a fast
+scheduler silently becomes a wrong one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import ReplicaIndex
+from repro.core.files import FileKind
+from repro.core.manager import TaskVineManager
+
+from .conftest import TEST_CONFIG, Env
+from .test_scheduler_properties import layered_workflows
+
+FILES = [f"f{i}" for i in range(8)]
+NODES = [-1, 0, 1, 2, 3]
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.sampled_from(FILES),
+                  st.sampled_from(NODES)),
+        st.tuples(st.just("remove"), st.sampled_from(FILES),
+                  st.sampled_from(NODES)),
+        st.tuples(st.just("drop"), st.just(""), st.sampled_from(NODES)),
+    ),
+    min_size=0, max_size=60)
+
+
+def _model_drop(model, node):
+    """Brute-force drop_node on the plain forward map: scan every file
+    in insertion order, exactly as the pre-index implementation did."""
+    lost = []
+    for name in list(model):
+        nodes = model[name]
+        nodes.discard(node)
+        if not nodes:
+            del model[name]
+            lost.append(name)
+    return lost
+
+
+class TestReplicaIndexMatchesBruteForce:
+    @given(_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_index_equals_forward_map_model(self, ops):
+        index = ReplicaIndex()
+        model = {}  # file -> set of nodes, insertion-ordered like a dict
+        for op, name, node in ops:
+            if op == "add":
+                index.add(name, node)
+                model.setdefault(name, set()).add(node)
+            elif op == "remove":
+                index.remove(name, node)
+                nodes = model.get(name)
+                if nodes is not None:
+                    nodes.discard(node)
+                    if not nodes:
+                        del model[name]
+            else:
+                lost = index.drop_node(node)
+                assert lost == _model_drop(model, node)
+
+            # forward map: same contents AND same insertion order
+            assert dict(index._locations) == model
+            assert list(index._locations) == list(model)
+            # reverse map consistent with the forward map
+            for f, nodes in model.items():
+                for n in nodes:
+                    assert f in index._by_node.get(n, set())
+            for n, held in index._by_node.items():
+                for f in held:
+                    assert n in model.get(f, set())
+            # order index covers exactly the live files
+            assert set(index._order) == set(model)
+
+        # derived views agree with a brute-force scan of the model
+        for n in NODES:
+            assert index.files_on(n) == [
+                f for f in model if n in model[f]]
+        for f in FILES:
+            assert index.locations(f) == model.get(f, set())
+            assert index.replica_count(f) == len(model.get(f, ()))
+            assert index.available(f) == bool(model.get(f))
+
+
+class TestSchedulerScoreboardsMatchBruteForce:
+    @given(layered_workflows(), st.integers(1, 3),
+           st.sampled_from([0.0, 0.0, 0.02, 0.1]))
+    @settings(max_examples=25, deadline=None)
+    def test_scoreboards_after_run(self, workflow, n_workers, preempt):
+        """After a full run -- including preemption-driven drop_node,
+        requeue and lineage recovery -- every incremental counter equals
+        its brute-force recompute."""
+        env = Env(n_workers=n_workers, preemption_rate=preempt, seed=5)
+        manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                                  workflow, config=TEST_CONFIG,
+                                  trace=env.trace)
+        manager.run(limit=1e5)
+
+        # worker scoreboards: cores and cached bytes
+        for agent in manager.agents.values():
+            assert agent._used_cores == sum(agent.assigned.values())
+            assert agent.free_slots() == (
+                agent.cores - sum(agent.assigned.values()))
+            assert agent.cached_bytes() == sum(
+                e.size for e in agent.cache.values())
+
+        # consumer countdown == "consumers not yet done", per file.
+        # Only intermediates are decremented (and only intermediates
+        # are ever consulted -- the countdown gates retention release);
+        # dataset INPUT files keep their initial count by design.
+        consumers = manager.workflow.consumers
+        files = manager.workflow.files
+        done = manager.done
+        for name, undone in manager._consumers_undone.items():
+            if files[name].kind == FileKind.INPUT:
+                continue
+            assert undone == sum(
+                1 for c in consumers.get(name, ()) if c not in done)
+
+        # replica index internal consistency after drops/recovery
+        index = manager.replicas
+        for f, nodes in index._locations.items():
+            for n in nodes:
+                assert f in index._by_node.get(n, set())
+        for n, held in index._by_node.items():
+            for f in held:
+                assert n in index._locations.get(f, set())
+        assert set(index._order) == set(index._locations)

@@ -1,0 +1,92 @@
+"""Locality tie-breaking is an explicit rule, not iteration order.
+
+When two workers hold the same cached input bytes for a task, the
+lowest node id wins -- in both the manager's built-in fast path
+(``_pick_worker``) and the pluggable :class:`LocalityPolicy`.  Before
+this rule the winner fell out of replica-set iteration order, which is
+an implementation detail the incremental index must be free to change.
+"""
+
+from repro.core.files import FileKind, SimFile
+from repro.core.manager import TaskVineManager
+from repro.core.scheduling import LocalityPolicy
+from repro.core.spec import SimTask, SimWorkflow
+from repro.sim.storage import MB
+
+from tests.core.conftest import TEST_CONFIG, Env
+
+
+def _tie_workflow():
+    files = [
+        SimFile("a", 10 * MB, FileKind.INTERMEDIATE),
+        SimFile("b", 5 * MB, FileKind.INTERMEDIATE),
+        SimFile("out", 1 * MB, FileKind.OUTPUT),
+        SimFile("seed", 1 * MB, FileKind.INPUT),
+    ]
+    tasks = [
+        SimTask(id="make-a", compute=1.0, inputs=("seed",),
+                outputs=("a",), category="proc", function="f"),
+        SimTask(id="make-b", compute=1.0, inputs=("seed",),
+                outputs=("b",), category="proc", function="f"),
+        SimTask(id="consume", compute=1.0, inputs=("a", "b"),
+                outputs=("out",), category="accum", function="g"),
+    ]
+    return SimWorkflow(tasks, files)
+
+
+def _manager(n_workers=3):
+    env = Env(n_workers=n_workers)
+    manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                              _tie_workflow(), config=TEST_CONFIG)
+    return env, manager
+
+
+def _hold(manager, node_id, name, size):
+    manager.agents[node_id].reserve(name, size)
+    manager.replicas.add(name, node_id)
+
+
+def test_pick_worker_tie_prefers_lowest_node_id():
+    _env, manager = _manager()
+    # workers 2 and 3 hold identical bytes of input "a"
+    for node_id in (3, 2):  # insertion order must not matter
+        _hold(manager, node_id, "a", 10 * MB)
+    chosen = manager._pick_worker("consume")
+    assert chosen is not None and chosen.node_id == 2
+
+
+def test_pick_worker_more_bytes_beats_lower_node_id():
+    _env, manager = _manager()
+    _hold(manager, 1, "a", 10 * MB)
+    _hold(manager, 3, "a", 10 * MB)
+    _hold(manager, 3, "b", 5 * MB)  # node 3 holds 15 MB total
+    chosen = manager._pick_worker("consume")
+    assert chosen is not None and chosen.node_id == 3
+
+
+def test_locality_policy_tie_prefers_lowest_node_id():
+    _env, manager = _manager()
+    for node_id in (3, 2):
+        _hold(manager, node_id, "a", 10 * MB)
+    policy = LocalityPolicy()
+    task = manager.workflow.tasks["consume"]
+    sizes = {n: manager.workflow.files[n].size for n in task.inputs}
+    # candidate list order must not matter either
+    for order in ((3, 2, 1), (1, 2, 3)):
+        candidates = [manager.agents[i] for i in order]
+        chosen = policy.choose(task, candidates, manager.replicas,
+                               sizes)
+        assert chosen is not None and chosen.node_id == 2
+
+
+def test_locality_policy_more_bytes_wins():
+    _env, manager = _manager()
+    _hold(manager, 1, "a", 10 * MB)
+    _hold(manager, 3, "a", 10 * MB)
+    _hold(manager, 3, "b", 5 * MB)
+    policy = LocalityPolicy()
+    task = manager.workflow.tasks["consume"]
+    sizes = {n: manager.workflow.files[n].size for n in task.inputs}
+    candidates = [manager.agents[i] for i in (1, 2, 3)]
+    chosen = policy.choose(task, candidates, manager.replicas, sizes)
+    assert chosen is not None and chosen.node_id == 3

@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import SchedulerConfig
 from repro.core.files import FileKind, SimFile
-from repro.core.manager import TaskVineManager
+from repro.core.manager import TaskVineManager, stable_trace_id
 from repro.core.spec import SimTask, SimWorkflow
 from repro.sim.cluster import NodeSpec
 
@@ -90,9 +90,9 @@ class TestSchedulerProperties:
             if record.ok:
                 by_id[record.task_id] = record
         for task in workflow.tasks.values():
-            consumer = by_id[hash(task.id) & 0x7FFFFFFF]
+            consumer = by_id[stable_trace_id(task.id)]
             for dep in workflow.task_dependencies(task.id):
-                producer = by_id[hash(dep) & 0x7FFFFFFF]
+                producer = by_id[stable_trace_id(dep)]
                 assert producer.t_end <= consumer.t_start + 1e-9
 
     @given(layered_workflows(), st.integers(1, 3), st.integers(1, 3))

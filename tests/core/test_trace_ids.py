@@ -1,0 +1,43 @@
+"""Trace ids are content-defined, not process-salted.
+
+``TaskRecord.task_id`` used to be ``hash(task.id) & 0x7FFFFFFF``:
+stable within one process, different across processes (PYTHONHASHSEED),
+so traces from two runs could never be lined up and golden captures
+were impossible.  ``stable_trace_id`` is CRC32 of the string id --
+these pinned values must never change.
+"""
+
+from repro.core.manager import TaskVineManager, stable_trace_id
+
+from tests.core.conftest import TEST_CONFIG, Env, map_reduce_workflow
+
+# Pinned against zlib.crc32 -- a change here breaks every stored
+# golden capture and cross-process trace join.
+PINNED = {
+    "proc-0": 383117218,
+    "proc-1": 1641207604,
+    "accum": 1614353442,
+    "dv3-large/proc-00001": 1302365919,
+    "t0.0/proc-3": 93996583,
+}
+
+
+def test_stable_trace_id_pinned_values():
+    for task_id, expected in PINNED.items():
+        assert stable_trace_id(task_id) == expected
+
+
+def test_stable_trace_id_is_31_bit():
+    for task_id in PINNED:
+        assert 0 <= stable_trace_id(task_id) <= 0x7FFFFFFF
+
+
+def test_run_records_carry_stable_ids():
+    env = Env(n_workers=2)
+    workflow = map_reduce_workflow(n_proc=4)
+    manager = TaskVineManager(env.sim, env.cluster, env.storage,
+                              workflow, config=TEST_CONFIG)
+    result = manager.run()
+    assert result.completed
+    recorded = {rec.task_id for rec in env.trace.tasks}
+    assert recorded == {stable_trace_id(t) for t in workflow.tasks}

@@ -1,0 +1,15 @@
+"""Golden transaction-log captures.
+
+A *golden* is a byte-exact transaction log of a pinned run, gzipped
+and checked into the repository.  The byte-identity test
+(tests/core/test_golden_txlog.py) replays the identical configuration
+and diffs the fresh log against the stored capture: any change to
+event ordering, schedule decisions, float accumulation, or record
+formatting shows up as a byte diff.  This is the acceptance gate for
+performance work on the kernel and the scheduler indices -- an
+optimisation that changes the physics is not an optimisation.
+
+Regenerate (ONLY when a trace-changing feature lands intentionally)::
+
+    PYTHONPATH=src python -m tests.golden.capture
+"""

@@ -1,0 +1,42 @@
+"""Regenerate the golden txlog capture (see package docstring).
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m tests.golden.capture
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import tempfile
+
+from tests.golden.runner import golden_run
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__),
+                           "fig7_small_txlog.jsonl.gz")
+
+
+def main() -> int:
+    fd, tmp = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    try:
+        result = golden_run(tmp)
+        result.raise_for_status()
+        with open(tmp, "rb") as fh:
+            raw = fh.read()
+        # mtime=0 so the gzip container itself is reproducible
+        with open(GOLDEN_PATH, "wb") as out:
+            with gzip.GzipFile(fileobj=out, mode="wb", mtime=0) as gz:
+                gz.write(raw)
+        print(f"captured {GOLDEN_PATH}: {len(raw)} bytes "
+              f"({os.path.getsize(GOLDEN_PATH)} gzipped), "
+              f"makespan {result.makespan:.2f} s, "
+              f"{result.tasks_done} tasks")
+        return 0
+    finally:
+        os.unlink(tmp)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""The pinned golden run: a small fig7-style TaskVine workload.
+
+Fig 7 studies the paper's Stack-4 configuration (serverless function
+calls, peer transfers, locality scheduling) on DV3; the golden run is
+the same configuration shape at checked-in-friendly scale.  Every
+parameter is pinned -- the txlog it writes must be byte-identical
+across machines, processes, and optimisation work.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+GOLDEN_SEED = 11
+GOLDEN_WORKLOAD = "DV3-Small"
+GOLDEN_SCALE = 1.0
+GOLDEN_WORKERS = 12
+
+
+def golden_run(txlog_path: str):
+    """Execute the pinned run, writing its transaction log to
+    ``txlog_path``; returns the :class:`RunResult`."""
+    from repro.bench import calibration as cal
+    from repro.bench.runners import build_environment, run_scheduler
+    from repro.bench.workloads import build_workflow
+    from repro.hep.datasets import TABLE2
+
+    spec = TABLE2[GOLDEN_WORKLOAD]
+    spec = dataclasses.replace(
+        spec, name=f"{spec.name}-golden",
+        n_tasks=max(1, int(spec.n_tasks * GOLDEN_SCALE)),
+        input_bytes=spec.input_bytes * GOLDEN_SCALE)
+    env = build_environment(
+        GOLDEN_WORKERS,
+        node=cal.campus_node(disk=spec.worker_disk,
+                             ram=spec.worker_ram),
+        seed=GOLDEN_SEED)
+    workflow = build_workflow(spec, arity=cal.REDUCTION_ARITY,
+                              seed=GOLDEN_SEED)
+    return run_scheduler(env, workflow, "taskvine",
+                         cal.TASKVINE_FUNCTIONS_CONFIG,
+                         txlog_path=txlog_path)
