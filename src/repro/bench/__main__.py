@@ -282,9 +282,14 @@ def main(argv: Optional[list] = None) -> int:
         # check, per-workload subprocesses); hand it the rest of argv
         from .perf import main as perf_main
         return perf_main(argv[1:])
+    if argv[:1] == ["sentinel"]:
+        # regression detection over BENCH_perf.json captures; its exit
+        # code is the verdict (0 ok, 3 regression, 2 usage error)
+        from .sentinel import main as sentinel_main
+        return sentinel_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        for name in sorted([*COMMANDS, "perf"]):
+        for name in sorted([*COMMANDS, "perf", "sentinel"]):
             print(name)
         return 0
     if args.command == "all":  # every figure/table; not the ad-hoc run

@@ -35,7 +35,9 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import datetime
 import gc
+import hashlib
 import json
 import os
 import platform
@@ -46,7 +48,8 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 __all__ = ["WORKLOADS", "run_workload", "merge_entry",
-           "validate_document", "main"]
+           "validate_document", "capture_stamp", "current_git_sha",
+           "workload_config_hash", "main"]
 
 SCHEMA_VERSION = 1
 DEFAULT_OUT = "BENCH_perf.json"
@@ -64,6 +67,17 @@ ENTRY_FIELDS: Dict[str, tuple] = {
     "peak_rss_mb": (int, float),
     "cores": (int,),
     "python": (str,),
+}
+
+#: optional entry fields (type-checked when present): the provenance
+#: stamp making each capture attributable to a commit + workload
+#: definition, the sentinel's repeat samples, and the self-profile.
+OPTIONAL_ENTRY_FIELDS: Dict[str, tuple] = {
+    "git_sha": (str,),
+    "captured_at": (str,),
+    "config_hash": (str,),
+    "samples": (list,),
+    "profile": (dict,),
 }
 
 
@@ -156,19 +170,94 @@ WORKLOADS: Dict[str, Tuple[str, Callable[[int], dict]]] = {
                    "(DV3-Small x0.25, 24 workers)", _facility_8),
 }
 
+#: the knobs that define each pinned workload, for config hashing --
+#: if these (or the underlying Table II spec) change, old captures
+#: stop being comparable and the hash says so.
+WORKLOAD_CONFIGS: Dict[str, dict] = {
+    "smoke": {"specs": ["DV3-Small"], "scale": 0.05, "workers": 6},
+    "fig14b-2400": {"specs": ["DV3-Large", "RS-TriPhoton"],
+                    "scale": 1.0, "workers": 200},
+    "fig15-dv3huge": {"specs": ["DV3-Huge"], "scale": 1.0,
+                      "workers": 600},
+    "facility-8": {"specs": ["DV3-Small"], "scale": 0.25,
+                   "workers": 24, "tenants": 8},
+}
+
+
+# -- provenance stamps -------------------------------------------------------
+
+
+def current_git_sha() -> str:
+    """HEAD commit of the working tree (``REPRO_GIT_SHA`` overrides;
+    ``unknown`` when git is unavailable)."""
+    sha = os.environ.get("REPRO_GIT_SHA")
+    if sha:
+        return sha
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True,
+            text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def workload_config_hash(name: str, seed: int) -> str:
+    """Digest of everything that defines the workload's event sequence:
+    the Table II specs, scale, worker count, reduction arity, seed.
+    Two captures are comparable iff their hashes match."""
+    from ..hep.datasets import TABLE2
+    from . import calibration as cal
+
+    config = dict(WORKLOAD_CONFIGS[name])
+    config["workload"] = name
+    config["seed"] = seed
+    config["arity"] = cal.REDUCTION_ARITY
+    config["specs"] = {
+        spec_name: dataclasses.asdict(TABLE2[spec_name])
+        for spec_name in config["specs"]}
+    payload = json.dumps(config, sort_keys=True,
+                         separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def capture_stamp(name: str, seed: int) -> dict:
+    """The provenance fields stamped onto every capture entry."""
+    return {
+        "git_sha": current_git_sha(),
+        "captured_at": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "config_hash": workload_config_hash(name, seed),
+    }
+
 
 # -- measurement -------------------------------------------------------------
 
 
-def run_workload(name: str, label: str, seed: int = 11) -> dict:
-    """Run one pinned workload in-process and return its entry dict."""
+def run_workload(name: str, label: str, seed: int = 11,
+                 self_profile: bool = False) -> dict:
+    """Run one pinned workload in-process and return its entry dict.
+
+    With ``self_profile`` the run executes under a
+    :class:`~repro.obs.profile.PhaseProfiler` and the entry gains a
+    ``profile`` dict attributing the wall time to simulator phases.
+    """
     _desc, fn = WORKLOADS[name]
     gc.collect()
+    profiler = None
+    if self_profile:
+        from ..obs.profile import PhaseProfiler
+        profiler = PhaseProfiler().start()
     t0 = time.perf_counter()
     stats = fn(seed)
     wall = time.perf_counter() - t0
+    if profiler is not None:
+        profiler.stop()
     rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    return {
+    entry = {
         "workload": name,
         "label": label,
         "seed": seed,
@@ -181,9 +270,14 @@ def run_workload(name: str, label: str, seed: int = 11) -> dict:
         "cores": stats["cores"],
         "python": platform.python_version(),
     }
+    entry.update(capture_stamp(name, seed))
+    if profiler is not None:
+        entry["profile"] = profiler.report()
+    return entry
 
 
-def _run_in_subprocess(name: str, label: str, seed: int) -> dict:
+def _run_in_subprocess(name: str, label: str, seed: int,
+                       self_profile: bool = False) -> dict:
     """Run one workload in a fresh interpreter (clean peak-RSS)."""
     import tempfile
     fd, json_path = tempfile.mkstemp(prefix=f"perf-{name}-",
@@ -194,6 +288,8 @@ def _run_in_subprocess(name: str, label: str, seed: int) -> dict:
                "--workload", name, "--label", label,
                "--seed", str(seed),
                "--in-process", "--json", json_path, "--out", ""]
+        if self_profile:
+            cmd.append("--self-profile")
         proc = subprocess.run(cmd, env=os.environ.copy())
         if proc.returncode != 0:
             raise RuntimeError(f"perf workload {name!r} failed "
@@ -254,6 +350,13 @@ def validate_document(doc: dict) -> List[str]:
                 errors.append(f"entries[{i}].{field}: expected "
                               f"{'/'.join(t.__name__ for t in types)}, "
                               f"got {value!r}")
+        for field, types in OPTIONAL_ENTRY_FIELDS.items():
+            value = entry.get(field)
+            if value is not None and (not isinstance(value, types)
+                                      or isinstance(value, bool)):
+                errors.append(f"entries[{i}].{field}: expected "
+                              f"{'/'.join(t.__name__ for t in types)}, "
+                              f"got {value!r}")
         key = (entry.get("workload"), entry.get("label"))
         if key in seen:
             errors.append(f"duplicate entry for {key}")
@@ -301,6 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run workloads in this process instead of "
                              "one subprocess each (peak RSS then "
                              "accumulates across workloads)")
+    parser.add_argument("--self-profile", action="store_true",
+                        help="sample the simulator's own wall time by "
+                             "kernel phase (repro.obs.profile) and "
+                             "attach the breakdown to each entry")
     parser.add_argument("--check", action="store_true",
                         help="validate the --out document and exit")
     return parser
@@ -328,9 +435,11 @@ def main(argv: Optional[list] = None) -> int:
     entries = []
     for name in names:
         if args.in_process or args.workload != "all":
-            entry = run_workload(name, args.label, seed=args.seed)
+            entry = run_workload(name, args.label, seed=args.seed,
+                                 self_profile=args.self_profile)
         else:
-            entry = _run_in_subprocess(name, args.label, args.seed)
+            entry = _run_in_subprocess(name, args.label, args.seed,
+                                       self_profile=args.self_profile)
         entries.append(entry)
 
     if args.json:
@@ -338,6 +447,12 @@ def main(argv: Optional[list] = None) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
+    if args.self_profile:
+        from ..obs.profile import format_profile
+        for entry in entries:
+            if "profile" in entry:
+                print(f"\n[{entry['workload']}] "
+                      + format_profile(entry["profile"]))
     if args.out:
         doc = load_document(args.out)
         for entry in entries:

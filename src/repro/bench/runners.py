@@ -104,7 +104,9 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
       lifecycle edge (readable with ``python -m repro.obs``).
     * ``metrics`` -- a :class:`~repro.obs.metrics.MetricsRegistry` to
       bind to the run's event bus; standard scheduler-health gauges are
-      installed over the live manager.
+      installed over the live manager.  Pass ``True`` to have one
+      created; either way the registry is attached to the result as
+      ``result.metrics_registry``.
     * ``sample_interval`` -- seconds of sim time between gauge
       snapshots (requires or creates a metrics registry).
 
@@ -145,7 +147,8 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
             meta.update(txlog_meta or {})
             txlog = TransactionLog(txlog_path, meta=meta)
             txlog.attach(bus)
-        if metrics is None and sample_interval is not None:
+        if metrics is True or (metrics is None
+                               and sample_interval is not None):
             metrics = MetricsRegistry()
         if metrics is not None:
             metrics.bind(bus)
@@ -190,4 +193,6 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
                     error=result.error)
     if injector is not None:
         result.chaos_injections = injector.fired
+    if metrics is not None:
+        result.metrics_registry = metrics
     return result

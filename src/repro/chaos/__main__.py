@@ -35,7 +35,8 @@ from ..bench.workloads import build_workflow
 from ..hep.datasets import TABLE2
 from .inject import estimate_horizon
 from .scenario import SCENARIOS, get_scenario
-from .scorecard import compare, format_comparison, score
+from .scorecard import (compare, format_comparison,
+                        format_span_inflation, score, span_inflation)
 
 #: CLI stack aliases -> runner scheduler keys
 STACKS = {
@@ -117,6 +118,12 @@ def _run(args) -> str:
         baseline_card, [chaos_card],
         title=f"{spec.name} / {args.stack} under {scenario.name} "
               f"(horizon {horizon:.0f} s)")]
+    if chaos_card.reexecuted_tasks:
+        inflation = span_inflation(chaos_path)
+        lines.append("")
+        lines.append(format_span_inflation(
+            inflation, title=f"span inflation under {scenario.name}: "
+                             f"where recovery time went"))
     if chaos_card.completed:
         lines.append(
             f"\nverdict: completed, "

@@ -49,8 +49,10 @@ __all__ = [
     "pseudo_histogram",
     "score",
     "compare",
+    "span_inflation",
     "format_scorecard",
     "format_comparison",
+    "format_span_inflation",
 ]
 
 #: bins in the per-task pseudo-histogram (16 bytes of sha256 -> 16 bins)
@@ -180,6 +182,65 @@ def compare(baseline: Scorecard, chaos: Scorecard) -> Dict[str, object]:
                                         - baseline.manager_restage_bytes),
         "wasted_exec_seconds": chaos.wasted_exec_seconds,
     }
+
+
+def span_inflation(source: Source) -> Dict[str, object]:
+    """Attribute recovery cost to the causal spans it inflated.
+
+    The scorecard's scalar costs (``recovery_bytes``,
+    ``wasted_exec_seconds``) say *how much* a fault cost; this view
+    says *where* the cost landed in the causal span tree
+    (:mod:`repro.obs.trace`): every attempt beyond a task's first is
+    pure fault tax, and its schedule-wait / input-transfer / execute
+    children show whether recovery time went to re-queueing, to
+    re-staging inputs, or to redundant compute.
+    """
+    from ..obs.trace import ATTEMPT, build_spans
+    forest = build_spans(source).forest()
+    extra_phase: Dict[str, float] = {}
+    extra_attempt_s = 0.0
+    inflated: List[dict] = []
+    for root in forest:
+        attempts = sorted((s for s in root.walk() if s.kind == ATTEMPT),
+                          key=lambda s: s.start)
+        if len(attempts) <= 1:
+            continue
+        tax = 0.0
+        for a in attempts[1:]:
+            # the retry's own window, minus nested deeper retries
+            # (each attempt accounts only for its direct phases)
+            for child in a.children:
+                if child.kind == ATTEMPT:
+                    continue
+                extra_phase[child.kind] = (
+                    extra_phase.get(child.kind, 0.0) + child.duration)
+                tax += child.duration
+        extra_attempt_s += tax
+        inflated.append({"task": root.name, "attempts": len(attempts),
+                         "extra_s": round(tax, 3)})
+    inflated.sort(key=lambda d: -d["extra_s"])
+    return {
+        "inflated_tasks": len(inflated),
+        "extra_attempt_seconds": round(extra_attempt_s, 3),
+        "extra_phase_seconds": {k: round(v, 3)
+                                for k, v in sorted(extra_phase.items())},
+        "worst": inflated[:10],
+    }
+
+
+def format_span_inflation(inflation: Dict[str, object],
+                          title: str = "span inflation") -> str:
+    from ..bench.report import format_table
+    phases = inflation["extra_phase_seconds"]
+    rows = [("tasks with extra attempts", inflation["inflated_tasks"]),
+            ("extra attempt time [s]",
+             inflation["extra_attempt_seconds"])]
+    rows += [(f"  of which {kind}", s) for kind, s in phases.items()]
+    for entry in inflation["worst"][:5]:
+        rows.append((f"  worst: {entry['task']}",
+                     f"{entry['extra_s']} s "
+                     f"({entry['attempts']} attempts)"))
+    return format_table(["metric", "value"], rows, title=title)
 
 
 _ROWS = (

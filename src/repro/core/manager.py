@@ -337,6 +337,13 @@ class TaskVineManager:
             return {}
         return {"tenant": self._tenant_of(task_id)}
 
+    def extra_gauges(self) -> Dict[str, object]:
+        """Stack-specific telemetry gauges, merged into the standard
+        set by :func:`repro.obs.metrics.install_standard_gauges`.
+        Subclasses return ``{name: callable}`` for state only their
+        stack has (e.g. Work Queue's manager-disk bytes)."""
+        return {}
+
     def _is_downstream(self, task: SimTask) -> bool:
         return self._task_meta(task.id).downstream
 
@@ -469,6 +476,7 @@ class TaskVineManager:
             self.bus.emit(obs.DISPATCH, now, task=task_id,
                           worker=agent.node_id,
                           waited=now - self.ready_time.get(task_id, now),
+                          attempt=self.attempts.get(task_id, 0) + 1,
                           **self._tenant_kw(task_id))
         self.ready_queue.task_running(
             task_id, self.workflow.tasks[task_id])
@@ -574,6 +582,7 @@ class TaskVineManager:
             if self.bus.enabled:
                 self.bus.emit(obs.EXEC_START, t_start, task=task.id,
                               worker=agent.node_id,
+                              attempt=self.attempts.get(task.id, 0) + 1,
                               **self._tenant_kw(task.id))
             yield from self._startup(task, agent)
             yield Timeout(sim, agent.node.scale_runtime(task.compute))
@@ -632,16 +641,20 @@ class TaskVineManager:
         first = task.id not in self.done
         self.done.add(task.id)
         self.ready_time.pop(task.id, None)
+        attempt = self.attempts.get(task.id, 0) + 1
         self.trace.task(TaskRecord(
             task_id=meta.trace_id, category=task.category,
             worker=agent.node_id, t_ready=t_ready, t_dispatch=t_dispatch,
-            t_start=t_start, t_end=t_end, ok=True))
+            t_start=t_start, t_end=t_end, ok=True, attempt=attempt))
         if self.bus.enabled:
             # EXEC_END carries the process-salted hashed id; this edge
             # keeps the *string* id so cross-process analyses (the chaos
             # scorecard's physics-accounting digest) can line tasks up.
+            # The output list lets span reconstruction recover the
+            # file -> producer map that critical-path chaining needs.
             self.bus.emit(obs.TASK_DONE, t_end, task=task.id,
                           category=task.category, worker=agent.node_id,
+                          attempt=attempt, outputs=list(task.outputs),
                           **self._tenant_kw(task.id))
         if self.config.min_replicas > 1:
             for name in task.outputs:
@@ -678,7 +691,8 @@ class TaskVineManager:
             category=task.category,
             worker=agent.node_id, t_ready=t_ready, t_dispatch=t_dispatch,
             t_start=t_start if t_start is not None else self.sim.now,
-            t_end=self.sim.now, ok=False))
+            t_end=self.sim.now, ok=False,
+            attempt=self.attempts.get(task.id, 0) + 1))
         self._release_slot(task.id, agent)
         attempts = self.attempts.get(task.id, 0) + 1
         self.attempts[task.id] = attempts

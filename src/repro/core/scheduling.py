@@ -88,6 +88,13 @@ class ReadyQueue(ABC):
     def task_released(self, task_id: str, task: SimTask) -> None:
         """A running task released its slot (success or failure)."""
 
+    def snapshot(self) -> Dict[str, int]:
+        """Telemetry: queue depth broken down by the discipline's own
+        internal lanes (exported as per-lane gauges by
+        :func:`repro.obs.metrics.install_standard_gauges`).  The base
+        discipline has a single undifferentiated lane."""
+        return {"all": len(self)}
+
 
 class TwoTierReadyQueue(ReadyQueue):
     """TaskVine's default ordering: downstream tasks (consumers of
@@ -112,6 +119,10 @@ class TwoTierReadyQueue(ReadyQueue):
 
     def __len__(self):
         return len(self._high) + len(self._normal)
+
+    def snapshot(self):
+        return {"downstream": len(self._high),
+                "fresh": len(self._normal)}
 
 
 class PlacementPolicy(ABC):

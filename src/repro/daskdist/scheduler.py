@@ -84,6 +84,14 @@ class DaskDistributedScheduler(TaskVineManager):
         self._peak_workers = max(1, len(self.agents))
         self._workers_lost = 0
 
+    def extra_gauges(self):
+        return {
+            "workers_lost": lambda: float(self._workers_lost),
+            "worker_loss_headroom": lambda: max(0.0, (
+                self.preemption_tolerance
+                - self._workers_lost / self._peak_workers)),
+        }
+
     def _add_agent(self, node) -> None:
         super()._add_agent(node)
         # reads the class default 0 during super().__init__, an

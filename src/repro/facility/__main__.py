@@ -104,9 +104,31 @@ def main(argv: Optional[list] = None) -> int:
     result = facility.run(arrivals)
     print(render_facility_report(result, baselines))
     if args.txlog:
+        print()
+        print(_tenant_chains(args.txlog))
         print(f"\ntransaction log -> {args.txlog} "
               f"(analyze: python -m repro.obs {args.txlog})")
     return 0 if result.completed else 1
+
+
+def _tenant_chains(txlog_path: str) -> str:
+    """Per-tenant critical-path attribution: what each tenant's
+    turnaround was actually spent on (causal chain from submit to its
+    last task, see :func:`repro.obs.trace.critical_path_by_tenant`)."""
+    from ..bench.report import format_table
+    from ..obs.trace import critical_path_by_tenant
+    chains = critical_path_by_tenant(txlog_path)
+    rows = []
+    for tenant, chain in sorted(chains.items()):
+        phases = chain["phase_totals"]
+        dominant = max(phases, key=phases.get) if phases else "-"
+        rows.append((tenant, round(chain["total_s"], 1),
+                     chain["tasks_on_path"],
+                     f"{dominant} "
+                     f"({phases.get(dominant, 0.0):.1f} s)"))
+    return format_table(
+        ["tenant", "chain (s)", "tasks on path", "dominant phase"],
+        rows, title="per-tenant critical paths (from txlog)")
 
 
 if __name__ == "__main__":  # pragma: no cover

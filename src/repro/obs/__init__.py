@@ -11,10 +11,17 @@ The measurement substrate for every scheduler stack (Table 1):
   periodic sampler driven by the simulation clock.
 * :mod:`repro.obs.analyze` -- straggler, transfer-hotspot,
   cache-pressure and critical-path reports (``python -m repro.obs``).
+* :mod:`repro.obs.trace` -- causal span reconstruction and
+  critical-path chain attribution over the event stream.
+* :mod:`repro.obs.export` -- Chrome ``trace_event`` (Perfetto) and
+  Prometheus text-exposition exporters.
+* :mod:`repro.obs.profile` -- sampling profiler attributing simulator
+  *wall* time (not sim time) to kernel phases.
 
 This ``__init__`` deliberately imports only the dependency-free modules
 so the schedulers can import :data:`NULL_BUS` without dragging in the
-benchmark harness; :mod:`repro.obs.analyze` is loaded lazily.
+benchmark harness; :mod:`repro.obs.analyze`, :mod:`repro.obs.trace`,
+:mod:`repro.obs.export` and :mod:`repro.obs.profile` load lazily.
 """
 
 from .events import (
@@ -41,15 +48,38 @@ __all__ = [
     # lazily resolved from repro.obs.analyze:
     "RunLog", "load", "straggler_report", "transfer_hotspots",
     "cache_pressure", "critical_path", "render_report",
+    # lazily resolved from repro.obs.trace:
+    "Span", "SpanBuilder", "SpanRecorder", "NULL_SPAN_RECORDER",
+    "build_spans", "critical_path_chain", "critical_path_by_tenant",
+    "span_forest_digest",
+    # lazily resolved from repro.obs.export:
+    "chrome_trace", "write_chrome_trace", "prometheus_exposition",
+    "registry_from_txlog",
+    # lazily resolved from repro.obs.profile:
+    "PhaseProfiler", "format_profile",
 ]
 
 _ANALYZE_NAMES = {"RunLog", "load", "straggler_report",
                   "transfer_hotspots", "cache_pressure",
-                  "critical_path", "render_report"}
+                  "critical_path", "render_report", "report_data"}
+
+_LAZY_MODULES = {
+    **{name: "analyze" for name in _ANALYZE_NAMES},
+    **{name: "trace" for name in (
+        "Span", "SpanBuilder", "SpanRecorder", "NULL_SPAN_RECORDER",
+        "build_spans", "critical_path_chain", "critical_path_by_tenant",
+        "span_forest_digest")},
+    **{name: "export" for name in (
+        "chrome_trace", "write_chrome_trace", "prometheus_exposition",
+        "registry_from_txlog")},
+    **{name: "profile" for name in ("PhaseProfiler", "format_profile")},
+}
 
 
 def __getattr__(name):
-    if name in _ANALYZE_NAMES:
-        from . import analyze
-        return getattr(analyze, name)
+    module = _LAZY_MODULES.get(name)
+    if module is not None:
+        import importlib
+        return getattr(importlib.import_module(f".{module}", __name__),
+                       name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -5,23 +5,37 @@ Usage::
     python -m repro.obs results/run.jsonl
     python -m repro.obs results/run.jsonl --section stragglers --top 20
     python -m repro.obs results/run.jsonl --summary-only
+    python -m repro.obs results/run.jsonl --json          # machine-readable
+    python -m repro.obs results/run.jsonl --export-chrome trace.json
+    python -m repro.obs results/run.jsonl --export-prom metrics.prom
     python -m repro.obs --demo /tmp/run.jsonl    # tiny run, then report
 
 Reads a transaction log written by ``repro.obs.txlog`` (see
 ``python -m repro.bench run --txlog ...``) and prints the straggler,
-transfer-hotspot, cache-pressure and critical-path reports.
+transfer-hotspot, cache-pressure and critical-path reports -- as
+terminal tables, or as one JSON document with ``--json`` so CI and the
+perf sentinel can consume the same analyses machine-readably.
+
+Exit codes: ``0`` report produced; ``2`` the log is unreadable or
+empty; ``3`` (with ``--strict``) the log's run did not complete --
+aborted, crashed, or truncated before the RUN_END footer.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
 from . import analyze
 
-SECTIONS = ("summary", "critical-path", "stragglers", "transfers",
-            "cache", "tenants")
+SECTIONS = analyze.SECTIONS
+
+#: exit codes (documented above; tested in tests/obs/test_cli.py)
+EXIT_OK = 0
+EXIT_UNREADABLE = 2
+EXIT_INCOMPLETE = 3
 
 
 def _demo_run(path: str) -> None:
@@ -55,10 +69,34 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rows per ranking table (default 10)")
     parser.add_argument("--summary-only", action="store_true",
                         help="print only the run summary")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the selected sections as one JSON "
+                             "document instead of terminal tables")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 3 when the log's run did not "
+                             "complete (aborted/crashed/truncated)")
+    parser.add_argument("--export-chrome", metavar="PATH",
+                        help="also write a Chrome trace_event JSON "
+                             "(open in Perfetto / about:tracing)")
+    parser.add_argument("--compact", action="store_true",
+                        help="with --export-chrome: drop schedule-wait "
+                             "lanes and cached stage hits (recommended "
+                             "beyond ~10k tasks)")
+    parser.add_argument("--export-prom", metavar="PATH",
+                        help="also write a Prometheus text exposition "
+                             "rebuilt from the log")
     parser.add_argument("--demo", action="store_true",
                         help="first generate a tiny simulated run "
                              "into LOG, then analyze it")
     return parser
+
+
+def _run_completed(log: "analyze.RunLog") -> bool:
+    from . import events as ev
+    footers = log.by_type.get(ev.RUN_END, [])
+    if not footers:
+        return False  # truncated: the run never wrote its footer
+    return bool(footers[-1].get("completed", True))
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -72,17 +110,42 @@ def main(argv: Optional[list] = None) -> int:
         log = analyze.load(args.log)
     except OSError as exc:
         print(f"cannot read {args.log}: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_UNREADABLE
     if not log.records:
         print(f"{args.log}: no records (not a transaction log?)",
               file=sys.stderr)
-        return 2
+        return EXIT_UNREADABLE
+
+    if args.export_chrome:
+        from .export import write_chrome_trace
+        stats = write_chrome_trace(args.export_chrome, log.records,
+                                   compact=args.compact)
+        print(f"chrome trace -> {args.export_chrome} "
+              f"({stats['tasks']} tasks, makespan "
+              f"{stats['makespan_s']:.1f} s)", file=sys.stderr)
+    if args.export_prom:
+        from .export import prometheus_exposition, registry_from_txlog
+        registry = registry_from_txlog(log.records)
+        with open(args.export_prom, "w") as fh:
+            fh.write(prometheus_exposition(registry,
+                                           timestamp_s=log.makespan))
+        print(f"prometheus exposition -> {args.export_prom}",
+              file=sys.stderr)
+
     try:
-        print(analyze.render_report(log, top=args.top,
-                                    sections=sections))
+        if args.json:
+            print(json.dumps(analyze.report_data(
+                log, top=args.top, sections=sections), indent=2,
+                sort_keys=True, default=str))
+        else:
+            print(analyze.render_report(log, top=args.top,
+                                        sections=sections))
     except BrokenPipeError:  # e.g. piped into `head`
-        return 0
-    return 0
+        return EXIT_OK
+    if args.strict and not _run_completed(log):
+        print(f"{args.log}: run did not complete", file=sys.stderr)
+        return EXIT_INCOMPLETE
+    return EXIT_OK
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -36,6 +36,8 @@ __all__ = [
     "critical_path",
     "tenant_breakdown",
     "render_report",
+    "report_data",
+    "SECTIONS",
 ]
 
 MANAGER_NODE = 0
@@ -211,10 +213,18 @@ def cache_pressure(source: Source, top: int = 10) -> dict:
 def critical_path(source: Source) -> dict:
     """Where turnaround time goes: queueing vs. stage-in vs. exec.
 
-    Uses the phase timestamps carried by every EXEC_END record:
-    ``t_ready -> t_dispatch`` is manager queueing, ``t_dispatch ->
-    t_start`` is input staging, ``t_start -> t_end`` is worker-observed
-    execution (startup + compute + output store).
+    Two complementary decompositions:
+
+    * **Totals over all tasks** (the Table I view), from the phase
+      timestamps carried by every EXEC_END record: ``t_ready ->
+      t_dispatch`` is manager queueing, ``t_dispatch -> t_start`` is
+      input staging, ``t_start -> t_end`` is worker-observed execution.
+      This says which phase costs the most aggregate time, but a
+      phase can dominate the totals without ever bounding the run.
+    * **The causal chain** (``chain`` key), from
+      :func:`repro.obs.trace.critical_path_chain`: one dependency-
+      linked path of spans whose segments sum to the *makespan*, so
+      it says which phase the end-to-end time actually consists of.
     """
     log = load(source)
     rows = log.completions(ok=True)
@@ -225,6 +235,8 @@ def critical_path(source: Source) -> dict:
         phases["exec"] += max(0.0, r["t_end"] - r["t_start"])
     turnaround = sum(phases.values())
     n = len(rows)
+    from .trace import critical_path_chain
+    chain = critical_path_chain(log.records)
     return {
         "tasks": n,
         "makespan": log.makespan,
@@ -234,6 +246,13 @@ def critical_path(source: Source) -> dict:
                      for k, v in phases.items()},
         "dominant": (max(phases, key=phases.get) if turnaround
                      else None),
+        "chain": {
+            "total_s": chain["total_s"],
+            "phase_totals": chain["phase_totals"],
+            "tasks_on_path": chain["tasks_on_path"],
+            "end_task": chain.get("end_task"),
+            "links": len(chain["segments"]),
+        },
     }
 
 
@@ -347,6 +366,19 @@ def render_report(source: Source, top: int = 10,
              for k in ("queued", "stage_in", "exec")]))
         if cp["dominant"]:
             parts.append(f"dominant phase: {cp['dominant']}")
+        chain = cp["chain"]
+        if chain["tasks_on_path"]:
+            parts.append(format_table(
+                ["Chain phase", "Total (s)", "Of makespan"],
+                [(phase, total,
+                  f"{total / chain['total_s']:.1%}"
+                  if chain["total_s"] else "-")
+                 for phase, total in sorted(
+                     chain["phase_totals"].items(),
+                     key=lambda kv: -kv[1])],
+                title=(f"causal chain: {chain['tasks_on_path']} tasks "
+                       f"explain the {chain['total_s']:.1f} s makespan "
+                       f"(ends at {chain['end_task']})")))
     if "stragglers" in wanted:
         sr = straggler_report(log, top=top)
         parts.append(banner(
@@ -412,7 +444,70 @@ def render_report(source: Source, top: int = 10,
                   _fmt_opt(t["p95_turnaround_s"]),
                   f"{_gb(t['peer_cache_bytes']):.2f}")
                  for t in tb["tenants"]]))
+            from .trace import critical_path_by_tenant
+            chains = critical_path_by_tenant(log.records)
+            rows_ = []
+            for tenant in sorted(chains):
+                chain = chains[tenant]
+                if not chain["tasks_on_path"]:
+                    continue
+                dominant = max(chain["phase_totals"],
+                               key=chain["phase_totals"].get)
+                rows_.append((tenant, f"{chain['total_s']:.1f}",
+                              chain["tasks_on_path"], dominant))
+            if rows_:
+                parts.append(format_table(
+                    ["Tenant", "Chain (s)", "Tasks on path",
+                     "Dominant phase"], rows_,
+                    title="per-tenant critical-path chains"))
     return "\n\n".join(parts)
+
+
+#: sections ``render_report``/``report_data`` understand, in render
+#: order (the CLI validates --section values against this).
+SECTIONS = ("summary", "critical-path", "stragglers", "transfers",
+            "cache", "tenants")
+
+
+def report_data(source: Source, top: int = 10,
+                sections: Optional[Iterable[str]] = None) -> dict:
+    """The report as one JSON-ready dict (the CLI's ``--json`` mode).
+
+    Section keys mirror the terminal report; unknown sections raise
+    ``ValueError`` so CI scripts fail loudly on typos.
+    """
+    log = load(source)
+    wanted = list(sections) if sections else list(SECTIONS)
+    unknown = [s for s in wanted if s not in SECTIONS]
+    if unknown:
+        raise ValueError(f"unknown sections {unknown}; have "
+                         f"{list(SECTIONS)}")
+    out: Dict[str, object] = {
+        "meta": {k: v for k, v in log.meta.items()
+                 if k not in ("type", "t")},
+        "records": len(log.records),
+    }
+    if "summary" in wanted:
+        out["summary"] = {
+            "tasks_ok": len(log.completions(ok=True)),
+            "tasks_failed": len(log.completions(ok=False)),
+            "makespan_s": log.makespan,
+        }
+    if "critical-path" in wanted:
+        out["critical_path"] = critical_path(log)
+    if "stragglers" in wanted:
+        out["stragglers"] = straggler_report(log, top=top)
+    if "transfers" in wanted:
+        out["transfers"] = transfer_hotspots(log, top=top)
+    if "cache" in wanted:
+        out["cache"] = cache_pressure(log, top=top)
+    if "tenants" in wanted:
+        tb = tenant_breakdown(log)
+        out["tenants"] = tb
+        if tb["tenants"]:
+            from .trace import critical_path_by_tenant
+            out["tenant_chains"] = critical_path_by_tenant(log.records)
+    return out
 
 
 def _fmt_opt(value: Optional[float]) -> str:

@@ -122,9 +122,12 @@ class NullBus:
 
     ``enabled`` is ``False`` so instrumented code can skip building the
     event's field dict entirely.  ``emit`` still exists (and does
-    nothing) for call sites that do not bother guarding.
+    nothing) for call sites that do not bother guarding.  ``__slots__``
+    is empty: the null bus allocates nothing, ever -- part of the
+    zero-overhead contract the tracing-off microbenchmark enforces.
     """
 
+    __slots__ = ()
     enabled = False
 
     def emit(self, type: str, t: float, **fields) -> None:
@@ -149,6 +152,7 @@ NULL_BUS = NullBus()
 class EventBus:
     """Synchronous pub/sub dispatch for observability events."""
 
+    __slots__ = ("_subscribers", "_wildcard", "counts")
     enabled = True
 
     def __init__(self):

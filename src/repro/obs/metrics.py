@@ -267,3 +267,14 @@ def install_standard_gauges(registry: MetricsRegistry, manager) -> None:
     registry.gauge("transfer_bytes_in_flight", lambda: sum(
         f.remaining for f in network.active_flows))
     registry.gauge("active_flows", network.active_flow_count)
+    # per-lane queue depth from the discipline's own snapshot (the
+    # two-tier default exposes downstream/fresh; fair-share queues
+    # expose one lane per tenant)
+    queue = manager.ready_queue
+    for lane in queue.snapshot():
+        registry.gauge(
+            f"queue_depth_{lane}",
+            (lambda l: lambda: float(queue.snapshot().get(l, 0)))(lane))
+    # stack-specific gauges (e.g. Work Queue's manager-disk bytes)
+    for name, fn in manager.extra_gauges().items():
+        registry.gauge(name, fn)

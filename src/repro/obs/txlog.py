@@ -166,7 +166,8 @@ def replay(source: Source) -> TraceRecorder:
                 task_id=r["task"], category=r.get("category", ""),
                 worker=r["worker"], t_ready=r["t_ready"],
                 t_dispatch=r["t_dispatch"], t_start=r["t_start"],
-                t_end=r["t_end"], ok=r.get("ok", True)))
+                t_end=r["t_end"], ok=r.get("ok", True),
+                attempt=r.get("attempt", 1)))
         elif type_ == ev.TRANSFER:
             trace.transfer(TransferRecord(
                 src=r["src"], dst=r["dst"], nbytes=r["nbytes"],

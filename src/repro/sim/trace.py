@@ -45,6 +45,8 @@ class TaskRecord:
     t_start: float
     t_end: float
     ok: bool = True
+    #: 1-based attempt number; >1 after failures re-queued the task
+    attempt: int = 1
 
     @property
     def exec_time(self) -> float:
@@ -141,7 +143,7 @@ class TraceRecorder:
                 category=record.category, worker=record.worker,
                 t_ready=record.t_ready, t_dispatch=record.t_dispatch,
                 t_start=record.t_start, t_end=record.t_end,
-                ok=record.ok)
+                ok=record.ok, attempt=record.attempt)
 
     def transfer(self, record: TransferRecord) -> None:
         self.transfers.append(record)

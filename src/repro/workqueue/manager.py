@@ -55,6 +55,13 @@ class WorkQueueManager(TaskVineManager):
         #: bytes of workflow data staged on the manager's disk
         self.manager_bytes = 0.0
 
+    def extra_gauges(self):
+        return {
+            "manager_bytes": lambda: self.manager_bytes,
+            "manager_inflight_fetches":
+                lambda: float(len(self._manager_inflight)),
+        }
+
     # -- staging: bounce dataset files off the manager ----------------------
     def _fetch_to_worker(self, name: str, agent: WorkerAgent,
                          task_id: Optional[str] = None):

@@ -1,0 +1,166 @@
+"""Tests for the perf-regression sentinel.
+
+The two headline behaviors: a synthetic 1.3x slowdown is flagged, and
+two captures of identical code stay quiet.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import sentinel
+from repro.bench.perf import SCHEMA_VERSION
+
+
+def entry(workload="smoke", wall=1.0, label="baseline",
+          samples=None, config_hash="abc123"):
+    e = {"workload": workload, "label": label, "wall_s": wall,
+         "sim_s": 10.0, "events": 1000, "tasks": 20,
+         "events_per_s": 1000 / wall, "peak_rss_mb": 50.0,
+         "python": "3.11", "cores": 4, "seed": 11,
+         "config_hash": config_hash}
+    if samples is not None:
+        e["samples"] = samples
+    return e
+
+
+class TestCompareEntries:
+    def test_flags_30_percent_slowdown(self):
+        verdict = sentinel.compare_entries(entry(wall=1.0),
+                                           entry(wall=1.3),
+                                           tolerance=0.15)
+        assert verdict["verdict"] == "regression"
+        assert verdict["ratio"] == pytest.approx(1.3)
+
+    def test_identical_captures_stay_quiet(self):
+        base = entry(wall=1.0, samples=[0.99, 1.0, 1.01])
+        cur = entry(wall=1.0, samples=[1.0, 1.0, 0.99])
+        verdict = sentinel.compare_entries(base, cur)
+        assert verdict["verdict"] == "ok"
+
+    def test_small_wobble_within_tolerance(self):
+        verdict = sentinel.compare_entries(entry(wall=1.0),
+                                           entry(wall=1.1),
+                                           tolerance=0.15)
+        assert verdict["verdict"] == "ok"
+
+    def test_noise_widens_the_band(self):
+        # 1.2x would regress under the flat 15% band, but the samples
+        # are so noisy that the IQR band absorbs it
+        base = entry(wall=1.0, samples=[0.6, 1.0, 1.5])
+        cur = entry(wall=1.2, samples=[0.8, 1.2, 1.7])
+        verdict = sentinel.compare_entries(base, cur, tolerance=0.15)
+        assert verdict["band"] > 0.15
+        assert verdict["verdict"] == "ok"
+
+    def test_improvement_detected(self):
+        verdict = sentinel.compare_entries(entry(wall=2.0),
+                                           entry(wall=1.0))
+        assert verdict["verdict"] == "improved"
+
+    def test_config_mismatch_is_incomparable(self):
+        verdict = sentinel.compare_entries(
+            entry(config_hash="aaa"), entry(config_hash="bbb"))
+        assert verdict["verdict"] == "incomparable"
+        assert verdict["config_mismatch"] is True
+
+    def test_missing_samples_fall_back_to_tolerance(self):
+        verdict = sentinel.compare_entries(entry(wall=1.0),
+                                           entry(wall=1.0),
+                                           tolerance=0.1)
+        assert verdict["band"] == pytest.approx(0.1)
+
+
+class TestTrajectory:
+    def test_append_and_read_roundtrip(self, tmp_path):
+        path = str(tmp_path / "traj.jsonl")
+        sentinel.append_trajectory(path, {"git_sha": "a", "verdict": "ok"})
+        sentinel.append_trajectory(path, {"git_sha": "b",
+                                          "verdict": "regression"})
+        rows = sentinel.read_trajectory(path)
+        assert [r["git_sha"] for r in rows] == ["a", "b"]
+
+    def test_read_skips_corrupt_lines(self, tmp_path):
+        path = tmp_path / "traj.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n{"ok": 2}\n')
+        assert len(sentinel.read_trajectory(str(path))) == 2
+
+    def test_read_missing_file(self, tmp_path):
+        assert sentinel.read_trajectory(str(tmp_path / "nope")) == []
+
+
+def fake_runner(walls):
+    """A run_workload stand-in returning queued wall times."""
+    queue = list(walls)
+
+    def run(name, label, seed=11, self_profile=False):
+        e = entry(workload=name, wall=queue.pop(0), label=label)
+        e["git_sha"] = "deadbeef"
+        e["captured_at"] = "2026-01-01T00:00:00Z"
+        return e
+
+    return run
+
+
+class TestCli:
+    def baseline_doc(self, tmp_path, wall=1.0):
+        doc = {"schema": SCHEMA_VERSION,
+               "entries": [entry(wall=wall, label="optimized")]}
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def run_cli(self, tmp_path, monkeypatch, walls, extra=()):
+        monkeypatch.setattr(sentinel, "run_workload",
+                            fake_runner(walls))
+        monkeypatch.setattr(
+            sentinel, "capture_stamp",
+            lambda name, seed: {"git_sha": "deadbeef",
+                                "captured_at": "2026-01-01T00:00:00Z",
+                                "config_hash": "abc123"})
+        traj = str(tmp_path / "traj.jsonl")
+        code = sentinel.main([
+            "--workloads", "smoke", "--repeats", "3",
+            "--baseline", self.baseline_doc(tmp_path),
+            "--trajectory", traj, *extra])
+        return code, sentinel.read_trajectory(traj)
+
+    def test_regression_exits_3(self, tmp_path, monkeypatch):
+        code, rows = self.run_cli(tmp_path, monkeypatch,
+                                  walls=[1.3, 1.31, 1.29])
+        assert code == sentinel.EXIT_REGRESSION
+        assert rows[-1]["verdict"] == "regression"
+        assert rows[-1]["workloads"]["smoke"]["ratio"] > 1.25
+
+    def test_identical_exits_0(self, tmp_path, monkeypatch):
+        code, rows = self.run_cli(tmp_path, monkeypatch,
+                                  walls=[1.0, 1.0, 1.0])
+        assert code == sentinel.EXIT_OK
+        assert rows[-1]["verdict"] == "ok"
+
+    def test_median_of_interleaved_repeats(self, tmp_path, monkeypatch):
+        # one wild outlier must not trip the verdict: median wins
+        code, rows = self.run_cli(tmp_path, monkeypatch,
+                                  walls=[1.0, 5.0, 1.01])
+        assert code == sentinel.EXIT_OK
+
+    def test_unknown_workload_exits_2(self):
+        assert sentinel.main(["--workloads", "bogus"]) \
+            == sentinel.EXIT_ERROR
+
+    def test_missing_baseline_exits_2(self, tmp_path):
+        assert sentinel.main(
+            ["--workloads", "smoke",
+             "--baseline", str(tmp_path / "nope.json")]) \
+            == sentinel.EXIT_ERROR
+
+    def test_history_prints_trajectory(self, tmp_path, monkeypatch,
+                                       capsys):
+        _, rows = self.run_cli(tmp_path, monkeypatch,
+                               walls=[1.0, 1.0, 1.0])
+        assert rows
+        code = sentinel.main(["--history", "--trajectory",
+                              str(tmp_path / "traj.jsonl")])
+        assert code == sentinel.EXIT_OK
+        out = capsys.readouterr().out
+        assert "deadbeef" in out

@@ -1,6 +1,6 @@
 """Tests for the python -m repro.obs CLI and its bench integration."""
 
-import dataclasses
+import json
 
 import pytest
 
@@ -69,6 +69,63 @@ class TestMain:
         captured = capsys.readouterr()
         assert "demo run:" in captured.err
         assert "CRITICAL PATH" in captured.out
+
+
+class TestJsonAndExitCodes:
+    def test_json_output_is_machine_readable(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_log(path)
+        assert main([str(path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["makespan_s"] == 5.0
+        assert "critical_path" in doc
+        assert doc["meta"]["scheduler"] == "taskvine"
+
+    def test_json_respects_sections(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_log(path)
+        assert main([str(path), "--json", "--section", "cache"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "cache" in doc
+        assert "stragglers" not in doc
+
+    def test_strict_flags_incomplete_run(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        log = TransactionLog(str(path), meta={"scheduler": "taskvine"})
+        log.record("EXEC_END", 5.0, task="a", category="p", worker=1,
+                   t_ready=0.0, t_dispatch=0.1, t_start=0.5, t_end=5.0,
+                   ok=True)
+        log.close(completed=False, error="aborted")
+        assert main([str(path)]) == 0          # default: still reports
+        capsys.readouterr()
+        assert main([str(path), "--strict"]) == 3
+        assert "did not complete" in capsys.readouterr().err
+
+    def test_strict_passes_completed_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_log(path)
+        assert main([str(path), "--strict"]) == 0
+
+    def test_export_chrome(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_log(path)
+        out = tmp_path / "trace.json"
+        assert main([str(path), "--export-chrome", str(out),
+                     "--summary-only"]) == 0
+        with open(out) as fh:
+            doc = json.load(fh)
+        assert doc["traceEvents"]
+        assert "chrome trace ->" in capsys.readouterr().err
+
+    def test_export_prom(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_log(path)
+        out = tmp_path / "metrics.prom"
+        assert main([str(path), "--export-prom", str(out),
+                     "--summary-only"]) == 0
+        text = out.read_text()
+        assert "# TYPE" in text
+        assert "repro_tasks_done_total 1" in text
 
 
 class TestBenchRunIntegration:

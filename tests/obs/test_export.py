@@ -1,0 +1,147 @@
+"""Tests for the Chrome trace_event and Prometheus exporters."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.runners import build_environment, run_scheduler
+from repro.bench.workloads import build_workflow
+from repro.hep.datasets import TABLE2
+from repro.obs.export import (CRITICAL_PATH_PID, chrome_trace,
+                              prometheus_exposition, registry_from_txlog,
+                              write_chrome_trace)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import critical_path_chain
+
+
+@pytest.fixture(scope="module")
+def run_log(tmp_path_factory):
+    """One tiny taskvine run with txlog + sampled metrics."""
+    path = str(tmp_path_factory.mktemp("export") / "run.jsonl")
+    spec = dataclasses.replace(TABLE2["DV3-Small"], name="tiny",
+                               n_tasks=24, input_bytes=1.5e9)
+    env = build_environment(4, seed=7)
+    workflow = build_workflow(spec, arity=4, seed=7)
+    result = run_scheduler(env, workflow, "taskvine", txlog_path=path,
+                           sample_interval=2.0)
+    assert result.completed
+    return path, result
+
+
+class TestChromeTrace:
+    def test_document_shape(self, run_log):
+        path, _ = run_log
+        doc = chrome_trace(path)
+        assert "traceEvents" in doc
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X"}      # metadata + complete events
+
+    def test_events_are_json_serializable(self, run_log):
+        path, _ = run_log
+        text = json.dumps(chrome_trace(path))
+        assert (json.loads(text)["otherData"]["tasks"]
+                == run_log[1].tasks_done)
+
+    def test_execute_events_cover_all_tasks(self, run_log):
+        path, _ = run_log
+        doc = chrome_trace(path)
+        execs = [e for e in doc["traceEvents"]
+                 if e.get("cat") == "execute"]
+        assert (len({e["args"]["task"] for e in execs})
+                == run_log[1].tasks_done)
+        for e in execs:
+            assert e["dur"] > 0
+            assert isinstance(e["ts"], float)
+
+    def test_critical_path_track_matches_analyzer(self, run_log):
+        # acceptance bar: the pinned chain track's total must match
+        # the analyzer's critical-path attribution within 1%
+        path, _ = run_log
+        doc = chrome_trace(path)
+        chain_events = [e for e in doc["traceEvents"]
+                        if e.get("pid") == CRITICAL_PATH_PID
+                        and e["ph"] == "X"]
+        assert chain_events
+        track_total_s = sum(e["dur"] for e in chain_events) / 1e6
+        analyzer_total = critical_path_chain(path)["total_s"]
+        assert track_total_s == pytest.approx(analyzer_total, rel=0.01)
+        assert (doc["otherData"]["critical_path_s"]
+                == pytest.approx(analyzer_total))
+
+    def test_lanes_do_not_overlap(self, run_log):
+        path, _ = run_log
+        doc = chrome_trace(path)
+        by_lane = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] != "X":
+                continue
+            by_lane.setdefault((e["pid"], e["tid"]), []).append(
+                (e["ts"], e["ts"] + e["dur"]))
+        for spans in by_lane.values():
+            spans.sort()
+            for (_, end), (start, _) in zip(spans, spans[1:]):
+                assert start >= end - 1e-6
+
+    def test_compact_drops_wait_and_cache_hits(self, run_log):
+        path, _ = run_log
+        full = chrome_trace(path)
+        compact = chrome_trace(path, compact=True)
+        cats = {e.get("cat") for e in compact["traceEvents"]}
+        assert "schedule-wait" not in cats
+        assert "cache-hit" not in cats
+        assert len(compact["traceEvents"]) < len(full["traceEvents"])
+
+    def test_write_returns_stats(self, run_log, tmp_path):
+        path, result = run_log
+        out = str(tmp_path / "trace.json")
+        stats = write_chrome_trace(out, path)
+        assert stats["tasks"] == result.tasks_done
+        assert stats["makespan_s"] == pytest.approx(result.makespan,
+                                                    rel=0.01)
+        with open(out) as fh:
+            assert json.load(fh)["traceEvents"]
+
+
+class TestPrometheus:
+    def test_exposition_format(self, run_log):
+        path, _ = run_log
+        registry = registry_from_txlog(path)
+        text = prometheus_exposition(registry, timestamp_s=12.5)
+        lines = text.strip().splitlines()
+        assert lines, "exposition must not be empty"
+        for line in lines:
+            assert line.startswith("# TYPE") or line.startswith("repro_")
+        # every sample carries the sim-clock millisecond timestamp
+        samples = [l for l in lines if not l.startswith("#")]
+        assert all(l.endswith(" 12500") for l in samples)
+
+    def test_counters_match_live_registry(self, run_log):
+        path, _ = run_log
+        replayed = registry_from_txlog(path)
+        done = run_log[1].tasks_done
+        assert replayed.counters["tasks_done"].value == done
+        assert replayed.counters["tasks_dispatched"].value >= done
+
+    def test_histogram_bucket_monotone(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(v)
+        text = prometheus_exposition(registry)
+        counts = [int(l.rsplit(" ", 1)[1])
+                  for l in text.splitlines() if "_bucket" in l]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4           # +Inf sees every observation
+
+    def test_gauges_restored_from_samples(self, run_log):
+        path, _ = run_log
+        registry = registry_from_txlog(path)
+        assert registry.samples, "sampler rows must be restored"
+        # final sample values become the exported gauge values
+        final = registry.samples[-1]
+        for name, value in final.items():
+            if name == "t" or not isinstance(value, (int, float)):
+                continue
+            assert registry.gauge(name).read() == float(value)

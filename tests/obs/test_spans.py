@@ -1,0 +1,212 @@
+"""Tests for causal span reconstruction and critical-path chains.
+
+The headline invariants:
+
+* live == replay: a SpanRecorder subscribed to the run's bus builds
+  byte-for-byte the same span forest as replaying the txlog afterwards;
+* the critical-path chain's segments sum exactly to the makespan;
+* re-executions after failures nest under the failed attempt.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runners import build_environment, run_scheduler
+from repro.bench.workloads import build_workflow
+from repro.hep.datasets import TABLE2
+from repro.obs.events import EventBus, NULL_BUS
+from repro.obs.trace import (ATTEMPT, EXECUTE, INPUT_TRANSFER,
+                             NULL_SPAN_RECORDER, SCHEDULE_WAIT,
+                             SpanBuilder, SpanRecorder, build_spans,
+                             critical_path_chain, span_forest_digest,
+                             stable_trace_id)
+
+
+def tiny_spec(n_tasks=24, input_bytes=1.5e9):
+    return dataclasses.replace(TABLE2["DV3-Small"], name="tiny",
+                               n_tasks=n_tasks, input_bytes=input_bytes)
+
+
+def run_with_spans(tmp_path, scheduler="taskvine", n_tasks=24, seed=7):
+    """One tiny run with both a live recorder and a txlog."""
+    path = str(tmp_path / "run.jsonl")
+    bus = EventBus()
+    env = build_environment(4, seed=seed, bus=bus)
+    recorder = SpanRecorder.install(bus)
+    workflow = build_workflow(tiny_spec(n_tasks), arity=4, seed=seed)
+    result = run_scheduler(env, workflow, scheduler, txlog_path=path)
+    assert result.completed
+    return recorder, path, result
+
+
+# -- synthetic event streams -------------------------------------------------
+
+def lifecycle(task, t0, worker=1, fail_first=False):
+    """A full READY..TASK_DONE edge sequence for one task."""
+    tid = stable_trace_id(task)
+    events = [
+        {"type": "READY", "t": t0, "task": task},
+        {"type": "DISPATCH", "t": t0 + 1, "task": task, "worker": worker},
+        {"type": "STAGE_IN", "t": t0 + 2, "t_start": t0 + 1,
+         "task": task, "worker": worker, "file": f"in-{task}",
+         "nbytes": 10.0, "cached": False},
+        {"type": "EXEC_START", "t": t0 + 2, "task": task,
+         "worker": worker},
+    ]
+    if fail_first:
+        events += [
+            {"type": "EXEC_END", "t": t0 + 3, "task": tid,
+             "t_start": t0 + 2, "t_end": t0 + 3, "ok": False,
+             "worker": worker},
+            # retry
+            {"type": "READY", "t": t0 + 3, "task": task},
+            {"type": "DISPATCH", "t": t0 + 4, "task": task,
+             "worker": worker},
+            {"type": "EXEC_START", "t": t0 + 5, "task": task,
+             "worker": worker},
+        ]
+        done_t = t0 + 6
+    else:
+        done_t = t0 + 4
+    events += [
+        {"type": "EXEC_END", "t": done_t, "task": tid,
+         "t_start": t0 + (5 if fail_first else 2), "t_end": done_t,
+         "ok": True, "worker": worker},
+        {"type": "TASK_DONE", "t": done_t + 0.5, "task": task,
+         "outputs": [f"out-{task}"]},
+    ]
+    return events
+
+
+class TestSpanBuilder:
+    def test_single_task_tree(self):
+        builder = build_spans(lifecycle("a", 0.0))
+        forest = builder.forest()
+        assert len(forest) == 1
+        root = forest[0]
+        assert root.kind == "task"
+        assert root.name == "a"
+        attempts = [s for s in root.children if s.kind == ATTEMPT]
+        assert len(attempts) == 1
+        kinds = [c.kind for c in attempts[0].children]
+        assert kinds == [SCHEDULE_WAIT, INPUT_TRANSFER, EXECUTE]
+        assert attempts[0].ok is True
+        # attempt closes at acceptance (TASK_DONE), root inherits it
+        assert attempts[0].end == 4.5
+        assert root.end == 4.5
+
+    def test_reexecution_nests_under_failed_attempt(self):
+        builder = build_spans(lifecycle("a", 0.0, fail_first=True))
+        root = builder.forest()[0]
+        first = [s for s in root.children if s.kind == ATTEMPT]
+        assert len(first) == 1           # only attempt #1 at top level
+        assert first[0].ok is False
+        retries = [s for s in first[0].children if s.kind == ATTEMPT]
+        assert len(retries) == 1         # attempt #2 nests under #1
+        assert retries[0].ok is True
+        assert retries[0].name == "a#2"
+
+    def test_exec_end_maps_numeric_trace_id(self):
+        builder = build_spans(lifecycle("proc-42", 0.0))
+        root = builder.forest()[0]
+        execs = [s for s in root.walk() if s.kind == EXECUTE]
+        assert len(execs) == 1
+        assert execs[0].ok is True       # matched via crc32 id
+
+    def test_makespan_ignores_run_header_footer(self):
+        events = [{"type": "RUN", "t": 0.0, "schema": 1}]
+        events += lifecycle("a", 0.0)
+        events += [{"type": "RUN_END", "t": 99.0, "completed": True}]
+        builder = build_spans(events)
+        assert builder.makespan == 4.5   # last TASK_DONE, not footer
+
+    def test_forest_first_seen_order(self):
+        events = lifecycle("b", 0.0) + lifecycle("a", 10.0)
+        names = [s.name for s in build_spans(events).forest()]
+        assert names == ["b", "a"]
+
+    def test_to_dict_omits_unset_fields(self):
+        root = build_spans(lifecycle("a", 0.0)).forest()[0]
+        d = root.to_dict()
+        assert "file" not in d
+        assert "children" in d
+        wait = d["children"][0]["children"][0]
+        assert wait["kind"] == SCHEDULE_WAIT
+
+
+class TestLiveEqualsReplay:
+    def test_digest_identical(self, tmp_path):
+        recorder, path, _ = run_with_spans(tmp_path)
+        live = span_forest_digest(recorder.forest())
+        replayed = span_forest_digest(build_spans(path).forest())
+        assert live == replayed
+
+    def test_digest_identical_workqueue(self, tmp_path):
+        recorder, path, _ = run_with_spans(tmp_path,
+                                           scheduler="workqueue")
+        assert (span_forest_digest(recorder.forest())
+                == span_forest_digest(build_spans(path).forest()))
+
+    def test_null_recorder_on_disabled_bus(self):
+        recorder = SpanRecorder.install(NULL_BUS)
+        assert recorder is NULL_SPAN_RECORDER
+        assert recorder.forest() == []
+        assert recorder.builder() is None
+        assert not recorder.enabled
+
+    def test_null_recorder_has_no_dict(self):
+        with pytest.raises(AttributeError):
+            NULL_SPAN_RECORDER.x = 1     # __slots__: no per-event state
+
+
+class TestCriticalPathChain:
+    def test_segments_sum_to_makespan(self, tmp_path):
+        _, path, result = run_with_spans(tmp_path)
+        chain = critical_path_chain(path)
+        assert chain["total_s"] == pytest.approx(chain["makespan"],
+                                                 rel=1e-9)
+        assert chain["total_s"] == pytest.approx(result.makespan,
+                                                 rel=0.01)
+
+    def test_segments_are_contiguous(self, tmp_path):
+        _, path, _ = run_with_spans(tmp_path)
+        segments = critical_path_chain(path)["segments"]
+        assert segments, "chain must not be empty"
+        for prev, cur in zip(segments, segments[1:]):
+            assert cur["start"] == pytest.approx(prev["end"])
+        assert segments[0]["start"] == 0.0
+
+    def test_phase_totals_partition_total(self, tmp_path):
+        _, path, _ = run_with_spans(tmp_path)
+        chain = critical_path_chain(path)
+        assert (sum(chain["phase_totals"].values())
+                == pytest.approx(chain["total_s"]))
+        assert "execute" in chain["phase_totals"]
+
+    def test_synthetic_two_task_chain(self):
+        # b consumes a's output; chain must include both
+        events = lifecycle("a", 0.0)
+        events += [
+            {"type": "READY", "t": 5.0, "task": "b"},
+            {"type": "DISPATCH", "t": 6.0, "task": "b", "worker": 2},
+            {"type": "STAGE_IN", "t": 7.0, "t_start": 6.0, "task": "b",
+             "worker": 2, "file": "out-a", "nbytes": 10.0,
+             "cached": False},
+            {"type": "EXEC_START", "t": 7.0, "task": "b", "worker": 2},
+            {"type": "EXEC_END", "t": 9.0, "task": stable_trace_id("b"),
+             "t_start": 7.0, "t_end": 9.0, "ok": True, "worker": 2},
+            {"type": "TASK_DONE", "t": 9.5, "task": "b",
+             "outputs": ["out-b"]},
+        ]
+        chain = critical_path_chain(events)
+        assert chain["end_task"] == "b"
+        assert chain["tasks_on_path"] == 2
+        phases = [s["phase"] for s in chain["segments"]]
+        assert "handoff" in phases       # a done -> b ready
+        assert chain["total_s"] == pytest.approx(9.5)
+
+    def test_empty_log(self):
+        chain = critical_path_chain([])
+        assert chain["total_s"] == 0.0
+        assert chain["tasks_on_path"] == 0

@@ -1,0 +1,107 @@
+"""Span reconstruction from replayed txlogs of chaos + facility runs.
+
+The hardest reconstruction case combines both extensions: multiple
+tenants multiplexed on one manager (tenant-tagged lifecycle edges)
+*while* a fault scenario preempts workers mid-run (failed attempts and
+re-executions).  The invariants:
+
+* preempted tasks show their re-execution as a child attempt nested
+  under the failed attempt;
+* replaying the same-seed run yields a byte-identical span forest
+  (digest over the serialized trees);
+* every tenant's critical-path chain still sums exactly.
+"""
+
+import pytest
+
+from repro.bench.workloads import Arrival
+from repro.chaos.scenario import PreemptionStorm, Scenario
+from repro.facility.facility import Facility
+from repro.facility.tenant import Tenant
+from repro.obs.trace import (ATTEMPT, build_spans,
+                             critical_path_by_tenant,
+                             span_forest_digest)
+
+from tests.facility.conftest import make_env, small_workflow
+
+STORM = Scenario("storm", (
+    PreemptionStorm(at=0.3, fraction=0.75, duration=0.2),
+), seed=13)
+
+#: the runs below finish in ~6 s; pin the horizon so the storm lands
+#: mid-run (at 0.3 * 5.0 = 1.5 s) instead of after completion
+HORIZON = 5.0
+
+
+def chaos_facility_run(path: str, seed: int = 9):
+    """Two tenants, one preemption storm, txlog to ``path``."""
+    env = make_env(n_workers=4, seed=seed)
+    fac = Facility(env, [Tenant("alice"), Tenant("bob")],
+                   txlog_path=path)
+    arrivals = [
+        Arrival(t=0.0, tenant="alice",
+                workflow=small_workflow(n_proc=6, compute=2.0)),
+        Arrival(t=1.0, tenant="bob",
+                workflow=small_workflow(n_proc=6, compute=2.0)),
+    ]
+    result = fac.run(arrivals, chaos=STORM, chaos_horizon=HORIZON)
+    assert result.run.completed
+    return result
+
+
+class TestChaosFacilityReplay:
+    def test_preempted_tasks_show_reexecution_children(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        result = chaos_facility_run(path)
+        assert result.run.task_failures > 0, \
+            "the storm must actually kill attempts"
+        builder = build_spans(path)
+        forest = builder.forest()
+        failed = [s for root in forest for s in root.walk()
+                  if s.kind == ATTEMPT and s.ok is False]
+        assert failed, "some attempt must have failed"
+        nested = [s for a in failed for s in a.children
+                  if s.kind == ATTEMPT]
+        assert nested, "re-execution must nest under the failed attempt"
+        for retry in nested:
+            assert retry.task is not None
+            assert retry.attempt >= 2
+        # a successful retry closes its task: no failed leaf dangles
+        # as the *latest* attempt of a completed task
+        for root in forest:
+            attempts = [s for s in root.walk() if s.kind == ATTEMPT]
+            if root.task in builder.done_time:
+                assert any(a.ok for a in attempts)
+
+    def test_same_seed_replay_is_byte_stable(self, tmp_path):
+        path_a = str(tmp_path / "a.jsonl")
+        path_b = str(tmp_path / "b.jsonl")
+        chaos_facility_run(path_a)
+        chaos_facility_run(path_b)
+        digest_a = span_forest_digest(build_spans(path_a).forest())
+        digest_b = span_forest_digest(build_spans(path_b).forest())
+        assert digest_a == digest_b
+        # and the digest is itself deterministic on re-read
+        assert digest_a == span_forest_digest(
+            build_spans(path_a).forest())
+
+    def test_tenants_attributed(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        chaos_facility_run(path)
+        builder = build_spans(path)
+        assert builder.tenants() == ["alice", "bob"]
+        for root in builder.forest():
+            assert root.tenant in ("alice", "bob")
+
+    def test_per_tenant_chains_sum(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        chaos_facility_run(path)
+        chains = critical_path_by_tenant(path)
+        assert set(chains) == {"alice", "bob"}
+        for tenant, chain in chains.items():
+            assert chain["tasks_on_path"] >= 1
+            assert (sum(s["duration"] for s in chain["segments"])
+                    == pytest.approx(chain["total_s"]))
+            # each tenant's chain ends at one of its own tasks
+            end_root = build_spans(path).roots[chain["end_task"]]
+            assert end_root.tenant == tenant
