@@ -169,6 +169,14 @@ def _run(args) -> str:
             scenario = get_scenario(args.chaos)
         except KeyError as exc:
             raise SystemExit(str(exc))
+    slo_policy = None
+    if args.slo:
+        from ..obs.slo import SLOPolicy
+        try:
+            slo_policy = SLOPolicy.from_file(args.slo)
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            raise SystemExit(f"cannot load SLO policy "
+                             f"{args.slo}: {exc}")
     node = (cal.dask_sharded_node()
             if args.scheduler == "dask.distributed" else None)
     env = build_environment(args.workers, node=node, seed=args.seed)
@@ -197,15 +205,21 @@ def _run(args) -> str:
                         "arrival": args.arrival,
                         "workload": spec.name,
                         **({"chaos": scenario.describe()}
-                           if scenario is not None else {})})
+                           if scenario is not None else {})},
+            slo_policy=slo_policy)
         fac_result = facility.run(arrivals, chaos=scenario)
         table = render_facility_report(fac_result)
+        slo = getattr(fac_result, "slo_monitor", None)
+        if slo is not None and slo.enabled:
+            from ..obs.slo import render_slo_report
+            table += "\n\n" + render_slo_report(slo)
         if args.txlog:
             table += (f"\ntransaction log -> {args.txlog} "
                       f"(analyze: python -m repro.obs {args.txlog})")
         return table
     result = run_scheduler(env, workflow, args.scheduler,
-                           txlog_path=args.txlog, chaos=scenario)
+                           txlog_path=args.txlog, chaos=scenario,
+                           slo_policy=slo_policy)
     table = format_table(
         ["Workload", "Scheduler", "Workers", "Tasks done", "Failures",
          "Makespan (s)"],
@@ -213,6 +227,10 @@ def _run(args) -> str:
           result.task_failures,
           round(result.makespan, 1) if result.completed else "DNF")],
         title="RUN: single scheduler run")
+    slo = getattr(result, "slo_monitor", None)
+    if slo is not None and slo.enabled:
+        from ..obs.slo import render_slo_report
+        table += "\n\n" + render_slo_report(slo)
     if scenario is not None:
         fired = getattr(result, "chaos_injections", [])
         table += (f"\nchaos scenario {scenario.name!r}: "
@@ -267,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the workload as N concurrent tenants "
                             "through the shared facility (recorded in "
                             "the txlog RUN header; 0 = single-tenant)")
+    group.add_argument("--slo", default=None, metavar="POLICY",
+                       help="monitor a JSON SLO policy during the "
+                            "run; alerts are stamped into the txlog "
+                            "(see repro.obs.slo)")
     group.add_argument("--arrival", default="poisson:0.05",
                        metavar="SPEC",
                        help="arrival process with --tenants: "

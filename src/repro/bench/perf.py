@@ -85,7 +85,8 @@ OPTIONAL_ENTRY_FIELDS: Dict[str, tuple] = {
 
 
 def _taskvine_run(spec_name: str, n_workers: int, seed: int,
-                  scale: float = 1.0) -> dict:
+                  scale: float = 1.0,
+                  txlog_path: Optional[str] = None) -> dict:
     from ..hep.datasets import TABLE2
     from . import calibration as cal
     from .runners import build_environment, run_scheduler
@@ -103,7 +104,8 @@ def _taskvine_run(spec_name: str, n_workers: int, seed: int,
         seed=seed)
     workflow = build_workflow(spec, arity=cal.REDUCTION_ARITY, seed=seed)
     result = run_scheduler(env, workflow, "taskvine",
-                           cal.TASKVINE_FUNCTIONS_CONFIG)
+                           cal.TASKVINE_FUNCTIONS_CONFIG,
+                           txlog_path=txlog_path)
     result.raise_for_status()
     return {"events": env.sim.events_processed,
             "tasks": result.tasks_done,
@@ -111,26 +113,34 @@ def _taskvine_run(spec_name: str, n_workers: int, seed: int,
             "cores": n_workers * env.cores_per_worker}
 
 
-def _smoke(seed: int) -> dict:
-    return _taskvine_run("DV3-Small", 6, seed, scale=0.05)
+def _smoke(seed: int, txlog_path: Optional[str] = None) -> dict:
+    return _taskvine_run("DV3-Small", 6, seed, scale=0.05,
+                         txlog_path=txlog_path)
 
 
-def _fig14b_2400(seed: int) -> dict:
-    """The 2400-core point of Fig 14b: both workloads, 200 workers."""
+def _fig14b_2400(seed: int, txlog_path: Optional[str] = None) -> dict:
+    """The 2400-core point of Fig 14b: both workloads, 200 workers.
+
+    A requested txlog captures the DV3-Large component only (the
+    dominant one): the two runs are separate schedulers with
+    overlapping task ids, so one log cannot hold both.
+    """
     total = {"events": 0, "tasks": 0, "sim_s": 0.0, "cores": 2400}
     for spec_name in ("DV3-Large", "RS-TriPhoton"):
-        part = _taskvine_run(spec_name, 200, seed)
+        part = _taskvine_run(
+            spec_name, 200, seed,
+            txlog_path=txlog_path if spec_name == "DV3-Large" else None)
         total["events"] += part["events"]
         total["tasks"] += part["tasks"]
         total["sim_s"] += part["sim_s"]
     return total
 
 
-def _fig15_dv3huge(seed: int) -> dict:
-    return _taskvine_run("DV3-Huge", 600, seed)
+def _fig15_dv3huge(seed: int, txlog_path: Optional[str] = None) -> dict:
+    return _taskvine_run("DV3-Huge", 600, seed, txlog_path=txlog_path)
 
 
-def _facility_8(seed: int) -> dict:
+def _facility_8(seed: int, txlog_path: Optional[str] = None) -> dict:
     """Eight tenants multiplexed onto one shared manager."""
     from ..facility import Facility, Tenant
     from ..hep.datasets import TABLE2
@@ -151,7 +161,8 @@ def _facility_8(seed: int) -> dict:
                              per_tenant=1, seed=seed)
     arrivals = build_arrivals(schedule, lambda tenant: workflow,
                               tag_for=lambda tenant: spec.name)
-    facility = Facility(env, [Tenant(name) for name in tenant_names])
+    facility = Facility(env, [Tenant(name) for name in tenant_names],
+                        txlog_path=txlog_path)
     result = facility.run(arrivals)
     result.run.raise_for_status()
     return {"events": env.sim.events_processed,
@@ -238,12 +249,17 @@ def capture_stamp(name: str, seed: int) -> dict:
 
 
 def run_workload(name: str, label: str, seed: int = 11,
-                 self_profile: bool = False) -> dict:
+                 self_profile: bool = False,
+                 txlog_path: Optional[str] = None) -> dict:
     """Run one pinned workload in-process and return its entry dict.
 
     With ``self_profile`` the run executes under a
     :class:`~repro.obs.profile.PhaseProfiler` and the entry gains a
     ``profile`` dict attributing the wall time to simulator phases.
+    With ``txlog_path`` the run also writes its transaction log there
+    (skewing wall time -- never mix txlog and no-txlog captures in a
+    comparison; the sentinel only uses this on untimed re-runs for
+    differential diagnosis).
     """
     _desc, fn = WORKLOADS[name]
     gc.collect()
@@ -252,7 +268,8 @@ def run_workload(name: str, label: str, seed: int = 11,
         from ..obs.profile import PhaseProfiler
         profiler = PhaseProfiler().start()
     t0 = time.perf_counter()
-    stats = fn(seed)
+    stats = (fn(seed, txlog_path=txlog_path) if txlog_path is not None
+             else fn(seed))
     wall = time.perf_counter() - t0
     if profiler is not None:
         profiler.stop()

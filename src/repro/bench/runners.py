@@ -95,7 +95,8 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
                   metrics=None,
                   sample_interval: Optional[float] = None,
                   chaos=None,
-                  chaos_horizon: Optional[float] = None) -> RunResult:
+                  chaos_horizon: Optional[float] = None,
+                  slo_policy=None) -> RunResult:
     """Run one scheduler over a workflow in the given environment.
 
     Observability hooks (all optional, zero cost when unused):
@@ -109,6 +110,11 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
       ``result.metrics_registry``.
     * ``sample_interval`` -- seconds of sim time between gauge
       snapshots (requires or creates a metrics registry).
+    * ``slo_policy`` -- an :class:`~repro.obs.slo.SLOPolicy` (or a
+      path to its JSON file) to monitor on the run's event bus.
+      Status changes are emitted as SLO_ALERT events (stamped into
+      the txlog, when one is written) and the monitor is attached to
+      the result as ``result.slo_monitor``.
 
     Fault injection:
 
@@ -126,9 +132,11 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
                          f"have {sorted(SCHEDULERS)}") from None
 
     observing = (txlog_path is not None or metrics is not None
-                 or sample_interval is not None)
+                 or sample_interval is not None
+                 or slo_policy is not None)
     txlog = None
     sampler = None
+    slo_monitor = None
     if observing:
         # imported lazily so plain benchmark runs never touch obs
         from ..obs import (EventBus, MetricsRegistry, Sampler,
@@ -152,6 +160,12 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
             metrics = MetricsRegistry()
         if metrics is not None:
             metrics.bind(bus)
+        if slo_policy is not None:
+            from ..obs.slo import SLOMonitor, SLOPolicy
+            if isinstance(slo_policy, str):
+                slo_policy = SLOPolicy.from_file(slo_policy)
+            slo_monitor = SLOMonitor.install(
+                slo_policy, bus, expected_tasks=len(workflow.tasks))
 
     # built after the bus is in place: the manager adopts trace.bus
     manager = scheduler_cls(env.sim, env.cluster, env.storage, workflow,
@@ -180,11 +194,17 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
     except Exception as exc:
         if sampler is not None:
             sampler.stop()
+        if slo_monitor is not None:
+            # judged before the close so final alerts are in-log
+            slo_monitor.finish()
         if txlog is not None:
             txlog.close(completed=False, error=repr(exc))
         raise
     if sampler is not None:
         sampler.stop()
+    if slo_monitor is not None:
+        # judged before the close so final alerts are in-log
+        slo_monitor.finish(makespan=result.makespan)
     if txlog is not None:
         txlog.close(completed=result.completed,
                     makespan=result.makespan,
@@ -195,4 +215,6 @@ def run_scheduler(env: SimEnvironment, workflow: SimWorkflow,
         result.chaos_injections = injector.fired
     if metrics is not None:
         result.metrics_registry = metrics
+    if slo_monitor is not None:
+        result.slo_monitor = slo_monitor
     return result

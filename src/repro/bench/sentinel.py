@@ -19,6 +19,13 @@ numbers -- and without crying wolf on machine noise:
   ``results/BENCH_trajectory.jsonl`` (commit SHA, per-workload ratios,
   verdicts), turning isolated captures into a perf history the repo
   carries with it.
+* **Explanations** -- with ``--explain``, a flagged regression is
+  re-run once (untimed) with a transaction log and diffed against the
+  workload's reference txlog (``--txlog-dir``, refreshed with
+  ``--refresh-refs``) through :mod:`repro.obs.diff`, so the verdict
+  ships with *where the time went* ("execute flat, schedule-wait
+  +38%...") instead of just a ratio.  ``--diff-report`` writes the
+  full differential as a JSON artifact for CI to upload.
 
 Exit codes: ``0`` no regression (ok/improved), ``3`` at least one
 regression, ``2`` usage or baseline errors.  CI runs the sentinel as a
@@ -39,11 +46,13 @@ from .perf import (WORKLOADS, capture_stamp, load_document,
                    merge_entry, run_workload, validate_document)
 
 __all__ = ["compare_entries", "capture", "append_trajectory",
-           "read_trajectory", "main"]
+           "read_trajectory", "refresh_reference_txlogs",
+           "explain_regressions", "main"]
 
 TRAJECTORY_SCHEMA = 1
 DEFAULT_BASELINE = os.path.join("results", "BENCH_perf.json")
 DEFAULT_TRAJECTORY = os.path.join("results", "BENCH_trajectory.jsonl")
+DEFAULT_TXLOG_DIR = os.path.join("results", "sentinel-txlogs")
 DEFAULT_TOLERANCE = 0.15
 DEFAULT_REPEATS = 3
 DEFAULT_WORKLOADS = ("smoke", "fig14b-2400")
@@ -182,6 +191,59 @@ def read_trajectory(path: str) -> List[dict]:
     return rows
 
 
+def _ref_txlog_path(txlog_dir: str, workload: str, seed: int) -> str:
+    return os.path.join(txlog_dir, f"{workload}-seed{seed}.jsonl")
+
+
+def refresh_reference_txlogs(txlog_dir: str, workloads: List[str],
+                             seed: int, log=print) -> Dict[str, str]:
+    """Record one untimed reference run (with txlog) per workload.
+
+    These logs are the "known-good" side of ``--explain`` diffs; call
+    again after intentional perf work so future regressions diff
+    against the current behaviour.
+    """
+    os.makedirs(txlog_dir, exist_ok=True)
+    out = {}
+    for name in workloads:
+        path = _ref_txlog_path(txlog_dir, name, seed)
+        run_workload(name, "reference", seed=seed, txlog_path=path)
+        out[name] = path
+        if log is not None:
+            log(f"  reference txlog [{name}] -> {path}")
+    return out
+
+
+def explain_regressions(regressed: List[str], txlog_dir: str,
+                        seed: int, log=print) -> Dict[str, dict]:
+    """Differential diagnosis for each regressed workload.
+
+    Re-runs the workload once, untimed, with a transaction log, and
+    diffs it against the reference txlog.  Returns ``{workload:
+    diff}`` (see :func:`repro.obs.diff.diff_runs`); workloads without
+    a reference get ``{"error": ...}`` instead of a diff.
+    """
+    from ..obs.diff import diff_runs
+
+    out: Dict[str, dict] = {}
+    for name in regressed:
+        ref = _ref_txlog_path(txlog_dir, name, seed)
+        if not os.path.exists(ref):
+            out[name] = {"error": f"no reference txlog at {ref}; "
+                                  "run with --refresh-refs first"}
+            if log is not None:
+                log(f"  explain [{name}]: {out[name]['error']}")
+            continue
+        current = os.path.join(txlog_dir,
+                               f"{name}-seed{seed}-current.jsonl")
+        run_workload(name, "explain", seed=seed, txlog_path=current)
+        diff = diff_runs(ref, current)
+        out[name] = diff
+        if log is not None:
+            log(f"  explain [{name}]: {diff['explanation']}")
+    return out
+
+
 # -- CLI ---------------------------------------------------------------------
 
 
@@ -219,6 +281,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "baseline document under LABEL")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the comparison result as JSON")
+    parser.add_argument("--explain", action="store_true",
+                        help="diff each flagged regression against "
+                             "its reference txlog (repro.obs.diff) "
+                             "and print where the time went")
+    parser.add_argument("--txlog-dir", default=DEFAULT_TXLOG_DIR,
+                        help="directory of reference transaction "
+                             f"logs (default {DEFAULT_TXLOG_DIR})")
+    parser.add_argument("--refresh-refs", action="store_true",
+                        help="record fresh reference txlogs for the "
+                             "selected workloads (untimed runs) "
+                             "before comparing")
+    parser.add_argument("--diff-report", default=None, metavar="PATH",
+                        help="with --explain: write the full "
+                             "differential diagnosis JSON here")
     parser.add_argument("--history", action="store_true",
                         help="print the recorded trajectory and exit "
                              "(no new capture)")
@@ -292,6 +368,18 @@ def main(argv: Optional[list] = None) -> int:
                    if c["verdict"] == "regression"]
     overall = ("regression" if regressions else
                "ok" if comparisons else "no-baseline")
+
+    if args.refresh_refs:
+        refresh_reference_txlogs(args.txlog_dir, workloads, args.seed)
+    diffs: Dict[str, dict] = {}
+    if args.explain and regressions:
+        diffs = explain_regressions(
+            [c["workload"] for c in regressions], args.txlog_dir,
+            args.seed)
+        for name, diff in diffs.items():
+            if name in comparisons:
+                comparisons[name]["explanation"] = (
+                    diff.get("explanation", diff.get("error")))
     stamp = capture_stamp(workloads[0], args.seed)
     row = {
         "schema": TRAJECTORY_SCHEMA,
@@ -315,6 +403,8 @@ def main(argv: Optional[list] = None) -> int:
               f"[{c['baseline_label']}]  "
               f"{c['ratio']:.2f}x (band ±{c['band']:.0%})  "
               f"-> {c['verdict']}")
+        if c.get("explanation"):
+            print(f"                 why: {c['explanation']}")
 
     if args.trajectory:
         append_trajectory(args.trajectory, row)
@@ -323,6 +413,18 @@ def main(argv: Optional[list] = None) -> int:
         with open(args.json, "w") as fh:
             json.dump(row, fh, indent=2, sort_keys=True)
             fh.write("\n")
+    if args.diff_report and diffs:
+        report_dir = os.path.dirname(args.diff_report)
+        if report_dir:
+            os.makedirs(report_dir, exist_ok=True)
+        with open(args.diff_report, "w") as fh:
+            json.dump({"schema": TRAJECTORY_SCHEMA,
+                       "git_sha": stamp["git_sha"],
+                       "captured_at": stamp["captured_at"],
+                       "diffs": diffs}, fh, indent=2,
+                      sort_keys=True, default=str)
+            fh.write("\n")
+        print(f"diff report -> {args.diff_report}")
     if args.update:
         doc = load_document(args.baseline)
         for name in workloads:

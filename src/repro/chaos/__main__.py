@@ -97,7 +97,8 @@ def _chaos_run(args, spec, scenario, horizon):
     path = _txlog_path(args, spec, f"chaos-{scenario.name}".lower())
     run_scheduler(env, workflow, STACKS[args.stack],
                   txlog_path=path, chaos=scenario,
-                  chaos_horizon=horizon)
+                  chaos_horizon=horizon,
+                  slo_policy=getattr(args, "slo", None))
     return score(path), path
 
 
@@ -185,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scale n_tasks and input bytes")
     parser.add_argument("--intensities", default="0.5,1.0,1.5,2.0",
                         help="comma-separated scale factors for sweep")
+    parser.add_argument("--slo", default=None, metavar="POLICY",
+                        help="monitor a JSON SLO policy during the "
+                             "chaos run; alerts land in the txlog and "
+                             "are graded in the scorecard")
     parser.add_argument("--out", default="results/chaos",
                         help="directory for txlogs and reports")
     return parser

@@ -92,6 +92,10 @@ class Scorecard:
     recovery_bytes: float = 0.0
     manager_restage_bytes: float = 0.0
     wasted_exec_seconds: float = 0.0
+    #: SLO_ALERT records stamped into the log (repro.obs.slo): total
+    #: status changes, and how many rules ended violated
+    slo_alerts: int = 0
+    slo_violations: int = 0
     histogram: np.ndarray = field(
         default_factory=lambda: np.zeros(N_BINS, dtype=np.int64))
     histogram_digest: str = ""
@@ -107,6 +111,7 @@ def score(source: Source) -> Scorecard:
     card = Scorecard()
     done_counts: Dict[str, int] = {}
     staged: Dict[tuple, int] = {}
+    slo_violated: set = set()
     for r in _records(source):
         type_ = r.get("type")
         if type_ == ev.RUN:
@@ -147,7 +152,16 @@ def score(source: Source) -> Scorecard:
             card.injections += 1
         elif type_ == ev.CRASH:
             card.crashes += 1
+        elif type_ == ev.SLO_ALERT:
+            card.slo_alerts += 1
+            status = r.get("status")
+            rule = r.get("rule")
+            if status == "violated":
+                slo_violated.add((rule, r.get("tenant")))
+            elif status == "ok":
+                slo_violated.discard((rule, r.get("tenant")))
 
+    card.slo_violations = len(slo_violated)
     card.reexecuted_tasks = sum(1 for n in done_counts.values() if n > 1)
     card.reexecutions = sum(n - 1 for n in done_counts.values())
     histogram = np.zeros(N_BINS, dtype=np.int64)
@@ -259,6 +273,8 @@ _ROWS = (
     ("recovery bytes [GB]", lambda c: c.recovery_bytes / 1e9),
     ("manager restage [GB]", lambda c: c.manager_restage_bytes / 1e9),
     ("wasted exec [core-s]", lambda c: c.wasted_exec_seconds),
+    ("SLO alerts", lambda c: c.slo_alerts),
+    ("SLO rules violated", lambda c: c.slo_violations),
     ("histogram digest", lambda c: c.histogram_digest[:16]),
 )
 

@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--txlog", default=None,
                         help="write the facility's JSONL transaction "
                              "log here")
+    parser.add_argument("--slo", default=None, metavar="POLICY",
+                        help="monitor a JSON SLO policy during the "
+                             "run; per-tenant rule states are "
+                             "reported and alerts stamped into the "
+                             "txlog (see repro.obs.slo)")
     parser.add_argument("--no-baseline", action="store_true",
                         help="skip the isolated baseline run (slowdown "
                              "falls back to fastest observed turnaround)")
@@ -100,9 +105,15 @@ def main(argv: Optional[list] = None) -> int:
         txlog_path=args.txlog,
         txlog_meta={"workload": spec.name,
                     "arrival": args.arrival,
-                    "submissions_per_tenant": args.submissions})
+                    "submissions_per_tenant": args.submissions},
+        slo_policy=args.slo)
     result = facility.run(arrivals)
     print(render_facility_report(result, baselines))
+    slo = getattr(result, "slo_monitor", None)
+    if slo is not None and slo.enabled:
+        from ..obs.slo import render_slo_report
+        print()
+        print(render_slo_report(slo))
     if args.txlog:
         print()
         print(_tenant_chains(args.txlog))

@@ -166,6 +166,7 @@ class Facility:
                  txlog_path: Optional[str] = None,
                  txlog_meta: Optional[dict] = None,
                  placement: str = "shared-cache",
+                 slo_policy=None,
                  **discipline_kwargs):
         if not tenants:
             raise ValueError("a facility needs at least one tenant")
@@ -216,6 +217,13 @@ class Facility:
             meta.update(txlog_meta or {})
             self.txlog = TransactionLog(txlog_path, meta=meta)
             self.txlog.attach(bus)
+
+        self.slo_monitor = None
+        if slo_policy is not None:
+            from ..obs.slo import SLOMonitor, SLOPolicy
+            if isinstance(slo_policy, str):
+                slo_policy = SLOPolicy.from_file(slo_policy)
+            self.slo_monitor = SLOMonitor.install(slo_policy, bus)
 
         self.submissions: Dict[str, Submission] = {}
         self.decisions: List[Decision] = []
@@ -408,9 +416,15 @@ class Facility:
         try:
             run = self.manager.run(limit=limit)
         except Exception as exc:
+            if self.slo_monitor is not None:
+                # judged before the close so final alerts are in-log
+                self.slo_monitor.finish()
             if self.txlog is not None:
                 self.txlog.close(completed=False, error=repr(exc))
             raise
+        if self.slo_monitor is not None:
+            # judged before the close so final alerts are in-log
+            self.slo_monitor.finish(makespan=run.makespan)
         if self.txlog is not None:
             self.txlog.close(completed=run.completed,
                              makespan=run.makespan,
@@ -423,6 +437,8 @@ class Facility:
             tenant_stats=self.tenant_stats)
         if injector is not None:
             result.run.chaos_injections = injector.fired
+        if self.slo_monitor is not None:
+            result.slo_monitor = self.slo_monitor
         return result
 
     def _arrival_proc(self, arrivals):

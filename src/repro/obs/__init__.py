@@ -17,6 +17,13 @@ The measurement substrate for every scheduler stack (Table 1):
   Prometheus text-exposition exporters.
 * :mod:`repro.obs.profile` -- sampling profiler attributing simulator
   *wall* time (not sim time) to kernel phases.
+* :mod:`repro.obs.live` -- streaming analyzer: the same sections,
+  updated per event, with a streaming == batch guarantee
+  (``python -m repro.obs watch``).
+* :mod:`repro.obs.slo` -- declarative SLO rules with burn-rate
+  alerts emitted as first-class bus events.
+* :mod:`repro.obs.diff` -- differential diagnosis: attribute the
+  makespan delta between two runs (``python -m repro.obs diff``).
 
 This ``__init__`` deliberately imports only the dependency-free modules
 so the schedulers can import :data:`NULL_BUS` without dragging in the
@@ -38,11 +45,13 @@ from .metrics import (
     Sampler,
     install_standard_gauges,
 )
-from .txlog import TransactionLog, read_records, replay, run_meta
+from .txlog import (ReadStatus, TailReader, TransactionLog,
+                    read_records, replay, run_meta)
 
 __all__ = [
     "EventBus", "NullBus", "NULL_BUS", "EVENT_TYPES",
     "TransactionLog", "read_records", "replay", "run_meta",
+    "ReadStatus", "TailReader",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "Sampler",
     "install_standard_gauges",
     # lazily resolved from repro.obs.analyze:
@@ -57,6 +66,10 @@ __all__ = [
     "registry_from_txlog",
     # lazily resolved from repro.obs.profile:
     "PhaseProfiler", "format_profile",
+    # lazily resolved from repro.obs.live / .slo / .diff:
+    "LiveAnalyzer", "NULL_LIVE_ANALYZER",
+    "SLORule", "SLOPolicy", "SLOMonitor", "NULL_SLO_MONITOR",
+    "diff_runs", "explain_diff", "render_diff",
 ]
 
 _ANALYZE_NAMES = {"RunLog", "load", "straggler_report",
@@ -73,6 +86,13 @@ _LAZY_MODULES = {
         "chrome_trace", "write_chrome_trace", "prometheus_exposition",
         "registry_from_txlog")},
     **{name: "profile" for name in ("PhaseProfiler", "format_profile")},
+    **{name: "live" for name in (
+        "LiveAnalyzer", "NullLiveAnalyzer", "NULL_LIVE_ANALYZER")},
+    **{name: "slo" for name in (
+        "SLORule", "SLOPolicy", "SLOMonitor", "NullSLOMonitor",
+        "NULL_SLO_MONITOR", "evaluate", "render_slo_report")},
+    **{name: "diff" for name in (
+        "diff_runs", "explain_diff", "render_diff")},
 }
 
 

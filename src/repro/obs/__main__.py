@@ -9,6 +9,8 @@ Usage::
     python -m repro.obs results/run.jsonl --export-chrome trace.json
     python -m repro.obs results/run.jsonl --export-prom metrics.prom
     python -m repro.obs --demo /tmp/run.jsonl    # tiny run, then report
+    python -m repro.obs watch run.jsonl --follow  # live dashboard
+    python -m repro.obs diff base.jsonl cand.jsonl  # why slower?
 
 Reads a transaction log written by ``repro.obs.txlog`` (see
 ``python -m repro.bench run --txlog ...``) and prints the straggler,
@@ -99,7 +101,42 @@ def _run_completed(log: "analyze.RunLog") -> bool:
     return bool(footers[-1].get("completed", True))
 
 
+def _diff_main(argv: list) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs diff",
+        description="Attribute the makespan delta between two runs "
+                    "of the same workload.")
+    parser.add_argument("baseline", help="baseline run's txlog (A)")
+    parser.add_argument("candidate", help="candidate run's txlog (B)")
+    parser.add_argument("--top", type=int, default=10)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full diff as JSON")
+    args = parser.parse_args(argv)
+    from .diff import diff_runs, render_diff
+    try:
+        result = diff_runs(args.baseline, args.candidate,
+                           top=args.top)
+    except OSError as exc:
+        print(f"cannot read txlog: {exc}", file=sys.stderr)
+        return EXIT_UNREADABLE
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True,
+                         default=str))
+    else:
+        print(render_diff(result, top=args.top))
+    return EXIT_OK
+
+
 def main(argv: Optional[list] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # subcommand dispatch (same pattern as repro.bench): the plain
+    # analyzer keeps its positional-log interface for compatibility
+    if argv[:1] == ["watch"]:
+        from .watch import main as watch_main
+        return watch_main(argv[1:])
+    if argv[:1] == ["diff"]:
+        return _diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.demo:
         _demo_run(args.log)
@@ -115,6 +152,13 @@ def main(argv: Optional[list] = None) -> int:
         print(f"{args.log}: no records (not a transaction log?)",
               file=sys.stderr)
         return EXIT_UNREADABLE
+    status = log.read_status
+    if status is not None and (status.skipped or status.partial_tail
+                               or not status.complete):
+        # a live or killed run's log: analysis covers the complete
+        # prefix; say where the cut fell rather than raising
+        print(f"{args.log}: truncated log, analyzing "
+              + status.describe(), file=sys.stderr)
 
     if args.export_chrome:
         from .export import write_chrome_trace

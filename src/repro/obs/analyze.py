@@ -16,6 +16,14 @@ transaction logs, from one JSONL file:
 Each function takes a :class:`RunLog` (or anything :func:`load`
 accepts: a path or an iterable of record dicts) and returns a plain
 dict; :func:`render_report` formats them for terminals.
+
+Every section is split into a **fold** (one :class:`Folds` state
+update per record, bounded memory) and a **finalize** (ranking and
+percentiles over the folded state).  The batch functions here fold a
+loaded log through that exact code, and the live analyzer
+(:mod:`repro.obs.live`) feeds the same :class:`Folds` one event at a
+time -- so streaming and post-hoc analysis produce *byte-identical*
+section outputs by construction, float-addition order included.
 """
 
 from __future__ import annotations
@@ -25,9 +33,10 @@ from typing import Dict, Iterable, List, Optional, Union
 import numpy as np
 
 from . import events as ev
-from .txlog import read_records
+from .txlog import ReadStatus, read_records
 
 __all__ = [
+    "Folds",
     "RunLog",
     "load",
     "straggler_report",
@@ -43,17 +52,214 @@ __all__ = [
 MANAGER_NODE = 0
 
 
+class Folds:
+    """Incremental per-section analyzer state: one ``add`` per record.
+
+    Memory is bounded by tasks, workers, node pairs and tenants --
+    never by record volume (data-movement records dominate real logs).
+    The batch analyzer and :class:`repro.obs.live.LiveAnalyzer` share
+    this code, which is what makes streaming == batch exact.
+    """
+
+    def __init__(self):
+        self.records = 0
+        self.meta: dict = {}
+        self.footer: Optional[dict] = None
+        # stragglers / critical path: one compact row per completion
+        # (task, category, worker, t_ready, t_dispatch, t_start, t_end)
+        self.exec_ok: List[tuple] = []
+        self.exec_failed = 0
+        self.makespan = 0.0
+        # transfers
+        self.transfers = 0
+        self.transfer_total = 0.0
+        self.manager_touched = 0.0
+        self.pair_bytes: Dict[tuple, float] = {}
+        self.node_in: Dict[int, float] = {}
+        self.node_out: Dict[int, float] = {}
+        self.kind_bytes: Dict[str, float] = {}
+        # cache
+        self.cache_level: Dict[int, float] = {}
+        self.cache_peak: Dict[int, float] = {}
+        self.evictions = 0
+        self.evicted_bytes = 0.0
+        self.put_bytes = 0.0
+        self.replica_losses = 0
+        self.recoveries = 0
+        self.workers_preempted: List[int] = []
+        # tenants
+        self.tenant_rows: Dict[str, dict] = {}
+        # SLO alerts stamped into the stream (repro.obs.slo)
+        self.slo_alerts: List[dict] = []
+
+    # -- feeding -------------------------------------------------------------
+    def add(self, record: dict) -> None:
+        """Fold one whole record (the batch / replay entry point)."""
+        self.records += 1
+        self.add_event(record.get("type", "?"), record.get("t", 0.0),
+                       record)
+
+    def add_event(self, type: str, t: float, fields: dict) -> None:
+        """Fold one event (the live-bus entry point; does **not**
+        bump ``records`` -- callers that count records do that)."""
+        handler = self._HANDLERS.get(type)
+        if handler is not None:
+            handler(self, t, fields)
+
+    # -- per-type handlers ---------------------------------------------------
+    def _f_run(self, t: float, r: dict) -> None:
+        self.meta = {k: v for k, v in r.items()
+                     if k not in ("type", "t")}
+
+    def _f_run_end(self, t: float, r: dict) -> None:
+        self.footer = {k: v for k, v in r.items()
+                       if k not in ("type", "t")}
+
+    def _f_exec_end(self, t: float, r: dict) -> None:
+        t_end = r["t_end"]
+        if t_end > self.makespan:
+            self.makespan = t_end
+        if r.get("ok", True):
+            self.exec_ok.append((r["task"], r.get("category", ""),
+                                 r["worker"], r["t_ready"],
+                                 r["t_dispatch"], r["t_start"], t_end))
+        else:
+            self.exec_failed += 1
+
+    def _f_transfer(self, t: float, r: dict) -> None:
+        src, dst, nbytes = r["src"], r["dst"], r["nbytes"]
+        self.transfers += 1
+        self.transfer_total += nbytes
+        self.pair_bytes[(src, dst)] = (
+            self.pair_bytes.get((src, dst), 0.0) + nbytes)
+        self.node_out[src] = self.node_out.get(src, 0.0) + nbytes
+        self.node_in[dst] = self.node_in.get(dst, 0.0) + nbytes
+        kind = r.get("kind", "data")
+        self.kind_bytes[kind] = self.kind_bytes.get(kind, 0.0) + nbytes
+        if MANAGER_NODE in (src, dst):
+            self.manager_touched += nbytes
+
+    def _f_cache_put(self, t: float, r: dict) -> None:
+        worker, nbytes = r["worker"], r["nbytes"]
+        level = self.cache_level.get(worker, 0.0) + nbytes
+        self.cache_level[worker] = level
+        self.put_bytes += nbytes
+        if level > self.cache_peak.get(worker, 0.0):
+            self.cache_peak[worker] = level
+
+    def _f_cache_evict(self, t: float, r: dict) -> None:
+        worker, nbytes = r["worker"], r["nbytes"]
+        self.cache_level[worker] = (self.cache_level.get(worker, 0.0)
+                                    - nbytes)
+        self.evicted_bytes += nbytes
+        self.evictions += 1
+
+    def _f_replica_lost(self, t: float, r: dict) -> None:
+        self.replica_losses += 1
+
+    def _f_recovery(self, t: float, r: dict) -> None:
+        self.recoveries += 1
+
+    def _f_preempt(self, t: float, r: dict) -> None:
+        self.workers_preempted.append(r["worker"])
+
+    def _f_slo_alert(self, t: float, r: dict) -> None:
+        row = {k: v for k, v in r.items() if k != "type"}
+        row.setdefault("t", t)
+        self.slo_alerts.append(row)
+
+    # -- tenants -------------------------------------------------------------
+    def _tenant(self, tenant: str) -> dict:
+        return self.tenant_rows.setdefault(tenant, {
+            "tenant": tenant, "submissions": 0, "admitted": 0,
+            "queued": 0, "rejected": 0, "tasks_done": 0,
+            "dispatch_waits": [], "turnarounds": [],
+            "peer_cache_bytes": 0.0, "peer_cache_hits": 0,
+            "staged_bytes": 0.0})
+
+    def _f_submit(self, t: float, r: dict) -> None:
+        self._tenant(r["tenant"])["submissions"] += 1
+
+    def _f_admit(self, t: float, r: dict) -> None:
+        decision = r.get("decision", "admitted")
+        key = {"admitted": "admitted", "queued": "queued",
+               "rejected": "rejected"}.get(decision)
+        if key:
+            self._tenant(r["tenant"])[key] += 1
+
+    def _f_task_done(self, t: float, r: dict) -> None:
+        tenant = r.get("tenant")
+        if tenant is not None:
+            self._tenant(tenant)["tasks_done"] += 1
+
+    def _f_dispatch(self, t: float, r: dict) -> None:
+        tenant = r.get("tenant")
+        if tenant is not None:
+            self._tenant(tenant)["dispatch_waits"].append(
+                r.get("waited", 0.0))
+
+    def _f_submission_done(self, t: float, r: dict) -> None:
+        self._tenant(r["tenant"])["turnarounds"].append(
+            r.get("turnaround", 0.0))
+
+    def _f_stage_in(self, t: float, r: dict) -> None:
+        tenant = r.get("tenant")
+        if tenant is None:
+            return
+        nbytes = r.get("nbytes", 0.0)
+        if r.get("cached"):
+            peer = r.get("peer_tenant")
+            if peer is not None and peer != tenant:
+                row = self._tenant(tenant)
+                row["peer_cache_bytes"] += nbytes
+                row["peer_cache_hits"] += 1
+        else:
+            self._tenant(tenant)["staged_bytes"] += nbytes
+
+    _HANDLERS = {
+        ev.RUN: _f_run,
+        ev.RUN_END: _f_run_end,
+        ev.EXEC_END: _f_exec_end,
+        ev.TRANSFER: _f_transfer,
+        ev.CACHE_PUT: _f_cache_put,
+        ev.CACHE_EVICT: _f_cache_evict,
+        ev.REPLICA_LOST: _f_replica_lost,
+        ev.RECOVERY: _f_recovery,
+        ev.WORKER_PREEMPT: _f_preempt,
+        ev.SLO_ALERT: _f_slo_alert,
+        ev.SUBMIT: _f_submit,
+        ev.ADMIT: _f_admit,
+        ev.TASK_DONE: _f_task_done,
+        ev.DISPATCH: _f_dispatch,
+        ev.SUBMISSION_DONE: _f_submission_done,
+        ev.STAGE_IN: _f_stage_in,
+    }
+
+
 class RunLog:
     """A parsed transaction log: records indexed by type."""
 
-    def __init__(self, records: Iterable[dict]):
+    def __init__(self, records: Iterable[dict],
+                 read_status: Optional[ReadStatus] = None):
         self.records: List[dict] = list(records)
+        self.read_status = read_status
         self.by_type: Dict[str, List[dict]] = {}
         for record in self.records:
             self.by_type.setdefault(record.get("type", "?"),
                                     []).append(record)
         headers = self.by_type.get(ev.RUN, [])
         self.meta: dict = headers[0] if headers else {}
+        self._folds: Optional[Folds] = None
+
+    @property
+    def folds(self) -> Folds:
+        """The records folded once through the shared reducers."""
+        if self._folds is None:
+            folds = Folds()
+            for record in self.records:
+                folds.add(record)
+            self._folds = folds
+        return self._folds
 
     def completions(self, ok: Optional[bool] = True) -> List[dict]:
         rows = self.by_type.get(ev.EXEC_END, [])
@@ -74,40 +280,33 @@ def load(source: Source) -> RunLog:
     if isinstance(source, RunLog):
         return source
     if isinstance(source, str):
-        return RunLog(read_records(source))
+        status = ReadStatus()
+        return RunLog(read_records(source, status), read_status=status)
     return RunLog(source)
 
 
 # -- stragglers -------------------------------------------------------------
 
-def straggler_report(source: Source, top: int = 10,
-                     slow_factor: float = 2.0) -> dict:
-    """Tasks far beyond their category median, and slow workers.
-
-    A task is a straggler when its execution time is at least
-    ``slow_factor`` times its category's median; a worker is slow when
-    its tasks average at least 1.5x their category medians.
-    """
-    log = load(source)
-    rows = log.completions(ok=True)
+def _stragglers_finalize(folds: Folds, top: int,
+                         slow_factor: float) -> dict:
+    rows = folds.exec_ok
     by_category: Dict[str, List[float]] = {}
-    for r in rows:
-        by_category.setdefault(r.get("category", ""), []).append(
-            r["t_end"] - r["t_start"])
+    for task, category, worker, _tr, _td, t_start, t_end in rows:
+        by_category.setdefault(category, []).append(t_end - t_start)
     medians = {c: float(np.median(v)) for c, v in by_category.items()}
 
     stragglers = []
     worker_ratios: Dict[int, List[float]] = {}
-    for r in rows:
-        exec_time = r["t_end"] - r["t_start"]
-        median = medians[r.get("category", "")]
+    for task, category, worker, _tr, _td, t_start, t_end in rows:
+        exec_time = t_end - t_start
+        median = medians[category]
         ratio = exec_time / median if median > 0 else 1.0
-        worker_ratios.setdefault(r["worker"], []).append(ratio)
+        worker_ratios.setdefault(worker, []).append(ratio)
         if median > 0 and ratio >= slow_factor:
             stragglers.append({
-                "task": r["task"], "category": r.get("category", ""),
-                "worker": r["worker"], "exec_s": exec_time,
-                "ratio": ratio, "t_end": r["t_end"]})
+                "task": task, "category": category,
+                "worker": worker, "exec_s": exec_time,
+                "ratio": ratio, "t_end": t_end})
     stragglers.sort(key=lambda s: -s["ratio"])
 
     slow_workers = []
@@ -128,87 +327,103 @@ def straggler_report(source: Source, top: int = 10,
     }
 
 
+def straggler_report(source: Source, top: int = 10,
+                     slow_factor: float = 2.0) -> dict:
+    """Tasks far beyond their category median, and slow workers.
+
+    A task is a straggler when its execution time is at least
+    ``slow_factor`` times its category's median; a worker is slow when
+    its tasks average at least 1.5x their category medians.
+    """
+    return _stragglers_finalize(load(source).folds, top, slow_factor)
+
+
 # -- transfers --------------------------------------------------------------
 
-def transfer_hotspots(source: Source, top: int = 10) -> dict:
-    """Per-node and per-pair byte totals; the manager's traffic share."""
-    log = load(source)
-    rows = log.by_type.get(ev.TRANSFER, [])
-    pair_bytes: Dict[tuple, float] = {}
-    node_in: Dict[int, float] = {}
-    node_out: Dict[int, float] = {}
-    kind_bytes: Dict[str, float] = {}
-    total = 0.0
-    manager_touched = 0.0
-    for r in rows:
-        src, dst, nbytes = r["src"], r["dst"], r["nbytes"]
-        total += nbytes
-        pair_bytes[(src, dst)] = pair_bytes.get((src, dst), 0.0) + nbytes
-        node_out[src] = node_out.get(src, 0.0) + nbytes
-        node_in[dst] = node_in.get(dst, 0.0) + nbytes
-        kind = r.get("kind", "data")
-        kind_bytes[kind] = kind_bytes.get(kind, 0.0) + nbytes
-        if MANAGER_NODE in (src, dst):
-            manager_touched += nbytes
-
+def _transfers_finalize(folds: Folds, top: int) -> dict:
     def top_nodes(table: Dict[int, float]) -> List[dict]:
         ranked = sorted(table.items(), key=lambda kv: -kv[1])[:top]
         return [{"node": n, "bytes": b} for n, b in ranked]
 
-    top_pairs = sorted(pair_bytes.items(), key=lambda kv: -kv[1])[:top]
+    total = folds.transfer_total
+    top_pairs = sorted(folds.pair_bytes.items(),
+                       key=lambda kv: -kv[1])[:top]
     return {
-        "transfers": len(rows),
+        "transfers": folds.transfers,
         "total_bytes": total,
-        "manager_share": manager_touched / total if total else 0.0,
-        "by_kind": kind_bytes,
+        "manager_share": folds.manager_touched / total if total else 0.0,
+        "by_kind": dict(folds.kind_bytes),
         "top_pairs": [{"src": s, "dst": d, "bytes": b}
                       for (s, d), b in top_pairs],
-        "top_receivers": top_nodes(node_in),
-        "top_senders": top_nodes(node_out),
+        "top_receivers": top_nodes(folds.node_in),
+        "top_senders": top_nodes(folds.node_out),
     }
+
+
+def transfer_hotspots(source: Source, top: int = 10) -> dict:
+    """Per-node and per-pair byte totals; the manager's traffic share."""
+    return _transfers_finalize(load(source).folds, top)
 
 
 # -- cache ------------------------------------------------------------------
 
-def cache_pressure(source: Source, top: int = 10) -> dict:
-    """Peak occupancy, eviction volume, and recovery activity."""
-    log = load(source)
-    level: Dict[int, float] = {}
-    peak: Dict[int, float] = {}
-    evicted_bytes = 0.0
-    evictions = 0
-    put_bytes = 0.0
-    # interleave puts and evictions in time order for exact peaks
-    deltas = ([(r["t"], r["worker"], r["nbytes"])
-               for r in log.by_type.get(ev.CACHE_PUT, [])]
-              + [(r["t"], r["worker"], -r["nbytes"])
-                 for r in log.by_type.get(ev.CACHE_EVICT, [])])
-    deltas.sort(key=lambda row: row[0])
-    for _t, worker, delta in deltas:
-        level[worker] = level.get(worker, 0.0) + delta
-        if delta < 0:
-            evicted_bytes += -delta
-            evictions += 1
-        else:
-            put_bytes += delta
-            if level[worker] > peak.get(worker, 0.0):
-                peak[worker] = level[worker]
-    top_peaks = sorted(peak.items(), key=lambda kv: -kv[1])[:top]
-    preempted = [r["worker"]
-                 for r in log.by_type.get(ev.WORKER_PREEMPT, [])]
+def _cache_finalize(folds: Folds, top: int) -> dict:
+    top_peaks = sorted(folds.cache_peak.items(),
+                       key=lambda kv: -kv[1])[:top]
     return {
-        "bytes_cached": put_bytes,
-        "evictions": evictions,
-        "evicted_bytes": evicted_bytes,
+        "bytes_cached": folds.put_bytes,
+        "evictions": folds.evictions,
+        "evicted_bytes": folds.evicted_bytes,
         "peak_by_worker": [{"worker": w, "bytes": b}
                            for w, b in top_peaks],
-        "replica_losses": len(log.by_type.get(ev.REPLICA_LOST, [])),
-        "recoveries": len(log.by_type.get(ev.RECOVERY, [])),
-        "workers_preempted": preempted,
+        "replica_losses": folds.replica_losses,
+        "recoveries": folds.recoveries,
+        "workers_preempted": list(folds.workers_preempted),
     }
 
 
+def cache_pressure(source: Source, top: int = 10) -> dict:
+    """Peak occupancy, eviction volume, and recovery activity.
+
+    Puts and evictions are folded in *record order* -- the log is
+    written in event order on a monotone sim clock, and an eviction at
+    time t causally precedes the put it made room for, so record order
+    is the exact interleaving (a timestamp sort cannot break the tie).
+    """
+    return _cache_finalize(load(source).folds, top)
+
+
 # -- critical path ----------------------------------------------------------
+
+def _critical_finalize(folds: Folds, chain_source) -> dict:
+    rows = folds.exec_ok
+    phases = {"queued": 0.0, "stage_in": 0.0, "exec": 0.0}
+    for _task, _cat, _w, t_ready, t_dispatch, t_start, t_end in rows:
+        phases["queued"] += max(0.0, t_dispatch - t_ready)
+        phases["stage_in"] += max(0.0, t_start - t_dispatch)
+        phases["exec"] += max(0.0, t_end - t_start)
+    turnaround = sum(phases.values())
+    n = len(rows)
+    from .trace import critical_path_chain
+    chain = critical_path_chain(chain_source)
+    return {
+        "tasks": n,
+        "makespan": folds.makespan,
+        "total_s": dict(phases),
+        "mean_s": {k: v / n if n else 0.0 for k, v in phases.items()},
+        "fraction": {k: v / turnaround if turnaround else 0.0
+                     for k, v in phases.items()},
+        "dominant": (max(phases, key=phases.get) if turnaround
+                     else None),
+        "chain": {
+            "total_s": chain["total_s"],
+            "phase_totals": chain["phase_totals"],
+            "tasks_on_path": chain["tasks_on_path"],
+            "end_task": chain.get("end_task"),
+            "links": len(chain["segments"]),
+        },
+    }
+
 
 def critical_path(source: Source) -> dict:
     """Where turnaround time goes: queueing vs. stage-in vs. exec.
@@ -227,92 +442,19 @@ def critical_path(source: Source) -> dict:
       it says which phase the end-to-end time actually consists of.
     """
     log = load(source)
-    rows = log.completions(ok=True)
-    phases = {"queued": 0.0, "stage_in": 0.0, "exec": 0.0}
-    for r in rows:
-        phases["queued"] += max(0.0, r["t_dispatch"] - r["t_ready"])
-        phases["stage_in"] += max(0.0, r["t_start"] - r["t_dispatch"])
-        phases["exec"] += max(0.0, r["t_end"] - r["t_start"])
-    turnaround = sum(phases.values())
-    n = len(rows)
-    from .trace import critical_path_chain
-    chain = critical_path_chain(log.records)
-    return {
-        "tasks": n,
-        "makespan": log.makespan,
-        "total_s": dict(phases),
-        "mean_s": {k: v / n if n else 0.0 for k, v in phases.items()},
-        "fraction": {k: v / turnaround if turnaround else 0.0
-                     for k, v in phases.items()},
-        "dominant": (max(phases, key=phases.get) if turnaround
-                     else None),
-        "chain": {
-            "total_s": chain["total_s"],
-            "phase_totals": chain["phase_totals"],
-            "tasks_on_path": chain["tasks_on_path"],
-            "end_task": chain.get("end_task"),
-            "links": len(chain["segments"]),
-        },
-    }
+    return _critical_finalize(log.folds, log.records)
 
 
 # -- tenants ----------------------------------------------------------------
 
-def tenant_breakdown(source: Source) -> dict:
-    """Per-tenant service quality from a multi-tenant facility run.
-
-    Driven by the ``tenant`` field the manager stamps on lifecycle
-    events (plus the facility's SUBMIT/ADMIT/SUBMISSION_DONE edges).
-    Returns ``{"tenants": []}`` for single-tenant logs.
-    """
-    log = load(source)
-    rows: Dict[str, dict] = {}
-
-    def row(tenant: str) -> dict:
-        return rows.setdefault(tenant, {
-            "tenant": tenant, "submissions": 0, "admitted": 0,
-            "queued": 0, "rejected": 0, "tasks_done": 0,
-            "dispatch_waits": [], "turnarounds": [],
-            "peer_cache_bytes": 0.0, "peer_cache_hits": 0,
-            "staged_bytes": 0.0})
-
-    for r in log.by_type.get(ev.SUBMIT, []):
-        row(r["tenant"])["submissions"] += 1
-    for r in log.by_type.get(ev.ADMIT, []):
-        decision = r.get("decision", "admitted")
-        key = {"admitted": "admitted", "queued": "queued",
-               "rejected": "rejected"}.get(decision)
-        if key:
-            row(r["tenant"])[key] += 1
-    for r in log.by_type.get(ev.TASK_DONE, []):
-        tenant = r.get("tenant")
-        if tenant is not None:
-            row(tenant)["tasks_done"] += 1
-    for r in log.by_type.get(ev.DISPATCH, []):
-        tenant = r.get("tenant")
-        if tenant is not None:
-            row(tenant)["dispatch_waits"].append(r.get("waited", 0.0))
-    for r in log.by_type.get(ev.SUBMISSION_DONE, []):
-        row(r["tenant"])["turnarounds"].append(
-            r.get("turnaround", 0.0))
-    for r in log.by_type.get(ev.STAGE_IN, []):
-        tenant = r.get("tenant")
-        if tenant is None:
-            continue
-        nbytes = r.get("nbytes", 0.0)
-        if r.get("cached"):
-            peer = r.get("peer_tenant")
-            if peer is not None and peer != tenant:
-                row(tenant)["peer_cache_bytes"] += nbytes
-                row(tenant)["peer_cache_hits"] += 1
-        else:
-            row(tenant)["staged_bytes"] += nbytes
-
+def _tenants_finalize(folds: Folds) -> dict:
     out = []
-    for tenant in sorted(rows):
-        r = rows.pop(tenant)
-        waits = r.pop("dispatch_waits")
-        turns = r.pop("turnarounds")
+    for tenant in sorted(folds.tenant_rows):
+        src = folds.tenant_rows[tenant]
+        r = {k: v for k, v in src.items()
+             if k not in ("dispatch_waits", "turnarounds")}
+        waits = src["dispatch_waits"]
+        turns = src["turnarounds"]
         r["mean_dispatch_wait_s"] = (float(np.mean(waits))
                                      if waits else None)
         r["p95_dispatch_wait_s"] = (float(np.percentile(waits, 95))
@@ -323,6 +465,16 @@ def tenant_breakdown(source: Source) -> dict:
                                  if turns else None)
         out.append(r)
     return {"tenants": out}
+
+
+def tenant_breakdown(source: Source) -> dict:
+    """Per-tenant service quality from a multi-tenant facility run.
+
+    Driven by the ``tenant`` field the manager stamps on lifecycle
+    events (plus the facility's SUBMIT/ADMIT/SUBMISSION_DONE edges).
+    Returns ``{"tenants": []}`` for single-tenant logs.
+    """
+    return _tenants_finalize(load(source).folds)
 
 
 # -- rendering --------------------------------------------------------------
@@ -469,6 +621,49 @@ SECTIONS = ("summary", "critical-path", "stragglers", "transfers",
             "cache", "tenants")
 
 
+def assemble(folds: Folds, chain_source, top: int = 10,
+             sections: Optional[Iterable[str]] = None) -> dict:
+    """Assemble the report dict from folded state.
+
+    ``chain_source`` is whatever :func:`critical_path_chain` accepts
+    for the same stream: the loaded record list (batch) or a live
+    :class:`~repro.obs.trace.SpanBuilder`.  This is the single
+    assembly path behind both :func:`report_data` and
+    ``LiveAnalyzer.snapshot`` -- sharing it is the streaming == batch
+    guarantee.
+    """
+    wanted = list(sections) if sections else list(SECTIONS)
+    unknown = [s for s in wanted if s not in SECTIONS]
+    if unknown:
+        raise ValueError(f"unknown sections {unknown}; have "
+                         f"{list(SECTIONS)}")
+    out: Dict[str, object] = {
+        "meta": dict(folds.meta),
+        "records": folds.records,
+    }
+    if "summary" in wanted:
+        out["summary"] = {
+            "tasks_ok": len(folds.exec_ok),
+            "tasks_failed": folds.exec_failed,
+            "makespan_s": folds.makespan,
+        }
+    if "critical-path" in wanted:
+        out["critical_path"] = _critical_finalize(folds, chain_source)
+    if "stragglers" in wanted:
+        out["stragglers"] = _stragglers_finalize(folds, top, 2.0)
+    if "transfers" in wanted:
+        out["transfers"] = _transfers_finalize(folds, top)
+    if "cache" in wanted:
+        out["cache"] = _cache_finalize(folds, top)
+    if "tenants" in wanted:
+        tb = _tenants_finalize(folds)
+        out["tenants"] = tb
+        if tb["tenants"]:
+            from .trace import critical_path_by_tenant
+            out["tenant_chains"] = critical_path_by_tenant(chain_source)
+    return out
+
+
 def report_data(source: Source, top: int = 10,
                 sections: Optional[Iterable[str]] = None) -> dict:
     """The report as one JSON-ready dict (the CLI's ``--json`` mode).
@@ -477,37 +672,7 @@ def report_data(source: Source, top: int = 10,
     ``ValueError`` so CI scripts fail loudly on typos.
     """
     log = load(source)
-    wanted = list(sections) if sections else list(SECTIONS)
-    unknown = [s for s in wanted if s not in SECTIONS]
-    if unknown:
-        raise ValueError(f"unknown sections {unknown}; have "
-                         f"{list(SECTIONS)}")
-    out: Dict[str, object] = {
-        "meta": {k: v for k, v in log.meta.items()
-                 if k not in ("type", "t")},
-        "records": len(log.records),
-    }
-    if "summary" in wanted:
-        out["summary"] = {
-            "tasks_ok": len(log.completions(ok=True)),
-            "tasks_failed": len(log.completions(ok=False)),
-            "makespan_s": log.makespan,
-        }
-    if "critical-path" in wanted:
-        out["critical_path"] = critical_path(log)
-    if "stragglers" in wanted:
-        out["stragglers"] = straggler_report(log, top=top)
-    if "transfers" in wanted:
-        out["transfers"] = transfer_hotspots(log, top=top)
-    if "cache" in wanted:
-        out["cache"] = cache_pressure(log, top=top)
-    if "tenants" in wanted:
-        tb = tenant_breakdown(log)
-        out["tenants"] = tb
-        if tb["tenants"]:
-            from .trace import critical_path_by_tenant
-            out["tenant_chains"] = critical_path_by_tenant(log.records)
-    return out
+    return assemble(log.folds, log.records, top=top, sections=sections)
 
 
 def _fmt_opt(value: Optional[float]) -> str:

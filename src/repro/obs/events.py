@@ -57,6 +57,7 @@ __all__ = [
     "FUNCTION_CALL",
     "FUNCTION_RESULT",
     "METRIC_SAMPLE",
+    "SLO_ALERT",
     "RUN",
     "RUN_END",
 ]
@@ -99,6 +100,7 @@ FUNCTION_RESULT = "FUNCTION_RESULT"  # an invocation's result arrived
 
 # -- bookkeeping ------------------------------------------------------------
 METRIC_SAMPLE = "METRIC_SAMPLE"  # periodic gauge snapshot
+SLO_ALERT = "SLO_ALERT"      # an SLO rule changed status (repro.obs.slo)
 RUN = "RUN"                  # transaction-log header
 RUN_END = "RUN_END"          # transaction-log footer
 
@@ -110,7 +112,7 @@ EVENT_TYPES = (
     INJECT, PARTITION,
     WORKER_JOIN, WORKER_PREEMPT, WORKER_LEAVE,
     LIBRARY_START, FUNCTION_CALL, FUNCTION_RESULT,
-    METRIC_SAMPLE, RUN, RUN_END,
+    METRIC_SAMPLE, SLO_ALERT, RUN, RUN_END,
 )
 
 #: subscriber signature: (event_type, sim_time, fields_dict)

@@ -242,6 +242,16 @@ def prometheus_exposition(registry: MetricsRegistry,
                      f"{hist.count}{stamp}")
         lines.append(f"{metric}_sum {hist.total:g}{stamp}")
         lines.append(f"{metric}_count {hist.count}{stamp}")
+        # quantile estimates (bucket upper bounds, like Prometheus'
+        # own histogram_quantile) as a gauge per quantile -- summary
+        # syntax would claim exactness the bucketed data cannot give
+        if hist.count:
+            q_metric = metric + "_quantile"
+            lines.append(f"# TYPE {q_metric} gauge")
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f'{q_metric}{{quantile="{q:g}"}} '
+                    f"{hist.quantile(q):g}{stamp}")
     return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,256 @@
+"""Live streaming telemetry: the analyzer, while the run is going.
+
+The post-hoc analyzer (:mod:`repro.obs.analyze`) answers "why was
+this run slow" from a finished transaction log.  This module answers
+"how is this run going *right now*": a :class:`LiveAnalyzer` is a
+bus subscriber (or txlog tail consumer) that folds every lifecycle
+edge into the same bounded :class:`~repro.obs.analyze.Folds` state
+the batch analyzer uses, plus a causally incremental
+:class:`~repro.obs.trace.SpanBuilder` for the online critical-path
+estimate.  Memory is O(tasks + workers + pairs + tenants), never
+O(records).
+
+**Streaming == batch.**  ``snapshot()`` assembles its sections
+through :func:`repro.obs.analyze.assemble` -- the *same* fold and
+finalize code the batch :func:`~repro.obs.analyze.report_data` runs
+-- so once the stream ends, the live numbers are byte-identical to a
+post-hoc analysis of the same log.  That is the acceptance contract;
+``tests/obs/test_live.py`` pins it on fig14b-scale, chaos, and
+facility runs, including arbitrary prefix splits.
+
+Attach to a live run::
+
+    live = LiveAnalyzer.install(env.trace.bus)   # null stub if off
+    ... run ...
+    print(live.render_dashboard())
+
+or follow a growing log from another process (``python -m repro.obs
+watch run.jsonl --follow``), which tails complete records only --
+see :class:`~repro.obs.txlog.TailReader`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from . import events as ev
+from .analyze import Folds, assemble
+from .trace import SpanBuilder
+
+__all__ = ["LiveAnalyzer", "NullLiveAnalyzer", "NULL_LIVE_ANALYZER"]
+
+
+class NullLiveAnalyzer:
+    """Disabled live analysis: every call is a no-op, no allocation.
+
+    Same zero-overhead contract as
+    :class:`~repro.obs.events.NullBus`: empty ``__slots__``, no
+    per-event state, ``enabled`` lets call sites skip work entirely.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def on_event(self, type: str, t: float, fields: dict) -> None:
+        pass
+
+    def snapshot(self, top: int = 10, sections=None) -> dict:
+        return {}
+
+    def progress(self) -> dict:
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullLiveAnalyzer>"
+
+
+#: shared disabled analyzer; safe because it holds no state.
+NULL_LIVE_ANALYZER = NullLiveAnalyzer()
+
+
+class LiveAnalyzer:
+    """Streaming consumer producing analyzer sections mid-run.
+
+    Feed it one of three ways -- they are interchangeable and
+    mixable, because all three funnel into the same per-event fold:
+
+    * :meth:`install` on an :class:`~repro.obs.events.EventBus`
+      (wildcard subscription; the bus-subscriber signature),
+    * :meth:`on_record` / :meth:`feed` with parsed txlog records
+      (what ``obs watch`` does with a :class:`TailReader`),
+    * :meth:`on_event` directly.
+
+    ``snapshot()`` may be called at any point in the stream and any
+    number of times; it never mutates fold state, so interleaving
+    snapshots with feeding is safe (the prefix-split property test
+    depends on this).
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.folds = Folds()
+        self.spans = SpanBuilder()
+
+    @classmethod
+    def install(cls, bus) -> Union["LiveAnalyzer", NullLiveAnalyzer]:
+        """Subscribe a fresh analyzer to ``bus``; returns the shared
+        :data:`NULL_LIVE_ANALYZER` when the bus is disabled, so the
+        tracing-off path allocates nothing."""
+        if bus is None or not getattr(bus, "enabled", False):
+            return NULL_LIVE_ANALYZER
+        live = cls()
+        bus.subscribe_all(live.on_event)
+        return live
+
+    # -- feeding -------------------------------------------------------------
+    def on_event(self, type: str, t: float, fields: dict) -> None:
+        """Fold one event (the bus-subscriber entry point).
+
+        Note the RUN header never crosses a bus (the txlog writes it
+        in its constructor), so a bus-attached analyzer has empty
+        ``meta`` -- replaying the written log fills it in.
+        """
+        self.folds.records += 1
+        self.folds.add_event(type, t, fields)
+        self.spans.on_event(type, t, fields)
+
+    def on_record(self, record: dict) -> None:
+        self.on_event(record.get("type", "?"), record.get("t", 0.0),
+                      record)
+
+    def feed(self, records: Iterable[dict]) -> int:
+        """Fold a batch of records; returns how many were folded."""
+        n = 0
+        for record in records:
+            self.on_record(record)
+            n += 1
+        return n
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """True once the RUN_END footer has been folded."""
+        return self.folds.footer is not None
+
+    def snapshot(self, top: int = 10,
+                 sections: Optional[Iterable[str]] = None) -> dict:
+        """The analyzer report over everything folded so far.
+
+        Identical structure -- and, after the final record, identical
+        bytes -- to :func:`repro.obs.analyze.report_data` on the
+        written log.
+        """
+        return assemble(self.folds, self.spans, top=top,
+                        sections=sections)
+
+    def progress(self) -> dict:
+        """Cheap headline numbers for a dashboard's top line."""
+        folds = self.folds
+        total = folds.meta.get("tasks")
+        done = len(folds.exec_ok)
+        return {
+            "records": folds.records,
+            "tasks_ok": done,
+            "tasks_failed": folds.exec_failed,
+            "tasks_expected": total,
+            "fraction_done": (done / total if total else None),
+            "makespan_s": folds.makespan,
+            "transfer_gb": folds.transfer_total / 1e9,
+            "evictions": folds.evictions,
+            "recoveries": folds.recoveries,
+            "slo_alerts": len(folds.slo_alerts),
+            "complete": self.complete,
+        }
+
+    # -- rendering -----------------------------------------------------------
+    def render_dashboard(self, top: int = 5,
+                         status=None) -> str:
+        """One refresh-in-place TTY frame (the ``obs watch`` view)."""
+        p = self.progress()
+        lines: List[str] = []
+        frac = p["fraction_done"]
+        bar = ""
+        if frac is not None:
+            frac = min(1.0, frac)
+            filled = int(round(frac * 30))
+            bar = ("[" + "#" * filled + "-" * (30 - filled)
+                   + f"] {frac:6.1%}  ")
+        state = ("complete" if p["complete"] else "running")
+        lines.append(
+            f"{bar}{p['tasks_ok']} ok / {p['tasks_failed']} failed"
+            + (f" of {p['tasks_expected']}" if p["tasks_expected"]
+               else "")
+            + f"   t={p['makespan_s']:.1f}s   {state}")
+        lines.append(
+            f"records {p['records']}   transfers "
+            f"{p['transfer_gb']:.2f} GB   evictions {p['evictions']}"
+            f"   recoveries {p['recoveries']}")
+        if status is not None and (status.skipped
+                                   or status.partial_tail):
+            lines.append("log: " + status.describe())
+
+        snap = self.snapshot(
+            top=top, sections=["critical-path", "stragglers",
+                               "transfers", "cache", "tenants"])
+        cp = snap["critical_path"]
+        if cp["tasks"]:
+            frac_ = cp["fraction"]
+            lines.append(
+                "phases  queued {queued:.1%}  stage-in "
+                "{stage_in:.1%}  exec {exec:.1%}   dominant: "
+                "{dom}".format(queued=frac_["queued"],
+                               stage_in=frac_["stage_in"],
+                               exec=frac_["exec"],
+                               dom=cp["dominant"]))
+            chain = cp["chain"]
+            if chain["tasks_on_path"]:
+                phases = sorted(chain["phase_totals"].items(),
+                                key=lambda kv: -kv[1])
+                lines.append(
+                    f"critical path {chain['total_s']:.1f}s over "
+                    f"{chain['tasks_on_path']} tasks: "
+                    + "  ".join(f"{k} {v:.1f}s"
+                                for k, v in phases[:3]))
+        sr = snap["stragglers"]
+        if sr["stragglers"]:
+            worst = sr["stragglers"][0]
+            lines.append(
+                f"stragglers {sr['straggler_count']}   worst "
+                f"{worst['task']} ({worst['category']}) "
+                f"{worst['ratio']:.1f}x median on worker "
+                f"{worst['worker']}")
+        th = snap["transfers"]
+        if th["top_pairs"]:
+            hot = th["top_pairs"][0]
+            lines.append(
+                f"manager share {th['manager_share']:.1%}   hottest "
+                f"pair {hot['src']}->{hot['dst']} "
+                f"{hot['bytes'] / 1e9:.2f} GB")
+        ca = snap["cache"]
+        if ca["peak_by_worker"]:
+            peak = ca["peak_by_worker"][0]
+            lines.append(
+                f"cache peak {peak['bytes'] / 1e9:.2f} GB on worker "
+                f"{peak['worker']}   evicted "
+                f"{ca['evicted_bytes'] / 1e9:.2f} GB   losses "
+                f"{ca['replica_losses']}")
+        tenants = snap["tenants"]["tenants"]
+        if tenants:
+            busiest = sorted(tenants,
+                             key=lambda r: -r["tasks_done"])[:top]
+            lines.append("tenants  " + "  ".join(
+                f"{r['tenant']}:{r['tasks_done']}"
+                for r in busiest))
+        for alert in self.folds.slo_alerts[-3:]:
+            lines.append(
+                f"SLO {alert.get('status', '?').upper()} "
+                f"{alert.get('rule')} at t={alert.get('t', 0.0):.1f}s"
+                + (f" (value {alert['value']:.3g} vs "
+                   f"{alert['threshold']:.3g})"
+                   if alert.get("value") is not None else ""))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<LiveAnalyzer {self.folds.records} records, "
+                f"t={self.folds.makespan:.1f}>")

@@ -378,12 +378,19 @@ def _records(source: Source) -> Iterable[dict]:
     return source
 
 
-def build_spans(source: Source) -> SpanBuilder:
+def build_spans(source: Source, status=None) -> SpanBuilder:
     """Replay a transaction log (path or record iterable) into a
     :class:`SpanBuilder`.  The resulting forest is identical to what a
-    live :class:`SpanRecorder` on the same run would have built."""
+    live :class:`SpanRecorder` on the same run would have built.
+
+    Truncated logs are handled, not fatal: everything up to the last
+    complete record is folded.  Pass a
+    :class:`~repro.obs.txlog.ReadStatus` to learn where the cut fell.
+    """
     builder = SpanBuilder()
-    for record in _records(source):
+    if isinstance(source, str):
+        source = read_records(source, status)
+    for record in source:
         builder.on_record(record)
     return builder
 

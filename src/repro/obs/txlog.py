@@ -26,13 +26,16 @@ live run works on an archived one.
 from __future__ import annotations
 
 import json
+import os
 import threading
+from dataclasses import dataclass
 from typing import IO, Iterable, Iterator, List, Optional, Union
 
 from ..sim.trace import TaskRecord, TraceRecorder, TransferRecord
 from . import events as ev
 
-__all__ = ["TransactionLog", "read_records", "replay", "run_meta"]
+__all__ = ["TransactionLog", "ReadStatus", "TailReader",
+           "read_records", "replay", "run_meta"]
 
 SCHEMA_VERSION = 1
 
@@ -115,21 +118,142 @@ class TransactionLog:
         self.close()
 
 
-def read_records(path: str) -> Iterator[dict]:
-    """Stream the records of a transaction log from disk.
+@dataclass
+class ReadStatus:
+    """What a (possibly truncated) read of a transaction log covered.
 
-    Blank and truncated trailing lines (a run killed mid-write) are
-    skipped rather than fatal.
+    A live run's log is *always* truncated -- the consumer races the
+    writer -- so truncation is a reportable condition, not an error:
+
+    * ``records`` -- complete records parsed and handed out.
+    * ``skipped`` -- newline-terminated lines that were not valid JSON
+      (corruption mid-file).
+    * ``partial_tail`` -- the file ended inside a record (no trailing
+      newline); the fragment is held back, never guessed at.
+    * ``cut_offset`` -- byte offset just past the last complete record:
+      where analysis stopped, and where a tail reader resumes.
+    * ``complete`` -- the RUN_END footer was seen (the run closed its
+      log; nothing more will arrive).
     """
-    with open(path) as fh:
-        for line in fh:
-            line = line.strip()
+
+    records: int = 0
+    skipped: int = 0
+    partial_tail: bool = False
+    cut_offset: int = 0
+    complete: bool = False
+
+    @property
+    def truncated(self) -> bool:
+        return not self.complete
+
+    def describe(self) -> str:
+        parts = [f"{self.records} records up to byte {self.cut_offset}"]
+        if self.skipped:
+            parts.append(f"{self.skipped} corrupt line(s) skipped")
+        if self.partial_tail:
+            parts.append("partial trailing record held back")
+        return ", ".join(parts)
+
+
+def read_records(path: str,
+                 status: Optional[ReadStatus] = None) -> Iterator[dict]:
+    """Stream the complete records of a transaction log from disk.
+
+    Robust against partial logs (a live run still writing, a run
+    killed mid-write): blank lines and corrupt newline-terminated
+    lines are skipped, and a trailing line without its newline is held
+    back rather than parsed -- the writer appends each record plus the
+    newline in one call, so an unterminated tail is by definition
+    still in flight.  Pass a :class:`ReadStatus` to learn where the
+    read stopped and why.
+    """
+    if status is None:
+        status = ReadStatus()
+    offset = 0
+    with open(path, "rb") as fh:
+        for raw in fh:
+            terminated = raw.endswith(b"\n")
+            offset += len(raw)
+            line = raw.strip()
             if not line:
+                if terminated:
+                    status.cut_offset = offset
+                continue
+            if not terminated:
+                status.partial_tail = True
+                break
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                status.skipped += 1
+                status.cut_offset = offset
+                continue
+            status.records += 1
+            status.cut_offset = offset
+            if record.get("type") == ev.RUN_END:
+                status.complete = True
+            yield record
+
+
+class TailReader:
+    """Incremental reader for a transaction log that is still growing.
+
+    Call :meth:`poll` repeatedly; each call returns the complete
+    records appended since the last call (possibly none).  Partial
+    trailing lines are buffered until their newline arrives, and a
+    log file that does not exist yet simply yields nothing -- so a
+    watcher can be started before the run it watches.  ``status``
+    carries the cumulative :class:`ReadStatus`.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.status = ReadStatus()
+        self._fh: Optional[IO[bytes]] = None
+        self._buf = b""
+
+    def poll(self) -> List[dict]:
+        if self._fh is None:
+            if not os.path.exists(self.path):
+                return []
+            self._fh = open(self.path, "rb")
+        chunk = self._fh.read()
+        if not chunk and not self._buf:
+            return []
+        self._buf += chunk
+        out: List[dict] = []
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline < 0:
+                break
+            line = self._buf[:newline]
+            self._buf = self._buf[newline + 1:]
+            self.status.cut_offset += newline + 1
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                yield json.loads(line)
+                record = json.loads(stripped)
             except json.JSONDecodeError:
+                self.status.skipped += 1
                 continue
+            self.status.records += 1
+            if record.get("type") == ev.RUN_END:
+                self.status.complete = True
+            out.append(record)
+        self.status.partial_tail = bool(self._buf)
+        return out
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TailReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 Source = Union[str, Iterable[dict]]

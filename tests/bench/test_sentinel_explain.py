@@ -1,0 +1,170 @@
+"""Sentinel ``--explain``: a regression verdict ships with a cause.
+
+End-to-end over real transaction logs: the fake runner reports an
+inflated wall time (tripping the regression gate) and hands out
+genuinely different txlogs -- a clean run as the reference, a
+straggler-throttled run of the identical workload + seed as the
+"current" capture -- so the differential diagnosis has a real execute
+inflation to find and name.
+"""
+
+import dataclasses
+import json
+import shutil
+
+import pytest
+
+from repro.bench import sentinel
+from repro.bench.perf import SCHEMA_VERSION
+from repro.bench.runners import build_environment, run_scheduler
+from repro.bench.workloads import build_workflow
+from repro.chaos.scenario import Scenario, StragglerInjection
+from repro.hep.datasets import TABLE2
+
+from tests.bench.test_sentinel import entry
+
+SLOW = Scenario("slow", (
+    StragglerInjection(at=0.05, count=3, slowdown=4.0),
+), seed=13)
+
+
+@pytest.fixture(scope="module")
+def real_logs(tmp_path_factory):
+    """(clean, slowed) txlogs of the same workload + seed."""
+    root = tmp_path_factory.mktemp("logs")
+    clean = str(root / "clean.jsonl")
+    slowed = str(root / "slowed.jsonl")
+    spec = dataclasses.replace(TABLE2["DV3-Small"], name="explain-me",
+                               n_tasks=60, input_bytes=1.5e9)
+    for path, chaos in ((clean, None), (slowed, SLOW)):
+        env = build_environment(6, seed=7, preemption_rate=0.0)
+        workflow = build_workflow(spec, arity=4, seed=7)
+        run_scheduler(env, workflow, "taskvine", txlog_path=path,
+                      chaos=chaos).raise_for_status()
+    return clean, slowed
+
+
+def fake_runner(clean, slowed):
+    """A run_workload stand-in: inflated walls, real txlogs.
+
+    Reference runs get the clean log; timed captures and the explain
+    re-run get the slowed one -- exactly the situation --explain is
+    for.
+    """
+
+    def run(name, label, seed=11, self_profile=False,
+            txlog_path=None):
+        if txlog_path is not None:
+            shutil.copyfile(clean if label == "reference"
+                            else slowed, txlog_path)
+        e = entry(workload=name, wall=1.5, label=label)
+        e["git_sha"] = "deadbeef"
+        e["captured_at"] = "2026-01-01T00:00:00Z"
+        return e
+
+    return run
+
+
+class TestExplain:
+    def baseline_doc(self, tmp_path):
+        doc = {"schema": SCHEMA_VERSION,
+               "entries": [entry(wall=1.0, label="optimized")]}
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def run_cli(self, tmp_path, monkeypatch, real_logs, extra=()):
+        clean, slowed = real_logs
+        monkeypatch.setattr(sentinel, "run_workload",
+                            fake_runner(clean, slowed))
+        monkeypatch.setattr(
+            sentinel, "capture_stamp",
+            lambda name, seed: {"git_sha": "deadbeef",
+                                "captured_at": "2026-01-01T00:00:00Z",
+                                "config_hash": "abc123"})
+        traj = str(tmp_path / "traj.jsonl")
+        code = sentinel.main([
+            "--workloads", "smoke", "--repeats", "3",
+            "--baseline", self.baseline_doc(tmp_path),
+            "--trajectory", traj,
+            "--txlog-dir", str(tmp_path / "txlogs"), *extra])
+        return code, sentinel.read_trajectory(traj)
+
+    def test_regression_gets_an_explanation(self, tmp_path,
+                                            monkeypatch, real_logs,
+                                            capsys):
+        report = str(tmp_path / "diff-report.json")
+        code, rows = self.run_cli(
+            tmp_path, monkeypatch, real_logs,
+            extra=["--explain", "--refresh-refs",
+                   "--diff-report", report])
+        assert code == sentinel.EXIT_REGRESSION
+
+        # the explanation names the inflated phase, in the trajectory
+        # row, on the terminal, and in the diff-report artifact
+        explanation = rows[-1]["workloads"]["smoke"]["explanation"]
+        assert "slower" in explanation
+        assert "execute +" in explanation
+        assert "why: " + explanation in capsys.readouterr().out
+
+        with open(report) as fh:
+            doc = json.load(fh)
+        assert doc["git_sha"] == "deadbeef"
+        diff = doc["diffs"]["smoke"]
+        assert diff["explanation"] == explanation
+        assert diff["phases"]["execute"]["delta_s"] > 0
+
+    def test_missing_reference_reported_not_fatal(self, tmp_path,
+                                                  monkeypatch,
+                                                  real_logs):
+        # --explain without --refresh-refs and no stored reference:
+        # the verdict stands, the explanation says what to do
+        code, rows = self.run_cli(tmp_path, monkeypatch, real_logs,
+                                  extra=["--explain"])
+        assert code == sentinel.EXIT_REGRESSION
+        explanation = rows[-1]["workloads"]["smoke"]["explanation"]
+        assert "no reference txlog" in explanation
+        assert "--refresh-refs" in explanation
+
+    def test_ok_verdict_skips_explain_entirely(self, tmp_path,
+                                               monkeypatch,
+                                               real_logs):
+        clean, slowed = real_logs
+        calls = []
+
+        def quiet_run(name, label, seed=11, self_profile=False,
+                      txlog_path=None):
+            calls.append((label, txlog_path))
+            if txlog_path is not None:
+                shutil.copyfile(clean, txlog_path)
+            e = entry(workload=name, wall=1.0, label=label)
+            e["git_sha"] = "deadbeef"
+            e["captured_at"] = "2026-01-01T00:00:00Z"
+            return e
+
+        monkeypatch.setattr(sentinel, "run_workload", quiet_run)
+        monkeypatch.setattr(
+            sentinel, "capture_stamp",
+            lambda name, seed: {"git_sha": "deadbeef",
+                                "captured_at": "2026-01-01T00:00:00Z",
+                                "config_hash": "abc123"})
+        code = sentinel.main([
+            "--workloads", "smoke", "--repeats", "1",
+            "--baseline", self.baseline_doc(tmp_path),
+            "--trajectory", str(tmp_path / "traj.jsonl"),
+            "--txlog-dir", str(tmp_path / "txlogs"), "--explain"])
+        assert code == sentinel.EXIT_OK
+        assert [label for label, _ in calls] == ["sentinel"], \
+            "no explain re-run when nothing regressed"
+
+    def test_refresh_refs_writes_reference_logs(self, tmp_path,
+                                                monkeypatch,
+                                                real_logs):
+        clean, slowed = real_logs
+        monkeypatch.setattr(sentinel, "run_workload",
+                            fake_runner(clean, slowed))
+        out = sentinel.refresh_reference_txlogs(
+            str(tmp_path / "refs"), ["smoke"], seed=11, log=None)
+        ref = out["smoke"]
+        assert ref.endswith("smoke-seed11.jsonl")
+        assert (open(ref, "rb").read() == open(clean, "rb").read())

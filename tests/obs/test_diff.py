@@ -1,0 +1,164 @@
+"""Differential run diagnosis: the makespan delta gets a cause.
+
+The pinned scenario: the same workload, same seed, run twice -- once
+clean, once with straggler workers throttled to quarter speed.  The
+diff must attribute the slowdown to the execute phase (not
+schedule-wait or stage-in), and the one-line explanation must say so.
+A run diffed against itself must read as unchanged everywhere.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.bench.runners import build_environment, run_scheduler
+from repro.bench.workloads import build_workflow
+from repro.chaos.scenario import Scenario, StragglerInjection
+from repro.hep.datasets import TABLE2
+from repro.obs.__main__ import main as obs_main
+from repro.obs.diff import PHASES, diff_runs, explain_diff, render_diff
+
+SLOW = Scenario("slow", (
+    StragglerInjection(at=0.05, count=3, slowdown=4.0),
+), seed=13)
+
+
+@pytest.fixture(scope="module")
+def diff_pair(tmp_path_factory):
+    """(baseline, slowed) txlogs of the identical workload + seed."""
+    base = str(tmp_path_factory.mktemp("diff") / "base.jsonl")
+    slow = str(tmp_path_factory.mktemp("diff") / "slow.jsonl")
+    spec = dataclasses.replace(TABLE2["DV3-Small"], name="diff-pair",
+                               n_tasks=60, input_bytes=1.5e9)
+    for path, chaos in ((base, None), (slow, SLOW)):
+        env = build_environment(6, seed=7, preemption_rate=0.0)
+        workflow = build_workflow(spec, arity=4, seed=7)
+        run_scheduler(env, workflow, "taskvine", txlog_path=path,
+                      chaos=chaos).raise_for_status()
+    return base, slow
+
+
+class TestDiffRuns:
+    def test_self_diff_is_flat(self, diff_pair):
+        base, _ = diff_pair
+        diff = diff_runs(base, base)
+        assert diff["makespan"]["delta_s"] == 0.0
+        assert diff["tasks"]["common"] == diff["tasks"]["a"]
+        for phase in PHASES:
+            assert diff["phases"][phase]["delta_s"] == 0.0
+        assert "unchanged" in diff["explanation"]
+
+    def test_straggler_slowdown_lands_in_execute(self, diff_pair):
+        base, slow = diff_pair
+        diff = diff_runs(base, slow)
+        assert diff["makespan"]["delta_s"] > 0
+        assert diff["makespan"]["ratio"] > 1.0
+        execute = diff["phases"]["execute"]
+        assert execute["delta_s"] > 0
+        # execute dominates the inflation: throttled workers run the
+        # same work slower, they do not change what was transferred
+        assert execute["delta_s"] > diff["phases"]["stage_in"]["delta_s"]
+
+    def test_explanation_names_execute(self, diff_pair):
+        base, slow = diff_pair
+        diff = diff_runs(base, slow)
+        assert "slower" in diff["explanation"]
+        assert "execute +" in diff["explanation"]
+
+    def test_alignment_survives_missing_tasks(self, diff_pair,
+                                              tmp_path):
+        # cut the candidate short: only the common prefix aligns,
+        # and the counts say what was dropped
+        base, _ = diff_pair
+        records = []
+        with open(base) as fh:
+            lines = fh.readlines()
+        records = lines[: int(len(lines) * 0.5)]
+        cut = tmp_path / "cut.jsonl"
+        cut.write_text("".join(records))
+        diff = diff_runs(base, str(cut))
+        assert diff["tasks"]["b"] < diff["tasks"]["a"]
+        assert diff["tasks"]["common"] == diff["tasks"]["b"]
+
+    def test_per_worker_attribution(self, diff_pair):
+        base, slow = diff_pair
+        diff = diff_runs(base, slow)
+        by_worker = {r["key"]: r for r in diff["by_worker"]}
+        assert any(r["delta_s"] > 0 for r in by_worker.values()), \
+            "the throttled workers must surface in the worker table"
+
+    def test_symmetry(self, diff_pair):
+        base, slow = diff_pair
+        fwd = diff_runs(base, slow)
+        rev = diff_runs(slow, base)
+        assert rev["makespan"]["delta_s"] == pytest.approx(
+            -fwd["makespan"]["delta_s"])
+        assert "faster" in rev["explanation"]
+
+
+class TestExplain:
+    def test_flat_band_tolerance(self):
+        diff = {
+            "makespan": {"a_s": 100.0, "b_s": 101.0, "delta_s": 1.0},
+            "phases": {
+                "schedule_wait": {"a_s": 10.0, "b_s": 10.1,
+                                  "delta_s": 0.1},
+                "stage_in": {"a_s": 20.0, "b_s": 20.0, "delta_s": 0.0},
+                "execute": {"a_s": 70.0, "b_s": 70.9, "delta_s": 0.9},
+            },
+            "category_phases": {},
+        }
+        text = explain_diff(diff, flat_band=0.02)
+        assert "schedule-wait flat" in text
+        assert "stage-in flat" in text
+        assert "execute flat" in text
+
+    def test_concentration_called_out(self):
+        diff = {
+            "makespan": {"a_s": 100.0, "b_s": 140.0, "delta_s": 40.0},
+            "phases": {
+                "schedule_wait": {"a_s": 10.0, "b_s": 10.0,
+                                  "delta_s": 0.0},
+                "stage_in": {"a_s": 20.0, "b_s": 20.0, "delta_s": 0.0},
+                "execute": {"a_s": 70.0, "b_s": 110.0,
+                            "delta_s": 40.0},
+            },
+            "category_phases": {
+                "proc": {"schedule_wait": 0.0, "stage_in": 0.0,
+                         "execute": 36.0},
+                "reduce": {"schedule_wait": 0.0, "stage_in": 0.0,
+                           "execute": 4.0},
+            },
+        }
+        text = explain_diff(diff)
+        assert "execute +57%" in text
+        assert "concentrated in proc (90% of the execute delta)" \
+            in text
+
+
+class TestDiffCli:
+    def test_terminal_report(self, diff_pair, capsys):
+        base, slow = diff_pair
+        assert obs_main(["diff", base, slow]) == 0
+        out = capsys.readouterr().out
+        assert "DIFFERENTIAL DIAGNOSIS" in out
+        assert "execute" in out
+
+    def test_json_mode(self, diff_pair, capsys):
+        base, slow = diff_pair
+        assert obs_main(["diff", base, slow, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["explanation"]
+        assert set(doc["phases"]) == set(PHASES)
+
+    def test_missing_file_exits_2(self, diff_pair, tmp_path, capsys):
+        base, _ = diff_pair
+        assert obs_main(["diff", base,
+                         str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_render_diff_full_report(self, diff_pair):
+        base, slow = diff_pair
+        text = render_diff(diff_runs(base, slow))
+        assert "aggregate phase time over common tasks" in text
+        assert "most-shifted tasks" in text

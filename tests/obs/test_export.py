@@ -135,6 +135,49 @@ class TestPrometheus:
         assert counts == sorted(counts)
         assert counts[-1] == 4           # +Inf sees every observation
 
+    def test_quantile_lines_pinned(self):
+        # 100 observations 0.01..1.00 into decade-ish buckets: the
+        # nearest-rank quantile falls in a known bucket, and the
+        # exported estimate is that bucket's upper bound -- pin the
+        # exact p50/p95/p99 lines, stamps included
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "queue_wait", buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0))
+        for i in range(1, 101):
+            hist.observe(i / 100.0)
+        assert hist.quantile(0.5) == 0.5
+        assert hist.quantile(0.95) == 1.0
+        assert hist.quantile(0.99) == 1.0
+        text = prometheus_exposition(registry, timestamp_s=2.0)
+        lines = text.splitlines()
+        assert "# TYPE repro_queue_wait_quantile gauge" in lines
+        assert 'repro_queue_wait_quantile{quantile="0.5"} 0.5 2000' \
+            in lines
+        assert 'repro_queue_wait_quantile{quantile="0.95"} 1 2000' \
+            in lines
+        assert 'repro_queue_wait_quantile{quantile="0.99"} 1 2000' \
+            in lines
+
+    def test_quantiles_track_the_distribution(self):
+        # a shifted distribution must move the exported quantiles
+        registry = MetricsRegistry()
+        fast = registry.histogram("fast", buckets=(0.1, 1.0, 10.0))
+        slow = registry.histogram("slow", buckets=(0.1, 1.0, 10.0))
+        for _ in range(100):
+            fast.observe(0.05)
+            slow.observe(5.0)
+        text = prometheus_exposition(registry)
+        assert 'repro_fast_quantile{quantile="0.95"} 0.1' \
+            in text.splitlines()
+        assert 'repro_slow_quantile{quantile="0.95"} 10' \
+            in text.splitlines()
+
+    def test_empty_histogram_exports_no_quantiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("idle", buckets=(1.0,))
+        text = prometheus_exposition(registry)
+        assert "_quantile" not in text
+
     def test_gauges_restored_from_samples(self, run_log):
         path, _ = run_log
         registry = registry_from_txlog(path)

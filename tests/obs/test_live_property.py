@@ -1,0 +1,87 @@
+"""Property: the live analyzer is split-invariant.
+
+For ANY prefix split of a transaction log, feeding the prefix,
+snapshotting mid-stream, then feeding the remainder must end in a
+final report byte-identical to a one-shot analysis of the whole log.
+This is the property that makes ``obs watch`` trustworthy: the
+watcher joins/polls at arbitrary byte offsets, and no join point may
+change the final numbers.
+
+Runs over the smoke log (with stamped SLO alerts), the chaos log
+(failed attempts + retries), and the 8-tenant facility log.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs import analyze
+from repro.obs.live import LiveAnalyzer
+
+#: one-shot reports, computed once per session (keyed by log)
+_EXPECTED = {}
+
+
+def expected(name, records):
+    if name not in _EXPECTED:
+        _EXPECTED[name] = json.dumps(
+            analyze.report_data(records), indent=2, sort_keys=True,
+            default=str)
+    return _EXPECTED[name]
+
+
+def check_split(name, records, fraction):
+    split = int(fraction * len(records))
+    live = LiveAnalyzer()
+    live.feed(records[:split])
+    # mid-stream reads must not perturb the fold state
+    live.snapshot(top=7)
+    live.progress()
+    assert live.complete == (split == len(records))
+    live.feed(records[split:])
+    assert live.complete
+    final = json.dumps(live.snapshot(), indent=2, sort_keys=True,
+                       default=str)
+    assert final == expected(name, records)
+
+
+COMMON = dict(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+
+
+@settings(**COMMON)
+@given(fraction=st.floats(0.0, 1.0))
+def test_prefix_split_smoke(smoke_records, fraction):
+    check_split("smoke", smoke_records, fraction)
+
+
+@settings(**COMMON)
+@given(fraction=st.floats(0.0, 1.0))
+def test_prefix_split_chaos(chaos_records, fraction):
+    check_split("chaos", chaos_records, fraction)
+
+
+@settings(**COMMON)
+@given(fraction=st.floats(0.0, 1.0))
+def test_prefix_split_facility(facility8_records, fraction):
+    check_split("facility", facility8_records, fraction)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(cuts=st.lists(st.floats(0.0, 1.0), min_size=2, max_size=5))
+def test_many_way_split_chaos(chaos_records, cuts):
+    # generalization: any partition into consecutive chunks, with a
+    # snapshot between every chunk, converges to the same bytes
+    live = LiveAnalyzer()
+    last = 0
+    for fraction in sorted(cuts):
+        nxt = int(fraction * len(chaos_records))
+        live.feed(chaos_records[last:nxt])
+        live.snapshot(top=3)
+        last = nxt
+    live.feed(chaos_records[last:])
+    final = json.dumps(live.snapshot(), indent=2, sort_keys=True,
+                       default=str)
+    assert final == expected("chaos", chaos_records)

@@ -19,6 +19,10 @@ from repro.bench.runners import build_environment, run_scheduler
 from repro.bench.workloads import build_workflow
 from repro.hep.datasets import TABLE2
 from repro.obs.events import NULL_BUS, NullBus
+from repro.obs.live import (LiveAnalyzer, NULL_LIVE_ANALYZER,
+                            NullLiveAnalyzer)
+from repro.obs.slo import (NULL_SLO_MONITOR, NullSLOMonitor,
+                           SLOMonitor, SLOPolicy)
 from repro.obs.trace import (NULL_SPAN_RECORDER, NullSpanRecorder,
                              SpanRecorder)
 
@@ -96,6 +100,33 @@ class TestNoAllocStubs:
         with pytest.raises(AttributeError):
             NullSpanRecorder().cache = {}
 
+    def test_null_live_analyzer_shared_on_disabled_bus(self):
+        a = LiveAnalyzer.install(NULL_BUS)
+        b = LiveAnalyzer.install(None)
+        assert a is b is NULL_LIVE_ANALYZER
+        assert not a.enabled
+        a.on_event("READY", 0.0, {"task": "x"})    # swallowed
+        assert a.snapshot() == {} and a.progress() == {}
+
+    def test_null_live_analyzer_slotted(self):
+        with pytest.raises(AttributeError):
+            NullLiveAnalyzer().folds = None
+
+    def test_null_slo_monitor_shared_when_off(self):
+        policy = SLOPolicy.from_dict({"rules": [
+            {"name": "d", "kind": "makespan_deadline",
+             "threshold": 1.0}]})
+        a = SLOMonitor.install(policy, NULL_BUS)
+        b = SLOMonitor.install(policy, None)
+        assert a is b is NULL_SLO_MONITOR
+        assert not a.enabled
+        a.on_event("TASK_DONE", 99.0, {})
+        assert a.alerts == () and a.finish() == [] and a.states() == {}
+
+    def test_null_slo_monitor_slotted(self):
+        with pytest.raises(AttributeError):
+            NullSLOMonitor().policy = None
+
     def test_guard_loop_cost_bounded(self):
         # the per-event guard: attribute read + branch.  500k guarded
         # iterations must finish fast in absolute terms -- this fails
@@ -109,3 +140,55 @@ class TestNoAllocStubs:
         elapsed = time.perf_counter() - t0
         assert n == 0
         assert elapsed < 0.5
+
+
+def fig14b_run(with_noop_consumers: bool) -> float:
+    """One fig14b-2400 run; returns wall seconds.
+
+    ``with_noop_consumers`` takes the live-consumer no-op path: a
+    live analyzer and an SLO monitor are installed exactly as
+    ``obs``-aware callers do, but the bus is disabled, so both
+    resolve to the shared null stubs and the run must not fold a
+    single event.
+    """
+    from repro.bench.perf import _fig14b_2400
+
+    live = monitor = None
+    if with_noop_consumers:
+        live = LiveAnalyzer.install(NULL_BUS)
+        monitor = SLOMonitor.install(
+            SLOPolicy.from_file("examples/slo.json"), NULL_BUS)
+        assert live is NULL_LIVE_ANALYZER
+        assert monitor is NULL_SLO_MONITOR
+    t0 = time.perf_counter()
+    stats = _fig14b_2400(3)
+    wall = time.perf_counter() - t0
+    assert stats["tasks"] > 0
+    if live is not None:
+        assert live.progress() == {} and monitor.alerts == ()
+    return wall
+
+
+class TestFig14bLiveNoOp:
+    """The acceptance bound from the live-telemetry PR: with no
+    watchers or SLOs attached, fig14b-2400 stays within 2% of the
+    run that never mentions the live layer.  Fewer repeats than the
+    smoke benchmark (each arm is seconds, not milliseconds), same
+    min-of-N estimator and same escalation on a noisy first round."""
+
+    REPEATS = 2
+
+    def test_fig14b_noop_within_two_percent(self):
+        plain, noop = [], []
+        ratio = float("inf")
+        for _ in range(3):
+            for _ in range(self.REPEATS):
+                plain.append(fig14b_run(False))
+                noop.append(fig14b_run(True))
+            ratio = min(noop) / min(plain)
+            if ratio <= MAX_OVERHEAD:
+                break
+        assert ratio <= MAX_OVERHEAD, (
+            f"live-consumer no-op run {ratio:.3f}x slower than plain "
+            f"(plain {min(plain):.3f}s, no-op {min(noop):.3f}s, "
+            f"{len(noop)} samples per arm)")
