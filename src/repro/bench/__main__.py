@@ -310,6 +310,10 @@ def main(argv: Optional[list] = None) -> int:
         from .sentinel import main as sentinel_main
         return sentinel_main(argv[1:])
     args = build_parser().parse_args(argv)
+    # SIGTERM/SIGINT flush + terminate any open txlog so a stopped
+    # run never leaves an unterminated tail behind (repro.obs.txlog)
+    from ..obs.txlog import install_signal_handlers
+    install_signal_handlers()
     if args.command == "list":
         for name in sorted([*COMMANDS, "perf", "sentinel"]):
             print(name)

@@ -200,6 +200,10 @@ COMMANDS = {"run": _run, "sweep": _sweep, "list": _list}
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    # SIGTERM/SIGINT flush + terminate any open txlog so a stopped
+    # run never leaves an unterminated tail behind (repro.obs.txlog)
+    from ..obs.txlog import install_signal_handlers
+    install_signal_handlers()
     report = COMMANDS[args.command](args)
     print(report)
     if args.command != "list":

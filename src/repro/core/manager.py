@@ -256,6 +256,18 @@ class TaskVineManager:
         self._finished: Event = sim.event()
         self._error: Optional[str] = None
         self.task_failures = 0
+        self._started = False
+        #: task pipelines currently alive, dispatch through commit
+        #: (plus replication pushes).  Zero with dispatch paused means
+        #: quiescent: every dispatched task has either committed to the
+        #: txlog or failed, and nothing new can start.  repro.serve
+        #: pumps on this instead of draining the heap, which always
+        #: holds future background events (worker preemption clocks).
+        self.inflight = 0
+        #: while True the dispatch loop assigns no new tasks; running
+        #: tasks drain normally.  repro.serve raises this as the
+        #: checkpoint barrier: paused + inflight == 0 is quiescent.
+        self.paused = False
 
         # dataset inputs live on shared storage from the start
         for name, file in workflow.files.items():
@@ -263,19 +275,36 @@ class TaskVineManager:
                 self.replicas.add(name, storage.node_id)
 
     # -- public entry -----------------------------------------------------------
-    def run(self, limit: Optional[float] = None) -> RunResult:
-        """Execute the workflow to completion; returns the run record."""
+    def start(self) -> None:
+        """Begin executing without driving the clock.
+
+        Enqueues the initial ready frontier and spawns the dispatch
+        loop; the caller then advances the simulation itself (the
+        resumable kernel entry point: :class:`repro.serve` pumps the
+        event heap in slices between submissions).  :meth:`run` is
+        exactly ``start()`` + ``run_until_complete``.  Idempotent.
+        """
+        if self._started:
+            return
         if not self.agents and not self.cluster.workers:
             raise SchedulerError("no workers provisioned")
+        self._started = True
         for task_id in self.workflow.initial_ready():
             self._enqueue(task_id)
         self.sim.process(self._dispatch_loop(), name="manager-dispatch")
+
+    def run(self, limit: Optional[float] = None) -> RunResult:
+        """Execute the workflow to completion; returns the run record."""
+        self.start()
         try:
             self.sim.run_until_complete(self._finished, limit=limit)
             completed = self._error is None
         except Exception as exc:  # propagate as structured failure
             completed = False
             self._error = self._error or repr(exc)
+        return self._run_result(completed)
+
+    def _run_result(self, completed: bool) -> RunResult:
         return RunResult(
             completed=completed,
             makespan=self.trace.makespan if completed else self.sim.now,
@@ -284,6 +313,31 @@ class TaskVineManager:
             task_failures=self.task_failures,
             error=self._error,
         )
+
+    def result(self) -> RunResult:
+        """Structured outcome of a pumped run (no clock driving):
+        what :meth:`run` would have returned at this point."""
+        return self._run_result(self._finished.triggered
+                                and self._error is None)
+
+    @property
+    def finished(self) -> bool:
+        """True once the workflow completed or the run aborted."""
+        return self._finished.triggered
+
+    # -- dispatch barrier (repro.serve checkpointing) -----------------------
+    def pause_dispatch(self) -> None:
+        """Stop assigning new tasks; running tasks drain normally.
+
+        With arrivals also held, pumping the heap dry reaches a
+        quiescent point -- no task running, no transfer in flight --
+        which is where a checkpoint is an exact state capture.
+        """
+        self.paused = True
+
+    def resume_dispatch(self) -> None:
+        self.paused = False
+        self._wake_dispatcher()
 
     # -- agents ------------------------------------------------------------------
     def _add_agent(self, node: WorkerNode) -> None:
@@ -402,6 +456,46 @@ class TaskVineManager:
             self._finished.succeed()
         self._wake_dispatcher()
 
+    def restore_committed(self, done_ids: Iterable[str],
+                          replica_nodes: Dict[str, Iterable[int]],
+                          cache_entries: Dict[int, list]) -> None:
+        """Prime manager state from a checkpoint (repro.serve restore).
+
+        ``done_ids`` are tasks whose outputs were committed before the
+        checkpoint: they join ``done`` and never re-execute.
+        ``replica_nodes`` maps file name -> holder node ids at the
+        checkpoint; ``cache_entries`` maps node id -> ``(name, size,
+        retain)`` rows.  Worker caches are rebuilt through the normal
+        :meth:`WorkerAgent.reserve` path so CACHE_PUT events land in
+        the new epoch's txlog -- downstream folds (tenant cache
+        accounting, cache-pressure analysis) then see exactly the
+        restored occupancy.  Call after the workflow holds the restored
+        tasks and before :meth:`submission_added` recomputes readiness.
+        """
+        self.done.update(done_ids)
+        for node_id, entries in cache_entries.items():
+            node_id = int(node_id)
+            if node_id == MANAGER_NODE:
+                for name, size, _retain in entries:
+                    self.trace.cache(MANAGER_NODE, self.sim.now, size,
+                                     name=name)
+                continue
+            agent = self.agents.get(node_id)
+            if agent is None:
+                continue
+            for name, size, retain in entries:
+                agent.reserve(name, size, retain=bool(retain))
+        known = self.workflow.files
+        for name, nodes in replica_nodes.items():
+            if name not in known:
+                continue
+            for node_id in nodes:
+                node_id = int(node_id)
+                if (node_id == MANAGER_NODE
+                        or node_id == self.storage.node_id
+                        or node_id in self.agents):
+                    self.replicas.add(name, node_id)
+
     # -- dispatch loop ------------------------------------------------------
     def _workflow_complete(self) -> bool:
         return (not self.hold_open
@@ -421,7 +515,7 @@ class TaskVineManager:
         available = self.replicas.available
         while not self._workflow_complete() and self._error is None:
             progressed = False
-            while ready_queue and free_workers:
+            while not self.paused and ready_queue and free_workers:
                 task_id = ready_queue.pop()
                 if task_id is None:
                     # tasks are pending but none is eligible (e.g. every
@@ -569,6 +663,13 @@ class TaskVineManager:
 
     # -- task execution -----------------------------------------------------
     def _run_task(self, task: SimTask, agent: WorkerAgent):
+        self.inflight += 1
+        try:
+            yield from self._task_pipeline(task, agent)
+        finally:
+            self.inflight -= 1
+
+    def _task_pipeline(self, task: SimTask, agent: WorkerAgent):
         sim = self.sim
         t_dispatch = sim._now
         t_ready = self.ready_time.get(task.id, t_dispatch)
@@ -927,6 +1028,45 @@ class TaskVineManager:
                                   file=name, nbytes=size,
                                   t_start=t_retr,
                                   **self._tenant_kw(task.id))
+        if task.dynamic_outputs:
+            yield from self._store_dynamic_outputs(task, agent)
+
+    def _store_dynamic_outputs(self, task: SimTask, agent: WorkerAgent):
+        """Commit the task's runtime-discovered result files.
+
+        Each (name, size) pair is registered with the workflow on
+        first commit (producer + lineage cachename, so recovery and
+        peer-cache equivalence work), announced as OUTPUT_DISCOVERED,
+        and retrieved to the manager like any declared final output.
+        Re-commits after lineage recovery skip the announcement.
+        """
+        register = getattr(self.workflow, "register_dynamic", None)
+        node_id = agent.node_id
+        for name, size in task.dynamic_outputs:
+            fresh = name not in self.workflow.files
+            if register is not None:
+                register(task.id, name, size)
+            self._sizes[name] = size
+            self.final_files.add(name)
+            agent.reserve(name, size, retain=True)
+            yield agent.node.disk.write(size)
+            self.replicas.add(name, node_id)
+            if fresh and self.bus.enabled:
+                self.bus.emit(obs.OUTPUT_DISCOVERED, self.sim.now,
+                              task=task.id, file=name, nbytes=size,
+                              worker=node_id,
+                              **self._tenant_kw(task.id))
+            t_retr = self.sim.now
+            yield from self._manager_transfer(
+                node_id, MANAGER_NODE, size, "result")
+            self.replicas.add(name, MANAGER_NODE)
+            self.trace.cache(MANAGER_NODE, self.sim.now, size,
+                             name=name)
+            if self.bus.enabled:
+                self.bus.emit(obs.RETRIEVE, self.sim.now,
+                              task=task.id, worker=node_id,
+                              file=name, nbytes=size, t_start=t_retr,
+                              **self._tenant_kw(task.id))
 
     def _manager_transfer(self, src: int, dst: int, size: float,
                           kind: str):
@@ -966,6 +1106,15 @@ class TaskVineManager:
 
     def _replicate_proc(self, name: str, size: float,
                         source: WorkerAgent, target: WorkerAgent):
+        self.inflight += 1
+        try:
+            yield from self._replicate_pipeline(name, size, source,
+                                                target)
+        finally:
+            self.inflight -= 1
+
+    def _replicate_pipeline(self, name: str, size: float,
+                            source: WorkerAgent, target: WorkerAgent):
         try:
             if target.has(name) or name in target.inflight:
                 return

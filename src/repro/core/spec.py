@@ -31,12 +31,23 @@ class SimTask:
     category: str = "proc"              # "proc" | "accum" | free-form
     function: str = ""                  # serverless routing (library fn)
     cores: int = 1                      # resource requirement
+    #: (name, size) result files the task produces *beyond* its
+    #: declared outputs -- nothing in the DAG consumes them, so they
+    #: are registered only when the task commits (the parsl
+    #: DataFuture/DynamicFileList pattern: tasks appending result
+    #: files the submitter learns about through futures).
+    dynamic_outputs: Tuple[Tuple[str, float], ...] = ()
 
     def __post_init__(self):
         if self.compute < 0:
             raise ValueError(f"task {self.id!r} has negative compute")
         if self.cores < 1:
             raise ValueError(f"task {self.id!r} needs >= 1 core")
+        for name, size in self.dynamic_outputs:
+            if size < 0:
+                raise ValueError(
+                    f"task {self.id!r} dynamic output {name!r} "
+                    f"has negative size")
 
 
 class SimWorkflow:
@@ -82,6 +93,12 @@ class SimWorkflow:
             if file.kind != FileKind.INPUT and name not in self.producer:
                 raise WorkflowError(
                     f"{file.kind} file {name!r} has no producer")
+        for task in self.tasks.values():
+            for name, _size in task.dynamic_outputs:
+                if name in self.files:
+                    raise WorkflowError(
+                        f"task {task.id!r} dynamic output {name!r} "
+                        f"collides with a declared file")
         self._check_acyclic()
         #: content-addressed identities, computed once
         self.cachenames: Dict[str, str] = {}
@@ -94,6 +111,25 @@ class SimWorkflow:
                 lineage = [self.cachenames[parent]
                            for parent in self.tasks[producer_id].inputs]
             self.cachenames[name] = cachename(name, file.size, lineage)
+
+    # -- dynamic outputs (repro.serve) -------------------------------------
+    def register_dynamic(self, task_id: str, name: str,
+                         size: float) -> None:
+        """Register a runtime-discovered output of ``task_id``.
+
+        Called by the manager when the producing task commits: the file
+        becomes a final OUTPUT with full lineage identity, so staging,
+        retrieval and recovery treat it exactly like a declared result.
+        Idempotent per name (re-commits after lineage recovery).
+        """
+        if name in self.files:
+            return
+        self.files[name] = SimFile(name, size, FileKind.OUTPUT)
+        self.producer[name] = task_id
+        self.consumers[name] = set()
+        lineage = [self.cachenames[parent]
+                   for parent in self.tasks[task_id].inputs]
+        self.cachenames[name] = cachename(name, size, lineage)
 
     # -- structure -------------------------------------------------------------
     def task_dependencies(self, task_id: str) -> Set[str]:

@@ -5,17 +5,25 @@ Usage::
     python -m repro.facility --tenants 4 --arrival poisson:0.05 \\
         --workload DV3-Small --scale 0.05 --workers 8
     python -m repro.facility --discipline fifo --txlog facility.jsonl
+    python -m repro.facility --json > report.json
 
 Every tenant submits the same (scaled) Table II workload, so the run
 also exercises the cross-tenant shared cache; the report's slowdown
 column is measured against one isolated run of the same DAG on an
 identical idle cluster (skip with ``--no-baseline``).
+
+Exit codes (the :mod:`repro.obs` CLI convention):
+
+* 0 -- the campaign completed; every admitted submission finished.
+* 2 -- unreadable input (unknown workload, bad arrival replay file).
+* 3 -- the campaign ran but did not complete.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 from typing import Optional
 
@@ -24,16 +32,23 @@ from ..bench.workloads import build_arrivals, build_workflow, \
     make_schedule
 from ..bench import calibration as cal
 from ..hep.datasets import TABLE2
+from ..obs.txlog import install_signal_handlers
 from .facility import Facility
-from .report import render_facility_report
+from .report import facility_report_data, render_facility_report
 from .tenant import Tenant, TenantQuota
+
+EXIT_OK = 0
+EXIT_UNREADABLE = 2
+EXIT_INCOMPLETE = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.facility",
         description="Run a multi-tenant arrival trace on one shared "
-                    "manager and print the fairness/SLO report.")
+                    "manager and print the fairness/SLO report.",
+        epilog="exit codes: 0 completed, 2 unreadable input, "
+               "3 campaign incomplete")
     parser.add_argument("--tenants", type=int, default=4,
                         help="number of concurrent tenants (default 4)")
     parser.add_argument("--arrival", default="poisson:0.05",
@@ -66,16 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-baseline", action="store_true",
                         help="skip the isolated baseline run (slowdown "
                              "falls back to fastest observed turnaround)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the report as one JSON document "
+                             "(repro.obs --json conventions)")
     return parser
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    install_signal_handlers()
     try:
         spec = TABLE2[args.workload]
     except KeyError:
-        raise SystemExit(f"unknown workload {args.workload!r}; "
-                         f"have {sorted(TABLE2)}")
+        print(f"error: unknown workload {args.workload!r}; "
+              f"have {sorted(TABLE2)}", file=sys.stderr)
+        return EXIT_UNREADABLE
     if args.scale != 1.0:
         spec = dataclasses.replace(
             spec, name=f"{spec.name}-x{args.scale:g}",
@@ -87,8 +107,12 @@ def main(argv: Optional[list] = None) -> int:
     tenant_names = [f"t{i}" for i in range(args.tenants)]
     quota = TenantQuota(inflight_tasks=args.inflight_quota)
     tenants = [Tenant(name, quota=quota) for name in tenant_names]
-    schedule = make_schedule(args.arrival, tenant_names,
-                             args.submissions, seed=args.seed)
+    try:
+        schedule = make_schedule(args.arrival, tenant_names,
+                                 args.submissions, seed=args.seed)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_UNREADABLE
     arrivals = build_arrivals(schedule, lambda tenant: workflow,
                               tag_for=lambda tenant: spec.name)
 
@@ -108,6 +132,10 @@ def main(argv: Optional[list] = None) -> int:
                     "submissions_per_tenant": args.submissions},
         slo_policy=args.slo)
     result = facility.run(arrivals)
+    if args.json:
+        print(json.dumps(facility_report_data(result, baselines),
+                         indent=2, sort_keys=True, default=str))
+        return EXIT_OK if result.completed else EXIT_INCOMPLETE
     print(render_facility_report(result, baselines))
     slo = getattr(result, "slo_monitor", None)
     if slo is not None and slo.enabled:
@@ -119,7 +147,7 @@ def main(argv: Optional[list] = None) -> int:
         print(_tenant_chains(args.txlog))
         print(f"\ntransaction log -> {args.txlog} "
               f"(analyze: python -m repro.obs {args.txlog})")
-    return 0 if result.completed else 1
+    return EXIT_OK if result.completed else EXIT_INCOMPLETE
 
 
 def _tenant_chains(txlog_path: str) -> str:

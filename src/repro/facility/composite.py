@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from ..core.files import FileKind, SimFile
+from ..core.files import FileKind, SimFile, cachename
 from ..core.spec import SimTask, SimWorkflow, WorkflowError
 
 __all__ = ["CompositeWorkflow"]
@@ -75,7 +75,10 @@ class CompositeWorkflow:
             self.tasks[phys] = replace(
                 task, id=phys,
                 inputs=tuple(prefix + n for n in task.inputs),
-                outputs=tuple(prefix + n for n in task.outputs))
+                outputs=tuple(prefix + n for n in task.outputs),
+                dynamic_outputs=tuple(
+                    (prefix + n, size)
+                    for n, size in task.dynamic_outputs))
             self._dependents[phys] = set()
             self._tenant_by_task[phys] = tenant
             self._submission_by_task[phys] = submission_id
@@ -94,6 +97,24 @@ class CompositeWorkflow:
         self._final.update(
             prefix + name for name in workflow.final_files())
         return task_ids, file_names
+
+    def register_dynamic(self, task_id: str, name: str,
+                         size: float) -> None:
+        """Register a runtime-discovered output under its producing
+        task's tenant namespace (``name`` is already physical: the
+        manager sees only prefixed task specs).  Idempotent."""
+        if name in self.files:
+            return
+        self.files[name] = SimFile(name, size, FileKind.OUTPUT)
+        self.producer[name] = task_id
+        self.consumers[name] = set()
+        lineage = [self.cachenames[parent]
+                   for parent in self.tasks[task_id].inputs]
+        visible = cachename(name, size, lineage)
+        self.cachenames[name] = visible
+        self._by_content.setdefault(visible, []).append(name)
+        self._tenant_by_file[name] = self._tenant_by_task[task_id]
+        self._final.add(name)
 
     # -- SimWorkflow surface ------------------------------------------------
     def task_dependencies(self, task_id: str) -> Set[str]:

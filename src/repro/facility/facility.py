@@ -165,6 +165,7 @@ class Facility:
                  config: Optional[SchedulerConfig] = None,
                  txlog_path: Optional[str] = None,
                  txlog_meta: Optional[dict] = None,
+                 txlog: Optional[TransactionLog] = None,
                  placement: str = "shared-cache",
                  slo_policy=None,
                  **discipline_kwargs):
@@ -207,7 +208,10 @@ class Facility:
         self.manager.on_task_done = self._task_done
 
         self.txlog: Optional[TransactionLog] = None
-        if txlog_path is not None:
+        if txlog is not None:
+            self.txlog = txlog
+            self.txlog.attach(bus)
+        elif txlog_path is not None:
             meta = {"scheduler": "taskvine",
                     "facility": True,
                     "discipline": discipline,
@@ -386,6 +390,100 @@ class Facility:
         else:
             stats.staged_bytes += nbytes
 
+    # -- service hooks (repro.serve) ----------------------------------------
+    def begin_service(self) -> None:
+        """Start the manager without driving the clock.
+
+        The serve front-end then pumps the simulation itself,
+        interleaving :meth:`submit` calls with heap slices -- the
+        always-on counterpart of :meth:`run`'s arrival replay.
+        """
+        self.manager.start()
+
+    def end_of_arrivals(self) -> None:
+        """No submission will ever arrive again (service shutdown):
+        once the backlog drains, the manager may complete."""
+        self._arrivals_done = True
+        self._maybe_close()
+
+    def restore_submission(self, sid: str, tenant: str, tag: str,
+                           t_submit: float, workflow: SimWorkflow,
+                           done_tasks: Sequence[str] = (),
+                           t_admit: Optional[float] = None,
+                           t_done: Optional[float] = None,
+                           queued: bool = False):
+        """Re-admit a checkpointed submission under its original id.
+
+        Rebuilds the composite namespace and per-tenant bookkeeping
+        exactly as the original admission did, minus the work already
+        committed (``done_tasks``, physical ids).  Does *not* notify
+        the manager: the restore path primes committed state first and
+        then calls ``manager.submission_added`` once for all restored
+        submissions.  ``queued`` re-enters the submission into the
+        tenant's admission backlog instead (it was waiting at the
+        checkpoint); the normal drain path admits it later.  Returns
+        ``(task_ids, file_names)``, empty for queued submissions.
+        """
+        if tenant not in self.tenants:
+            raise ValueError(f"unknown tenant {tenant!r}")
+        seq = int(sid.rsplit(".", 1)[-1])
+        if seq >= self._seq[tenant]:
+            self._seq[tenant] = seq + 1
+        stats = self.tenant_stats[tenant]
+        if queued:
+            sub = Submission(sid=sid, tenant=tenant, tag=tag,
+                             n_tasks=len(workflow.tasks),
+                             t_submit=t_submit, workflow=workflow)
+            self.submissions[sid] = sub
+            self._backlog[tenant].append(sid)
+            stats.submitted += 1
+            stats.queued += 1
+            return [], []
+        task_ids, file_names = self.composite.extend(
+            tenant, sid, workflow)
+        done = set(done_tasks)
+        sub = Submission(sid=sid, tenant=tenant, tag=tag,
+                         n_tasks=len(task_ids), t_submit=t_submit,
+                         t_admit=(t_submit if t_admit is None
+                                  else t_admit),
+                         t_done=t_done,
+                         pending=set(task_ids) - done)
+        self.submissions[sid] = sub
+        stats.submitted += 1
+        stats.admitted += 1
+        stats.admission_waits.append(sub.admission_wait)
+        stats.tasks_done += len(done)
+        if t_done is not None:
+            stats.turnarounds.append(sub.turnaround)
+        return task_ids, file_names
+
+    def finalize(self, run: RunResult) -> FacilityResult:
+        """Judge SLOs, close the txlog, and assemble the result."""
+        if self.slo_monitor is not None:
+            # judged before the close so final alerts are in-log
+            self.slo_monitor.finish(makespan=run.makespan)
+        if self.txlog is not None:
+            self.txlog.close(completed=run.completed,
+                             makespan=run.makespan,
+                             tasks_done=run.tasks_done,
+                             task_failures=run.task_failures,
+                             error=run.error)
+        result = FacilityResult(
+            run=run, discipline=self.discipline_name,
+            submissions=self.submissions, decisions=self.decisions,
+            tenant_stats=self.tenant_stats)
+        if self.slo_monitor is not None:
+            result.slo_monitor = self.slo_monitor
+        return result
+
+    def abort(self, exc: BaseException) -> None:
+        """Close observers after a failed drive (txlog marked failed)."""
+        if self.slo_monitor is not None:
+            # judged before the close so final alerts are in-log
+            self.slo_monitor.finish()
+        if self.txlog is not None:
+            self.txlog.close(completed=False, error=repr(exc))
+
     # -- driving ------------------------------------------------------------
     def run(self, arrivals, limit: float = 5e5,
             chaos=None,
@@ -416,29 +514,11 @@ class Facility:
         try:
             run = self.manager.run(limit=limit)
         except Exception as exc:
-            if self.slo_monitor is not None:
-                # judged before the close so final alerts are in-log
-                self.slo_monitor.finish()
-            if self.txlog is not None:
-                self.txlog.close(completed=False, error=repr(exc))
+            self.abort(exc)
             raise
-        if self.slo_monitor is not None:
-            # judged before the close so final alerts are in-log
-            self.slo_monitor.finish(makespan=run.makespan)
-        if self.txlog is not None:
-            self.txlog.close(completed=run.completed,
-                             makespan=run.makespan,
-                             tasks_done=run.tasks_done,
-                             task_failures=run.task_failures,
-                             error=run.error)
-        result = FacilityResult(
-            run=run, discipline=self.discipline_name,
-            submissions=self.submissions, decisions=self.decisions,
-            tenant_stats=self.tenant_stats)
+        result = self.finalize(run)
         if injector is not None:
             result.run.chaos_injections = injector.fired
-        if self.slo_monitor is not None:
-            result.slo_monitor = self.slo_monitor
         return result
 
     def _arrival_proc(self, arrivals):

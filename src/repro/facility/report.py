@@ -22,6 +22,7 @@ __all__ = [
     "percentile",
     "tenant_slowdowns",
     "fairness_summary",
+    "facility_report_data",
     "render_facility_report",
 ]
 
@@ -131,6 +132,23 @@ def fairness_summary(result: FacilityResult,
         "staged_gb_total": result.staged_bytes_total() / 1e9,
         "peer_cache_gb_total": result.peer_cache_bytes_total() / 1e9,
     }
+
+
+def facility_report_data(result: FacilityResult,
+                         baselines: Optional[Dict[str, float]] = None
+                         ) -> Dict[str, object]:
+    """The complete machine-readable facility report: the fairness
+    summary plus run accounting and the SLO monitor's state block
+    (when one was attached).  ``python -m repro.facility --json``
+    prints exactly this document."""
+    data = fairness_summary(result, baselines)
+    data["tasks_done"] = result.run.tasks_done
+    data["task_failures"] = result.run.task_failures
+    data["error"] = result.run.error
+    slo = getattr(result, "slo_monitor", None)
+    if slo is not None and getattr(slo, "enabled", False):
+        data["slo"] = slo.summary()
+    return data
 
 
 def _fmt(value, digits: int = 2) -> str:

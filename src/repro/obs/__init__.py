@@ -46,12 +46,14 @@ from .metrics import (
     install_standard_gauges,
 )
 from .txlog import (ReadStatus, TailReader, TransactionLog,
+                    close_open_logs, install_signal_handlers,
                     read_records, replay, run_meta)
 
 __all__ = [
     "EventBus", "NullBus", "NULL_BUS", "EVENT_TYPES",
     "TransactionLog", "read_records", "replay", "run_meta",
     "ReadStatus", "TailReader",
+    "install_signal_handlers", "close_open_logs",
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "Sampler",
     "install_standard_gauges",
     # lazily resolved from repro.obs.analyze:

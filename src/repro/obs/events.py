@@ -35,6 +35,9 @@ __all__ = [
     "SUBMIT",
     "ADMIT",
     "SUBMISSION_DONE",
+    "OUTPUT_DISCOVERED",
+    "CHECKPOINT",
+    "RESTORE",
     "READY",
     "DISPATCH",
     "STAGE_IN",
@@ -66,6 +69,11 @@ __all__ = [
 SUBMIT = "SUBMIT"            # a tenant handed a DAG to the facility
 ADMIT = "ADMIT"              # admission decision (admitted/queued/rejected)
 SUBMISSION_DONE = "SUBMISSION_DONE"  # all tasks of one submission done
+
+# -- always-on service (repro.serve) ----------------------------------------
+OUTPUT_DISCOVERED = "OUTPUT_DISCOVERED"  # a task produced an undeclared file
+CHECKPOINT = "CHECKPOINT"    # service state snapshot stamped into the log
+RESTORE = "RESTORE"          # a new epoch resumed from a checkpoint
 
 # -- task lifecycle edges ---------------------------------------------------
 READY = "READY"              # task entered the ready queue
@@ -106,6 +114,7 @@ RUN_END = "RUN_END"          # transaction-log footer
 
 EVENT_TYPES = (
     SUBMIT, ADMIT, SUBMISSION_DONE,
+    OUTPUT_DISCOVERED, CHECKPOINT, RESTORE,
     READY, DISPATCH, STAGE_IN, EXEC_START, EXEC_END, TASK_DONE,
     RETRIEVE,
     CACHE_PUT, CACHE_EVICT, TRANSFER, REPLICA_LOST, RECOVERY, CRASH,

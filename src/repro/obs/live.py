@@ -91,6 +91,13 @@ class LiveAnalyzer:
     def __init__(self):
         self.folds = Folds()
         self.spans = SpanBuilder()
+        #: epoch of the stream (repro.serve restore chains); None for
+        #: single-epoch logs written before the serve facility existed
+        self.epoch: Optional[int] = None
+        #: CHECKPOINT records seen, newest last
+        self.checkpoints: List[dict] = []
+        #: RESTORE records seen, newest last
+        self.restores: List[dict] = []
 
     @classmethod
     def install(cls, bus) -> Union["LiveAnalyzer", NullLiveAnalyzer]:
@@ -114,6 +121,15 @@ class LiveAnalyzer:
         self.folds.records += 1
         self.folds.add_event(type, t, fields)
         self.spans.on_event(type, t, fields)
+        # serve lifecycle markers: tracked here, outside Folds, so the
+        # streaming == batch snapshot identity is untouched
+        if type == ev.RUN and fields.get("epoch") is not None:
+            self.epoch = fields["epoch"]
+        elif type == ev.CHECKPOINT:
+            self.checkpoints.append(dict(fields, t=t))
+        elif type == ev.RESTORE:
+            self.epoch = fields.get("epoch", self.epoch)
+            self.restores.append(dict(fields, t=t))
 
     def on_record(self, record: dict) -> None:
         self.on_event(record.get("type", "?"), record.get("t", 0.0),
@@ -161,6 +177,11 @@ class LiveAnalyzer:
             "recoveries": folds.recoveries,
             "slo_alerts": len(folds.slo_alerts),
             "complete": self.complete,
+            "epoch": self.epoch,
+            "checkpoints": len(self.checkpoints),
+            "last_checkpoint_t": (self.checkpoints[-1]["t"]
+                                  if self.checkpoints else None),
+            "restores": len(self.restores),
         }
 
     # -- rendering -----------------------------------------------------------

@@ -169,6 +169,9 @@ class NullSLOMonitor:
     def on_event(self, type: str, t: float, fields: dict) -> None:
         pass
 
+    def prime(self, tasks_done: int, t: float = 0.0) -> None:
+        pass
+
     def finish(self, t: Optional[float] = None) -> list:
         return []
 
@@ -232,6 +235,20 @@ class SLOMonitor:
     def on_record(self, record: dict) -> None:
         self.on_event(record.get("type", "?"), record.get("t", 0.0),
                       record)
+
+    def prime(self, tasks_done: int, t: float = 0.0) -> None:
+        """Seed progress committed before this monitor attached.
+
+        A restored service (:mod:`repro.serve`) resumes mid-campaign:
+        tasks finished in earlier epochs never cross this epoch's bus,
+        so without priming a ``makespan_deadline`` projection would
+        divide elapsed time by near-zero progress and cry wolf.
+        """
+        if t > self.last_t:
+            self.last_t = t
+        for state in self._states:
+            if state.rule.kind == "makespan_deadline":
+                state.tasks_done += tasks_done
 
     # -- per-kind checks -----------------------------------------------------
     def _check_makespan(self, state: _RuleState, t: float,

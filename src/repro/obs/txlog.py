@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import json
 import os
+import signal as _signal
 import threading
+import weakref
 from dataclasses import dataclass
 from typing import IO, Iterable, Iterator, List, Optional, Union
 
@@ -35,9 +37,14 @@ from ..sim.trace import TaskRecord, TraceRecorder, TransferRecord
 from . import events as ev
 
 __all__ = ["TransactionLog", "ReadStatus", "TailReader",
-           "read_records", "replay", "run_meta"]
+           "read_records", "replay", "run_meta",
+           "install_signal_handlers", "close_open_logs"]
 
 SCHEMA_VERSION = 1
+
+#: every open TransactionLog, for the graceful-shutdown signal path.
+#: Weak so a dropped log never leaks through this registry.
+_OPEN_LOGS: "weakref.WeakSet[TransactionLog]" = weakref.WeakSet()
 
 
 def _coerce(value):
@@ -59,19 +66,32 @@ class TransactionLog:
     """
 
     def __init__(self, path: Optional[str] = None, meta: Optional[dict] = None,
-                 fh: Optional[IO[str]] = None):
+                 fh: Optional[IO[str]] = None,
+                 epoch: Optional[int] = None,
+                 autoflush: bool = False):
         if (path is None) == (fh is None):
             raise ValueError("pass exactly one of path or fh")
         self.path = path
         self._fh = fh if fh is not None else open(path, "w")
         self._owns_fh = fh is None
-        self._lock = threading.Lock()
+        # reentrant: the graceful-shutdown signal handler may close the
+        # log while this same thread is inside _write
+        self._lock = threading.RLock()
         self._closed = False
+        self._mid_write = False
+        self._autoflush = autoflush
         self.records_written = 0
         self.last_t = 0.0
+        self.epoch = epoch
         header = {"type": ev.RUN, "t": 0.0, "schema": SCHEMA_VERSION}
+        if epoch is not None:
+            # service epochs (repro.serve): epoch N+1 resumes from a
+            # checkpoint of epoch N's log.  Absent outside serve, so
+            # batch-run headers are byte-identical to earlier schemas.
+            header["epoch"] = int(epoch)
         header.update(meta or {})
         self._write(header)
+        _OPEN_LOGS.add(self)
 
     # -- writing -------------------------------------------------------------
     def record(self, type: str, t: float, **fields) -> None:
@@ -90,32 +110,88 @@ class TransactionLog:
         bus.subscribe_all(self._on_event)
         return self
 
+    def stamp_checkpoint(self, t: float, **fields) -> None:
+        """Append a CHECKPOINT record (repro.serve state snapshot)."""
+        self.record(ev.CHECKPOINT, t, **fields)
+
+    def stamp_restore(self, t: float, **fields) -> None:
+        """Append a RESTORE record linking this epoch to its parent
+        checkpoint."""
+        self.record(ev.RESTORE, t, **fields)
+
     def _write(self, row: dict) -> None:
         line = json.dumps(row, separators=(",", ":"), default=_coerce)
         with self._lock:
             if self._closed:
                 return
+            self._mid_write = True
             self._fh.write(line + "\n")
+            self._mid_write = False
             self.records_written += 1
+            if self._autoflush:
+                self._fh.flush()
 
     # -- lifecycle -----------------------------------------------------------
     def close(self, **footer_fields) -> None:
-        """Write the RUN_END footer and release the file handle."""
-        if self._closed:
-            return
-        self.record(ev.RUN_END, self.last_t,
-                    records=self.records_written, **footer_fields)
+        """Write the RUN_END footer and release the file handle.
+
+        Safe to call from a signal handler: if the signal landed inside
+        an in-flight record, the open line is terminated first (readers
+        skip the fragment), so a :class:`TailReader` sees the footer
+        instead of holding back a partial tail forever.
+        """
         with self._lock:
+            if self._closed:
+                return
+            if self._mid_write:
+                self._fh.write("\n")
+                self._mid_write = False
+            self.record(ev.RUN_END, self.last_t,
+                        records=self.records_written, **footer_fields)
             self._closed = True
             self._fh.flush()
             if self._owns_fh:
                 self._fh.close()
+        _OPEN_LOGS.discard(self)
 
     def __enter__(self) -> "TransactionLog":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def close_open_logs(reason: str = "terminated") -> int:
+    """Flush and footer every open :class:`TransactionLog`.
+
+    Returns how many logs were closed.  The graceful-shutdown path for
+    txlog-writing CLIs: after this, every log on disk ends with a
+    RUN_END footer (``completed: false, terminated: <reason>``) and no
+    reader ever waits on a partial tail.
+    """
+    closed = 0
+    for log in list(_OPEN_LOGS):
+        log.close(completed=False, terminated=reason)
+        closed += 1
+    return closed
+
+
+def install_signal_handlers(signals=(_signal.SIGTERM,
+                                     _signal.SIGINT)) -> None:
+    """Make SIGTERM/SIGINT terminate txlog-writing CLIs cleanly.
+
+    On either signal every open transaction log is flushed and
+    footered (see :func:`close_open_logs`), then the process exits
+    with the conventional ``128 + signum`` status.  Call once at CLI
+    startup, after argument parsing; only the main thread may install
+    signal handlers.
+    """
+    def _handler(signum, frame):
+        close_open_logs(reason=_signal.Signals(signum).name)
+        raise SystemExit(128 + signum)
+
+    for sig in signals:
+        _signal.signal(sig, _handler)
 
 
 @dataclass

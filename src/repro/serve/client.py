@@ -1,0 +1,82 @@
+"""Client facade and campaign driver for the facility service.
+
+:class:`ServeClient` is the tenant-side view of one
+:class:`~repro.serve.service.FacilityService`: ``submit`` a DAG, get
+a future, await results.  :func:`run_campaign` replays an arrival
+trace (the same :class:`repro.bench.workloads.Arrival` objects the
+batch facility consumes) through the live service -- the bridge the
+serve benchmarks, CLI and crash/restore tests all drive.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Iterable, List, Optional
+
+from .futures import AdmissionRejected, SubmissionFuture
+from .service import FacilityService
+
+__all__ = ["ServeClient", "run_campaign"]
+
+
+class ServeClient:
+    """One tenant's handle on the service.
+
+    A client is bound to a tenant name so analyst code reads like the
+    paper's workflow: build DAG, submit, await histograms.
+    """
+
+    def __init__(self, service: FacilityService, tenant: str):
+        self.service = service
+        self.tenant = tenant
+
+    async def submit(self, dag, tenant: Optional[str] = None,
+                     tag: str = "",
+                     at: Optional[float] = None) -> SubmissionFuture:
+        """Submit a DAG for this client's tenant (overridable)."""
+        return await self.service.submit(tenant or self.tenant, dag,
+                                         tag=tag, at=at)
+
+    async def submit_and_wait(self, dag, tag: str = "",
+                              at: Optional[float] = None) -> dict:
+        """Submit and block until every task committed; returns the
+        completion summary.  Raises :class:`AdmissionRejected` when
+        the facility refuses the DAG."""
+        fut = await self.submit(dag, tag=tag, at=at)
+        return await fut
+
+    def progress(self) -> dict:
+        return self.service.progress()
+
+
+async def run_campaign(service: FacilityService, arrivals: Iterable,
+                       wait: bool = True
+                       ) -> Dict[str, SubmissionFuture]:
+    """Replay an arrival trace through the live service.
+
+    Submits every arrival at its sim time (same ``(t, tenant)``
+    ordering as :meth:`Facility.run`), then -- when ``wait`` -- blocks
+    until each non-rejected submission completes.  Returns arrival
+    futures keyed by submission id (rejected ones under their tenant
+    and arrival index, since they never got an id).
+    """
+    ordered = sorted(arrivals, key=lambda a: (a.t, a.tenant))
+    futures: List[SubmissionFuture] = []
+    for arrival in ordered:
+        futures.append(await service.submit(
+            arrival.tenant, arrival.workflow, tag=arrival.tag,
+            at=arrival.t))
+    out: Dict[str, SubmissionFuture] = {}
+    for index, fut in enumerate(futures):
+        try:
+            await fut.decision()
+        except AdmissionRejected:
+            out[f"{fut.tenant}[{index}]"] = fut
+            continue
+        out[fut.sid] = fut
+    if wait:
+        await asyncio.gather(
+            *(fut._done_fut for fut in out.values()
+              if fut.state != "rejected"),
+            return_exceptions=True)
+    return out

@@ -1,0 +1,207 @@
+"""Futures the always-on facility service hands back at submit time.
+
+One :class:`SubmissionFuture` per submitted DAG, resolving when the
+facility commits its last task, plus one :class:`OutputFuture` per
+result file -- *including files the DAG never declared*: when a task
+commits extra results at runtime (:attr:`SimTask.dynamic_outputs`,
+the parsl ``DataFuture``/``DynamicFileList`` pattern), the service
+announces them through :meth:`SubmissionFuture.output` exactly like
+declared outputs, so a client can await data it only learns about
+from the run itself.
+
+Backpressure is the facility's existing typed admission surface:
+
+* ``Admitted`` -- the DAG merged immediately; tasks are in flight.
+* ``Queued`` -- the future's :attr:`~SubmissionFuture.position`
+  carries the backlog slot; it flips to running on the facility's
+  ADMIT event and still resolves normally.
+* ``Rejected`` -- awaiting the future (or its decision) raises
+  :class:`AdmissionRejected` carrying the facility's reason.
+
+All futures live on the service's asyncio loop; they are resolved
+from inside simulation slices, between which the pump always yields,
+so ``await`` wakes at the next slice boundary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional
+
+__all__ = ["AdmissionRejected", "OutputFuture", "SubmissionFuture"]
+
+
+class AdmissionRejected(RuntimeError):
+    """The facility refused the submission (quota or backlog full)."""
+
+    def __init__(self, tenant: str, reason: str,
+                 sid: Optional[str] = None):
+        super().__init__(f"submission by {tenant!r} rejected: {reason}")
+        self.tenant = tenant
+        self.reason = reason
+        self.sid = sid
+
+
+def _control_future(loop) -> asyncio.Future:
+    """A future whose exception is control flow, not a bug: clients
+    may legitimately never retrieve it (e.g. they await the decision
+    but not the completion), so silence the destructor warning."""
+    fut = loop.create_future()
+    fut.add_done_callback(
+        lambda f: f.exception() if not f.cancelled() else None)
+    return fut
+
+
+class OutputFuture:
+    """One result file of one submission, resolving when it commits.
+
+    ``name`` is the tenant-visible file name (no ``sid/`` prefix).
+    ``discovered`` is True when the file was *not* in the submitted
+    DAG -- the producing task announced it at runtime.
+    """
+
+    def __init__(self, name: str, submission: "SubmissionFuture",
+                 loop):
+        self.name = name
+        self.submission = submission
+        self.discovered = False
+        self._fut = _control_future(loop)
+
+    def done(self) -> bool:
+        return self._fut.done()
+
+    def result(self) -> dict:
+        return self._fut.result()
+
+    def _resolve(self, info: dict) -> None:
+        if not self._fut.done():
+            self._fut.set_result(info)
+
+    def _reject(self, exc: BaseException) -> None:
+        if not self._fut.done():
+            self._fut.set_exception(exc)
+
+    def __await__(self):
+        return self._fut.__await__()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        extra = " discovered" if self.discovered else ""
+        return f"<OutputFuture {self.name!r} {state}{extra}>"
+
+
+class SubmissionFuture:
+    """One tenant DAG moving through the service.
+
+    Lifecycle: ``submitted`` -> (``queued`` ->) ``running`` ->
+    ``done``, or ``rejected`` at admission.  ``await fut`` yields the
+    completion summary dict; ``await fut.decision()`` yields the
+    typed admission decision as soon as the arrival is injected.
+    """
+
+    def __init__(self, tenant: str, tag: str, loop):
+        self.tenant = tenant
+        self.tag = tag
+        self.sid: Optional[str] = None
+        self.state = "submitted"
+        #: backlog slot when queued (1 = next to be admitted)
+        self.position: Optional[int] = None
+        #: tenant-visible names announced at runtime, in commit order
+        self.discovered: List[str] = []
+        self._loop = loop
+        self._decision_fut = _control_future(loop)
+        self._done_fut = _control_future(loop)
+        self._outputs: Dict[str, OutputFuture] = {}
+        #: terminal error (rejection / service death); late-created
+        #: output futures inherit it instead of pending forever
+        self._exc: Optional[BaseException] = None
+
+    # -- client surface -----------------------------------------------------
+    async def decision(self):
+        """The typed admission decision (raises on ``Rejected``)."""
+        return await self._decision_fut
+
+    def output(self, name: str) -> OutputFuture:
+        """Future for one result file, created on demand.
+
+        Valid for declared outputs *and* names the client expects a
+        task to announce at runtime.  Requests made after the
+        submission reached a terminal state resolve immediately:
+        rejected/failed submissions propagate their error, and a name
+        the completed submission never committed raises ``KeyError``.
+        """
+        fut = self._outputs.get(name)
+        if fut is None:
+            fut = OutputFuture(name, self, self._loop)
+            self._outputs[name] = fut
+            if self._exc is not None:
+                fut._reject(self._exc)
+            elif self.state == "done":
+                fut._reject(KeyError(
+                    f"{self.sid} never committed an output {name!r}"))
+        return fut
+
+    def outputs(self) -> List[OutputFuture]:
+        """All output futures materialized so far (commit order for
+        resolved ones, creation order for pending requests)."""
+        return list(self._outputs.values())
+
+    def done(self) -> bool:
+        return self._done_fut.done()
+
+    def result(self) -> dict:
+        return self._done_fut.result()
+
+    def __await__(self):
+        return self._done_fut.__await__()
+
+    # -- service-side resolution --------------------------------------------
+    def _admitted(self, decision) -> None:
+        self.state = "running"
+        self.position = None
+        if not self._decision_fut.done():
+            self._decision_fut.set_result(decision)
+
+    def _queued(self, decision) -> None:
+        self.state = "queued"
+        self.position = decision.position
+        if not self._decision_fut.done():
+            self._decision_fut.set_result(decision)
+
+    def _rejected(self, reason: str) -> None:
+        self.state = "rejected"
+        exc = AdmissionRejected(self.tenant, reason, sid=self.sid)
+        self._exc = exc
+        if not self._decision_fut.done():
+            self._decision_fut.set_exception(exc)
+        if not self._done_fut.done():
+            self._done_fut.set_exception(exc)
+        for fut in self._outputs.values():
+            fut._reject(exc)
+
+    def _failed(self, exc: BaseException) -> None:
+        """The service died; every unresolved wait surfaces the error."""
+        self._exc = exc
+        if not self._decision_fut.done():
+            self._decision_fut.set_exception(exc)
+        if not self._done_fut.done():
+            self._done_fut.set_exception(exc)
+        for fut in self._outputs.values():
+            fut._reject(exc)
+
+    def _output_committed(self, name: str, info: dict,
+                          discovered: bool = False) -> None:
+        fut = self.output(name)
+        if discovered and not fut.done():
+            fut.discovered = True
+            self.discovered.append(name)
+        fut._resolve(info)
+
+    def _completed(self, summary: dict) -> None:
+        self.state = "done"
+        if not self._done_fut.done():
+            self._done_fut.set_result(summary)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SubmissionFuture {self.sid or '?'} "
+                f"tenant={self.tenant} {self.state}>")

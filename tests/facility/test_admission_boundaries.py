@@ -1,0 +1,143 @@
+"""Admission-control boundary cases for :class:`TenantQuota`.
+
+The serve facility leans on this exact surface for backpressure, so
+the edges are pinned here: admission at *exactly* the inflight limit,
+a full-then-draining backlog, and the cache-bytes progress guarantee
+in :meth:`TenantAccounts.eligible`.
+"""
+
+import pytest
+
+from repro.bench.workloads import Arrival
+from repro.facility import (
+    Admitted,
+    Facility,
+    Queued,
+    Rejected,
+    Tenant,
+    TenantQuota,
+)
+from repro.facility.tenant import TenantAccounts
+
+from .conftest import make_env, small_workflow
+
+
+def _accounts(quota):
+    tenants = {"a": Tenant("a", quota=quota)}
+    return TenantAccounts(tenants, tenant_of=lambda task: "a",
+                          tenant_of_file=lambda name: "a")
+
+
+class TestInflightBoundary:
+    def test_submission_exactly_at_quota_is_admitted(self, env):
+        """n_tasks == inflight_tasks must admit: the quota is an
+        upper bound, not a strict bound."""
+        wf = small_workflow(n_proc=4)      # 5 tasks
+        fac = Facility(env, [Tenant("a", quota=TenantQuota(
+            inflight_tasks=5))])
+        assert isinstance(fac.submit("a", wf), Admitted)
+
+    def test_submission_one_over_quota_is_rejected(self, env):
+        wf = small_workflow(n_proc=4)      # 5 tasks
+        fac = Facility(env, [Tenant("a", quota=TenantQuota(
+            inflight_tasks=4))])
+        decision = fac.submit("a", wf)
+        assert isinstance(decision, Rejected)
+        assert "quota" in decision.reason
+
+    def test_fits_now_sums_to_exactly_the_quota(self, env):
+        """With 3 of 6 inflight slots held, a 3-task submission still
+        fits (3 + 3 == 6); a 4-task one queues."""
+        fac = Facility(env, [Tenant("a", quota=TenantQuota(
+            inflight_tasks=6))])
+        assert isinstance(
+            fac.submit("a", small_workflow(n_proc=2)), Admitted)
+        assert isinstance(
+            fac.submit("a", small_workflow(n_proc=2)), Admitted)
+        assert isinstance(
+            fac.submit("a", small_workflow(n_proc=3)), Queued)
+
+    def test_eligible_at_and_over_the_inflight_limit(self):
+        accounts = _accounts(TenantQuota(inflight_tasks=2))
+        accounts.task_running("a", 1)
+        assert accounts.eligible("a", 1)
+        accounts.task_running("a", 1)
+        assert not accounts.eligible("a", 1)
+        accounts.task_released("a", 1)
+        assert accounts.eligible("a", 1)
+
+
+class TestBacklogBoundary:
+    def test_backlog_fills_then_drains_to_completion(self, env):
+        """At max_queued the next submission is rejected outright; as
+        admitted work finishes the backlog drains and every *queued*
+        submission still completes."""
+        wf = small_workflow(n_proc=2)      # 3 tasks
+        quota = TenantQuota(inflight_tasks=3, max_queued=2)
+        fac = Facility(env, [Tenant("a", quota=quota)])
+        arrivals = [Arrival(t=float(i), tenant="a", workflow=wf,
+                            tag="b") for i in range(4)]
+        result = fac.run(arrivals)
+        kinds = [type(d).__name__ for d in result.decisions]
+        assert kinds == ["Admitted", "Queued", "Queued", "Rejected"]
+        assert result.decisions[-1].reason == "admission backlog full"
+        assert result.completed
+        done = [s for s in result.submissions.values()
+                if s.t_done is not None]
+        assert len(done) == 3
+        assert result.tenant_stats["a"].rejected == 1
+
+    def test_rejected_submission_frees_no_backlog_slot(self, env):
+        """A rejection must not consume backlog capacity: the next
+        submission after a reject still queues."""
+        wf = small_workflow(n_proc=2)
+        quota = TenantQuota(inflight_tasks=3, max_queued=1)
+        fac = Facility(env, [Tenant("a", quota=quota)])
+        assert isinstance(fac.submit("a", wf), Admitted)
+        assert isinstance(fac.submit("a", wf), Queued)
+        assert isinstance(fac.submit("a", wf), Rejected)
+        assert len(fac._backlog["a"]) == 1
+
+
+class TestCacheBytesBoundary:
+    def test_generated_bytes_over_quota_rejected_at_submit(self, env):
+        wf = small_workflow(n_proc=2)
+        generated = wf.total_generated_bytes()
+        fac = Facility(env, [Tenant("a", quota=TenantQuota(
+            cache_bytes=generated / 2))])
+        decision = fac.submit("a", wf)
+        assert isinstance(decision, Rejected)
+        assert "cache" in decision.reason
+
+    def test_generated_bytes_exactly_at_quota_admitted(self, env):
+        wf = small_workflow(n_proc=2)
+        fac = Facility(env, [Tenant("a", quota=TenantQuota(
+            cache_bytes=wf.total_generated_bytes()))])
+        assert isinstance(fac.submit("a", wf), Admitted)
+
+    def test_progress_guarantee_with_nothing_inflight(self):
+        """Over the cache quota with zero running tasks, one dispatch
+        must still be eligible -- retained bytes can only drain once
+        their consumers run, so throttling here would deadlock."""
+        accounts = _accounts(TenantQuota(cache_bytes=100.0))
+        accounts.cache_bytes["a"] = 500.0
+        assert accounts.eligible("a", 1)
+
+    def test_over_quota_with_work_inflight_is_throttled(self):
+        accounts = _accounts(TenantQuota(cache_bytes=100.0))
+        accounts.cache_bytes["a"] = 500.0
+        accounts.task_running("a", 1)
+        assert not accounts.eligible("a", 1)
+        # the moment the inflight task releases, dispatch resumes
+        accounts.task_released("a", 1)
+        assert accounts.eligible("a", 1)
+
+    def test_eviction_credits_reopen_dispatch(self):
+        accounts = _accounts(TenantQuota(cache_bytes=100.0))
+        accounts.task_running("a", 1)
+        accounts.on_cache_event("CACHE_PUT", 0.0,
+                                {"file": "a.0/x", "nbytes": 150.0})
+        assert not accounts.eligible("a", 1)
+        accounts.on_cache_event("CACHE_EVICT", 1.0,
+                                {"file": "a.0/x", "nbytes": 150.0})
+        assert accounts.eligible("a", 1)

@@ -1,0 +1,49 @@
+"""Serve-test harness: tiny workflows and async drivers."""
+
+import asyncio
+
+import pytest
+
+from repro.bench.runners import build_environment
+from repro.core.files import FileKind, SimFile
+from repro.core.spec import SimTask, SimWorkflow
+
+
+def small_workflow(n_proc=3, chunk=50e6, partial=5e6, compute=1.0,
+                   dynamic=()) -> SimWorkflow:
+    """n_proc processing tasks feeding one accumulation.
+
+    ``dynamic`` lists proc indices that also commit one
+    runtime-discovered ``extra-<i>.root`` output.
+    """
+    files, tasks, partials = [], [], []
+    for i in range(n_proc):
+        files.append(SimFile(f"chunk-{i}", chunk, FileKind.INPUT))
+        files.append(SimFile(f"partial-{i}", partial,
+                             FileKind.INTERMEDIATE))
+        dyn = ((f"extra-{i}.root", 1e6),) if i in dynamic else ()
+        tasks.append(SimTask(id=f"proc-{i}", compute=compute,
+                             inputs=(f"chunk-{i}",),
+                             outputs=(f"partial-{i}",),
+                             category="proc", function="process",
+                             dynamic_outputs=dyn))
+        partials.append(f"partial-{i}")
+    files.append(SimFile("result", partial, FileKind.OUTPUT))
+    tasks.append(SimTask(id="accum", compute=0.5,
+                         inputs=tuple(partials), outputs=("result",),
+                         category="accum", function="accumulate"))
+    return SimWorkflow(tasks, files)
+
+
+@pytest.fixture
+def env():
+    return build_environment(2, seed=3)
+
+
+def make_env(n_workers=2, seed=3):
+    return build_environment(n_workers, seed=seed)
+
+
+def drive(coro):
+    """Run one async test body on a fresh loop."""
+    return asyncio.run(coro)

@@ -1,0 +1,212 @@
+"""The crash/restore acceptance gate.
+
+A seeded 4-tenant campaign is SIGKILLed (``os._exit(137)`` from the
+serve CLI's ``--exit-after-tasks``, no cleanup of any kind) at three
+distinct points -- early, mid, late -- and restored from the last
+completed checkpoint.  Each restored run must converge to the same
+final per-tenant summaries as the uninterrupted reference: task
+counts, sorted committed output names (declared *and*
+runtime-discovered), and bin-identical pseudo-histograms.  Committed
+work must never re-execute: the restored epoch's transaction log may
+not contain a TASK_DONE for any task in the checkpoint.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.facility import Tenant
+from repro.obs import events as ev
+from repro.serve import FacilityService, restore_service
+
+from .conftest import drive, make_env, small_workflow
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+CAMPAIGN = ["--tenants", "4", "--submissions", "2", "--workers", "2",
+            "--scale", "0.05", "--seed", "11", "--dynamic-every", "3"]
+#: crash points bracketing the checkpoint cadence: the probe run's
+#: checkpoints complete at commits ~34/68/102/136/168 of 184
+CRASH_POINTS = (40, 110, 170)
+TOTAL_TASKS = 184
+
+
+def _serve(tmp, *argv):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.serve", *argv],
+        cwd=tmp, env=env, capture_output=True, text=True, timeout=120)
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """Reference run + three crashed runs + their restores."""
+    tmp = str(tmp_path_factory.mktemp("crash-restore"))
+
+    proc = _serve(tmp, "run", *CAMPAIGN, "--txlog", "ref.jsonl",
+                  "--json")
+    assert proc.returncode == 0, proc.stderr
+    ref = json.loads(proc.stdout)
+
+    restored = {}
+    for point in CRASH_POINTS:
+        proc = _serve(tmp, "run", *CAMPAIGN,
+                      "--txlog", f"crash{point}.jsonl",
+                      "--checkpoint", f"crash{point}.ckpt",
+                      "--checkpoint-every", "10",
+                      "--exit-after-tasks", str(point), "--json")
+        assert proc.returncode == 137, (
+            f"crash@{point} exited {proc.returncode}: {proc.stderr}")
+        proc = _serve(tmp, "restore",
+                      "--checkpoint", f"crash{point}.ckpt",
+                      "--txlog", f"epoch2-{point}.jsonl", "--json")
+        assert proc.returncode == 0, (
+            f"restore@{point} failed: {proc.stderr}")
+        restored[point] = json.loads(proc.stdout)
+    return tmp, ref, restored
+
+
+def _records(path):
+    with open(path) as fh:
+        return [json.loads(line) for line in fh if line.strip()]
+
+
+class TestCrashRestoreEquivalence:
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_summaries_identical_to_uninterrupted(self, campaign,
+                                                  point):
+        _tmp, ref, restored = campaign
+        assert restored[point]["summaries"] == ref["summaries"]
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_histograms_bin_identical(self, campaign, point):
+        _tmp, ref, restored = campaign
+        for tenant, row in ref["summaries"].items():
+            other = restored[point]["summaries"][tenant]
+            assert other["histogram"] == row["histogram"], tenant
+            assert len(row["histogram"]) == 16
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_discovered_outputs_survive_restore(self, campaign, point):
+        """Runtime-discovered files appear in both runs' committed
+        output sets (``--dynamic-every 3`` decorates every 3rd task)."""
+        _tmp, ref, restored = campaign
+        for tenant, row in ref["summaries"].items():
+            extras = [n for n in row["outputs"]
+                      if n.endswith(".extra.root")]
+            assert extras, f"{tenant} has no discovered outputs"
+            other = restored[point]["summaries"][tenant]
+            assert [n for n in other["outputs"]
+                    if n.endswith(".extra.root")] == extras
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_zero_reexecution_of_checkpointed_work(self, campaign,
+                                                   point):
+        tmp, _ref, _restored = campaign
+        done = set(json.load(
+            open(os.path.join(tmp, f"crash{point}.ckpt")))["done"])
+        epoch2 = _records(os.path.join(tmp, f"epoch2-{point}.jsonl"))
+        redone = {r["task"] for r in epoch2
+                  if r.get("type") == ev.TASK_DONE} & done
+        assert redone == set()
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_restored_epoch_log_chain(self, campaign, point):
+        tmp, _ref, _restored = campaign
+        epoch2 = _records(os.path.join(tmp, f"epoch2-{point}.jsonl"))
+        header = epoch2[0]
+        assert header["type"] == ev.RUN
+        assert header["epoch"] == 2
+        stamps = [r for r in epoch2 if r.get("type") == ev.RESTORE]
+        assert len(stamps) == 1
+        ckpt = json.load(
+            open(os.path.join(tmp, f"crash{point}.ckpt")))
+        assert stamps[0]["tasks_committed"] == len(ckpt["done"])
+        footer = epoch2[-1]
+        assert footer["type"] == ev.RUN_END
+        assert footer["completed"] is True
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_work_split_adds_up(self, campaign, point):
+        """checkpointed + re-run == the whole campaign, every task
+        committed exactly once across the epoch chain."""
+        tmp, _ref, _restored = campaign
+        ckpt = json.load(
+            open(os.path.join(tmp, f"crash{point}.ckpt")))
+        epoch2 = _records(os.path.join(tmp, f"epoch2-{point}.jsonl"))
+        rerun = {r["task"] for r in epoch2
+                 if r.get("type") == ev.TASK_DONE}
+        assert len(ckpt["done"]) + len(rerun) == TOTAL_TASKS
+
+    def test_reference_run_has_dynamic_work(self, campaign):
+        """Guard the gate's premise: the campaign actually exercises
+        runtime-discovered outputs (``--dynamic-every 3``)."""
+        _tmp, ref, _restored = campaign
+        extras = sum(
+            1 for row in ref["summaries"].values()
+            for n in row["outputs"] if n.endswith(".extra.root"))
+        assert extras >= len(ref["summaries"])
+
+    def test_crash_points_bracket_distinct_checkpoints(self, campaign):
+        """The three kill points must exercise genuinely different
+        amounts of restored state, or the gate tests one scenario
+        three times."""
+        tmp, _ref, _restored = campaign
+        sizes = [len(json.load(
+            open(os.path.join(tmp, f"crash{p}.ckpt")))["done"])
+            for p in CRASH_POINTS]
+        assert len(set(sizes)) == len(CRASH_POINTS), sizes
+
+
+class TestRestoredFutures:
+    def test_dynamic_output_futures_resolve_in_restore_path(
+            self, tmp_path):
+        """A restored service resolves futures for already-committed
+        discovered outputs immediately (``restored: True``) and still
+        resolves the ones whose producing tasks only commit after the
+        restore -- the client never tells the difference."""
+        txlog = tmp_path / "e1.jsonl"
+        ckpt = tmp_path / "e1.ckpt"
+
+        async def epoch1():
+            import asyncio
+            service = FacilityService(make_env(), [Tenant("a")],
+                                      txlog_path=str(txlog))
+            await service.start()
+            first = await service.submit(
+                "a", small_workflow(dynamic=(0, 2)))
+            await first
+            second = await service.submit(
+                "a", small_workflow(dynamic=(0,)))
+            await second.decision()
+            for _ in range(2):
+                await asyncio.sleep(0)
+            await service.checkpoint(str(ckpt))
+            # epoch 1 "dies" here: no drain, no txlog close
+
+        drive(epoch1())
+
+        async def epoch2():
+            service = await restore_service(
+                str(ckpt), make_env(), [Tenant("a")],
+                txlog_path=str(tmp_path / "e2.jsonl"))
+            # committed before the crash: resolved from the sidecar
+            done_fut = service.futures["a.0"]
+            assert done_fut.done()
+            assert done_fut.result()["restored"] is True
+            extra = done_fut.output("extra-0.root")
+            assert extra.done() and extra.discovered
+            assert extra.result()["restored"] is True
+            # in flight at the crash: resolves as epoch 2 commits it
+            pending = service.futures["a.1"]
+            info = await pending.output("extra-0.root")
+            assert info["file"] == "extra-0.root"
+            summary = await pending
+            await service.drain()
+            return summary
+
+        summary = drive(epoch2())
+        assert summary["submission"] == "a.1"

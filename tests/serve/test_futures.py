@@ -1,0 +1,130 @@
+"""Futures lifecycle: admission, per-output resolution, rejection."""
+
+import pytest
+
+from repro.facility import Tenant, TenantQuota
+from repro.serve import AdmissionRejected, FacilityService
+
+from .conftest import drive, make_env, small_workflow
+
+
+class TestAdmittedFlow:
+    def test_submission_future_resolves_with_summary(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            fut = await service.submit("a", small_workflow(), tag="x")
+            decision = await fut.decision()
+            assert decision.submission_id == "a.0"
+            assert fut.state in ("running", "done")
+            summary = await fut
+            assert fut.state == "done"
+            assert summary["submission"] == "a.0"
+            assert summary["tenant"] == "a"
+            assert summary["tasks"] == 4
+            await service.drain()
+            return summary
+
+        drive(body())
+
+    def test_output_future_resolves_on_commit(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            fut = await service.submit("a", small_workflow())
+            result = fut.output("result")
+            partial = fut.output("partial-0")
+            info = await result
+            assert info["file"] == "result"
+            assert info["task"] == "a.0/accum"
+            assert (await partial)["file"] == "partial-0"
+            await service.drain()
+
+        drive(body())
+
+    def test_discovered_output_future_resolves(self):
+        """A future for a file the DAG never declared resolves once
+        the producing task announces it at commit time."""
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            wf = small_workflow(dynamic=(0, 2))
+            fut = await service.submit("a", wf)
+            extra = fut.output("extra-0.root")
+            info = await extra
+            assert info["file"] == "extra-0.root"
+            assert extra.discovered
+            await fut
+            assert sorted(fut.discovered) == ["extra-0.root",
+                                              "extra-2.root"]
+            await service.drain()
+
+        drive(body())
+
+    def test_outputs_listing_after_completion(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            fut = await service.submit("a", small_workflow(n_proc=2))
+            await fut
+            names = {f.name for f in fut.outputs()}
+            assert {"partial-0", "partial-1", "result"} <= names
+            await service.drain()
+
+        drive(body())
+
+
+class TestRejection:
+    def test_unknown_tenant_raises_admission_rejected(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            fut = await service.submit("mallory", small_workflow())
+            with pytest.raises(AdmissionRejected) as err:
+                await fut.decision()
+            assert "unknown" in err.value.reason
+            assert fut.state == "rejected"
+            # output futures fail with the same typed error
+            with pytest.raises(AdmissionRejected):
+                await fut.output("result")
+            await service.drain()
+
+        drive(body())
+
+    def test_oversized_submission_rejected(self):
+        async def body():
+            quota = TenantQuota(inflight_tasks=2)
+            service = FacilityService(make_env(),
+                                      [Tenant("a", quota=quota)])
+            await service.start()
+            fut = await service.submit("a", small_workflow(n_proc=4))
+            with pytest.raises(AdmissionRejected) as err:
+                await fut
+            assert "quota" in err.value.reason
+            await service.drain()
+
+        drive(body())
+
+
+class TestQueuedFlow:
+    def test_queued_future_carries_position_then_runs(self):
+        async def body():
+            quota = TenantQuota(inflight_tasks=4)
+            service = FacilityService(make_env(),
+                                      [Tenant("a", quota=quota)])
+            await service.start()
+            first = await service.submit("a", small_workflow())
+            second = await service.submit("a", small_workflow())
+            d2 = await second.decision()
+            assert second.state in ("queued", "running", "done")
+            assert d2.position == 1
+            s1 = await first
+            s2 = await second
+            assert s1["submission"] == "a.0"
+            assert s2["submission"] == "a.1"
+            # the backlog drain flipped the queued future forward
+            assert second.state == "done"
+            assert second.position is None
+            await service.drain()
+
+        drive(body())

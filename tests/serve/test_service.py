@@ -1,0 +1,188 @@
+"""Service lifecycle: pumping, idling, checkpoint barrier, drain."""
+
+import json
+import math
+
+import pytest
+
+from repro.facility import Tenant
+from repro.obs import events as ev
+from repro.obs.txlog import read_records
+from repro.serve import FacilityService, ServeClient, ServiceError
+
+from .conftest import drive, make_env, small_workflow
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            with pytest.raises(ServiceError):
+                await service.submit("a", small_workflow())
+
+        drive(body())
+
+    def test_submit_while_draining_raises(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            service._stopping = True
+            with pytest.raises(ServiceError):
+                await service.submit("a", small_workflow())
+            await service.drain()
+
+        drive(body())
+
+    def test_drain_with_no_submissions_completes(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            result = await service.drain()
+            assert result.completed
+            assert service.result is result
+
+        drive(body())
+
+    def test_start_is_idempotent(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            await service.start()
+            await service.drain()
+
+        drive(body())
+
+    def test_progress_keys(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            fut = await service.submit("a", small_workflow())
+            await fut
+            progress = service.progress()
+            for key in ("t", "epoch", "submissions", "tasks_committed",
+                        "checkpoints", "draining", "finished"):
+                assert key in progress
+            assert progress["epoch"] == 1
+            assert progress["tasks_committed"] == 4
+            await service.drain()
+
+        drive(body())
+
+
+class TestClockDiscipline:
+    def test_drain_stops_at_completion_not_heap_exhaustion(self):
+        """Regression: the heap always holds far-future background
+        events (per-worker preemption clocks).  Draining must stop at
+        the completion boundary, not fast-forward the clock through
+        them -- that killed every worker and aborted the run."""
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            await (await service.submit("a", small_workflow()))
+            result = await service.drain()
+            assert result.completed
+            assert result.run.error is None
+            # preemption horizon is ~1/3e-6 s; completion is seconds
+            assert service.sim.now < 1000.0
+
+        drive(body())
+
+    def test_idle_service_does_not_advance_clock(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            fut = await service.submit("a", small_workflow())
+            await fut
+            t_done = service.sim.now
+            # idle: nothing submitted, pump parked
+            for _ in range(50):
+                import asyncio
+                await asyncio.sleep(0)
+            assert service.sim.now == t_done
+            await service.drain()
+
+        drive(body())
+
+
+class TestCheckpointBarrier:
+    def test_checkpoint_requires_txlog(self):
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")])
+            await service.start()
+            with pytest.raises(ServiceError):
+                await service.checkpoint("nowhere.ckpt")
+            await service.drain()
+
+        drive(body())
+
+    def test_checkpoint_stamps_record_and_writes_sidecar(self, tmp_path):
+        txlog = tmp_path / "serve.jsonl"
+        sidecar = tmp_path / "serve.ckpt"
+
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")],
+                                      txlog_path=str(txlog))
+            await service.start()
+            await (await service.submit("a", small_workflow()))
+            ckpt = await service.checkpoint(str(sidecar))
+            assert service.checkpoints == 1
+            assert service.last_checkpoint["path"] == str(sidecar)
+            await service.drain()
+            return ckpt
+
+        ckpt = drive(body())
+        assert sidecar.exists()
+        on_disk = json.loads(sidecar.read_text())
+        assert on_disk == ckpt
+        assert sorted(ckpt["done"]) == [
+            "a.0/accum", "a.0/proc-0", "a.0/proc-1", "a.0/proc-2"]
+        stamps = [r for r in read_records(str(txlog))
+                  if r["type"] == ev.CHECKPOINT]
+        assert len(stamps) == 1
+        assert stamps[0]["tasks_committed"] == 4
+
+    def test_quiescent_checkpoint_commits_inflight_work(self, tmp_path):
+        """The barrier drains running tasks: everything dispatched
+        before the checkpoint is either committed in the sidecar or
+        failed -- never silently in flight."""
+        txlog = tmp_path / "serve.jsonl"
+        sidecar = tmp_path / "serve.ckpt"
+
+        async def body():
+            service = FacilityService(make_env(), [Tenant("a")],
+                                      txlog_path=str(txlog),
+                                      slice_events=8)
+            await service.start()
+            fut = await service.submit("a", small_workflow())
+            # let a few slices run, then checkpoint mid-campaign
+            import asyncio
+            for _ in range(6):
+                await asyncio.sleep(0)
+            ckpt = await service.checkpoint(str(sidecar))
+            assert service.manager.inflight == 0
+            await fut
+            await service.drain()
+            return ckpt
+
+        ckpt = drive(body())
+        committed = set(ckpt["done"])
+        running_at_ckpt = set()  # nothing may be mid-pipeline
+        assert committed <= {"a.0/proc-0", "a.0/proc-1", "a.0/proc-2",
+                             "a.0/accum"}
+        assert running_at_ckpt == set()
+
+
+class TestServeClient:
+    def test_client_binds_default_tenant(self):
+        async def body():
+            service = FacilityService(make_env(),
+                                      [Tenant("a"), Tenant("b")])
+            await service.start()
+            client = ServeClient(service, "b")
+            fut = await client.submit(small_workflow())
+            summary = await fut
+            assert summary["tenant"] == "b"
+            assert not math.isnan(summary["turnaround"])
+            await service.drain()
+
+        drive(body())
